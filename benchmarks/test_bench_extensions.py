@@ -1,0 +1,65 @@
+"""Bench E1/E2 — extension experiments beyond the paper's artefacts.
+
+* **update-latency** — quantifies Sec. 3.2's scheduling-scalability
+  property: a task join touches O(log n) SEs and reproduces the full
+  recomposition's interfaces exactly, while a centralized allocator
+  recomputes every client.
+* **dram-sensitivity** — robustness of the slot-abstraction results to
+  a banked row-buffer DRAM provider, under worst-case vs average-cost
+  provisioning.
+"""
+
+import pytest
+
+from repro.experiments.dram_sensitivity import (
+    format_dram_sensitivity,
+    run_dram_sensitivity,
+)
+from repro.experiments.update_latency import (
+    format_update_latency,
+    run_update_latency,
+)
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_update_latency_locality(benchmark):
+    costs = run_once(benchmark, run_update_latency, (16, 64, 256))
+    print()
+    print(format_update_latency(costs))
+
+    for cost in costs:
+        # path-local result identical to a full recomposition
+        assert cost.results_identical
+        # O(log n) SEs touched vs O(n) centralized budgets
+        assert cost.path_ses < cost.centralized_budgets
+        assert cost.path_update_seconds < cost.full_recompose_seconds
+    # locality improves with scale: 2/5 -> 3/21 -> 4/85
+    localities = [cost.locality for cost in costs]
+    assert localities == sorted(localities, reverse=True)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_dram_provider_sensitivity(benchmark):
+    outcomes = run_once(
+        benchmark, run_dram_sensitivity, 16, 0.7, (1, 2), 10_000
+    )
+    print()
+    print(format_dram_sensitivity(outcomes))
+
+    by_key = {(o.interconnect, o.configuration): o for o in outcomes}
+    # the slot abstraction is safe under worst-case provisioning
+    assert by_key[("BlueScale", "dram/worst-case")].miss_ratio <= 0.01
+    # average-cost provisioning is unsafe for every design
+    for name in ("BlueScale", "BlueTree", "AXI-IC^RT"):
+        assert (
+            by_key[(name, "dram/average")].miss_ratio
+            > by_key[(name, "dram/worst-case")].miss_ratio
+        )
+    # BlueScale's EDF shaping interleaves clients and destroys row
+    # locality — an honest cost of predictability-first scheduling
+    assert (
+        by_key[("BlueScale", "dram/worst-case")].row_hit_ratio
+        < by_key[("AXI-IC^RT", "dram/worst-case")].row_hit_ratio
+    )

@@ -1,0 +1,50 @@
+"""Bench F5 — regenerate Fig. 5 (hardware scalability, η = 1..7).
+
+Prints the three series (area fraction, power, fmax) and asserts the
+observations of Obs 2 / Obs 3: near-linear scaling, BlueScale smaller
+than AXI-IC^RT but slightly more power-hungry at scale, and the
+frequency crossover past 32 clients.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_hardware_scalability(benchmark):
+    result = run_once(benchmark, run_fig5, 1, 7)
+    print()
+    print(format_fig5(result))
+
+    # Fig 5(a): monotone growth; BlueScale < AXI-IC^RT from 8 clients on.
+    for series in result.area.values():
+        assert series == sorted(series)
+    assert all(
+        blue < axi
+        for blue, axi in zip(
+            result.area["BlueScale"][2:], result.area["AXI-IC^RT"][2:]
+        )
+    )
+    # Obs 2: added area is a small margin through 64 clients (< 5 pp).
+    for eta_index in range(6):  # η = 1..6
+        margin = (
+            result.area["Legacy+BlueScale"][eta_index]
+            - result.area["Legacy"][eta_index]
+        )
+        assert margin < 0.05
+
+    # Fig 5(b): power grows ~linearly; BlueScale slightly above AXI at scale.
+    assert result.power_w["BlueScale"][-1] > result.power_w["AXI-IC^RT"][-1]
+
+    # Fig 5(c) / Obs 3: the crossover happens past 32 clients (η = 6),
+    # and BlueScale never limits the system.
+    assert result.crossover_eta() == 6
+    assert all(
+        blue > legacy
+        for blue, legacy in zip(
+            result.fmax_mhz["BlueScale"], result.fmax_mhz["Legacy"]
+        )
+    )

@@ -1,0 +1,58 @@
+"""Bench F7 — regenerate Fig. 7 (automotive case study, success ratio
+vs target utilization, 16- and 64-core systems + a DNN accelerator).
+
+Assertions pin Obs 5: BlueScale consistently achieves the highest
+success ratios among the distributed interconnects and beats
+AXI-IC^RT in most trials; success falls with target utilization for
+the weak designs.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import Fig7Config, format_fig7, run_fig7
+
+from benchmarks.conftest import run_once
+
+UTILIZATIONS = (0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_16_core_case_study(benchmark):
+    config = Fig7Config(
+        n_processors=16, trials=4, horizon=15_000, utilizations=UTILIZATIONS
+    )
+    result = run_once(benchmark, run_fig7, config)
+    print()
+    print(format_fig7(result))
+
+    # Obs 5: BlueScale dominates every distributed baseline pointwise.
+    for name in ("BlueTree", "BlueTree-Smooth", "GSMTree-TDM", "GSMTree-FBSP"):
+        assert result.dominated_by_bluescale(name), name
+    # ... and matches or beats AXI-IC^RT on most points.
+    blue = result.success_ratio["BlueScale"]
+    axi = result.success_ratio["AXI-IC^RT"]
+    wins = sum(b >= a for b, a in zip(blue, axi))
+    assert wins >= len(UTILIZATIONS) - 1
+    # everything is perfect at the lightest load
+    assert blue[0] == 1.0
+    # the demand-blind TDM reservation collapses at high utilization
+    assert result.success_ratio["GSMTree-TDM"][-1] < blue[-1]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_64_core_case_study(benchmark):
+    config = Fig7Config(
+        n_processors=64,
+        trials=3,
+        horizon=10_000,
+        drain=4_000,
+        utilizations=(0.3, 0.6, 0.9),
+    )
+    result = run_once(benchmark, run_fig7, config)
+    print()
+    print(format_fig7(result))
+
+    for name in ("BlueTree", "BlueTree-Smooth", "GSMTree-TDM"):
+        assert result.dominated_by_bluescale(name), name
+    blue = result.success_ratio["BlueScale"]
+    assert blue[0] == 1.0

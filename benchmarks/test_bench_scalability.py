@@ -1,0 +1,43 @@
+"""Bench E3 — interconnect-level scalability sweep (extension).
+
+Fills in the curve between Fig. 6's two sizes: miss ratio and mean
+response from 4 to 64 clients at a fixed 45% utilization, plus the
+composition's admission ceiling per size.
+"""
+
+import pytest
+
+from repro.experiments.scalability_sweep import (
+    format_scalability,
+    run_scalability_sweep,
+)
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_scalability_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_scalability_sweep,
+        (4, 16, 64),
+        0.45,
+        (1,),
+    )
+    print()
+    print(format_scalability(result))
+
+    miss = result.series("miss_ratio")
+    sizes = result.sizes()
+    # BlueScale keeps (near-)zero misses at every size
+    assert all(value <= 0.001 for value in miss["BlueScale"])
+    # the heuristic tree degrades monotonically with scale
+    assert miss["BlueTree"] == sorted(miss["BlueTree"])
+    assert miss["BlueTree"][-1] > miss["BlueScale"][-1]
+    # predictability costs latency: BlueScale's shaping shows in the mean
+    response = result.series("mean_response")
+    assert response["BlueScale"][-1] > response["BlueTree"][-1]
+    # composition overhead: the admission ceiling declines with depth
+    ceilings = [result.admission_ceiling[n] for n in sizes]
+    assert ceilings[0] > ceilings[-1]
+    assert all(c > result.utilization for c in ceilings)

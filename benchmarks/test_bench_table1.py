@@ -1,0 +1,33 @@
+"""Bench T1 — regenerate Table 1 (hardware overhead, 16 clients).
+
+Prints the measured-vs-paper table and asserts the observations of
+Obs 1: BlueScale sits between the distributed trees and the
+centralized interconnect, and well below a processor core.
+"""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_hardware_overhead(benchmark):
+    rows = run_once(benchmark, run_table1, 16)
+    print()
+    print(format_table1(rows))
+
+    report = {row.design: row.report for row in rows}
+    # Obs 1 — who is bigger than whom.
+    assert report["BlueScale"].luts > report["BlueTree"].luts
+    assert report["BlueScale"].luts > report["GSMTree"].luts
+    assert report["BlueScale"].luts < report["AXI-IC^RT"].luts
+    assert report["BlueScale"].luts < report["MicroBlaze"].luts
+    assert report["BlueScale"].luts < report["RISC-V"].luts
+    assert report["BlueScale"].dsps == 0
+    # every measured cell is within 8% of the paper's Table 1
+    for row in rows:
+        assert row.report.luts == pytest.approx(row.paper[0], rel=0.08)
+        assert row.report.registers == pytest.approx(row.paper[1], rel=0.08)
+        assert row.report.power_mw == pytest.approx(row.paper[4], rel=0.08)

@@ -1,0 +1,129 @@
+"""Hardware design-space exploration with the cost/frequency models.
+
+Sweeps the client count and prints, for every interconnect in the
+paper's Table 1, the projected FPGA resources, power and maximum
+frequency — the data behind Table 1 and Fig. 5 — plus a what-if:
+how a deeper Scale-Element port buffer trades area for scheduling
+slack.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.experiments.reporting import format_table
+from repro.hardware import (
+    area_fraction,
+    axi_icrt_cost,
+    axi_icrt_fmax_mhz,
+    bluescale_cost,
+    bluescale_fmax_mhz,
+    bluetree_cost,
+    bluetree_smooth_cost,
+    gsmtree_cost,
+    legacy_fmax_mhz,
+    legacy_system_cost,
+    scale_element_cost,
+)
+
+
+def resource_sweep() -> None:
+    rows = []
+    for n in (4, 8, 16, 32, 64, 128):
+        blue = bluescale_cost(n)
+        axi = axi_icrt_cost(n)
+        tree = bluetree_cost(n)
+        rows.append(
+            [
+                n,
+                blue.luts,
+                axi.luts,
+                tree.luts,
+                gsmtree_cost(n).luts,
+                bluetree_smooth_cost(n).luts,
+                f"{blue.power_mw:.0f}/{axi.power_mw:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["clients", "BlueScale", "AXI-IC^RT", "BlueTree", "GSMTree",
+             "BT-Smooth", "power BS/AXI (mW)"],
+            rows,
+            title="LUT consumption vs client count",
+        )
+    )
+
+
+def frequency_sweep() -> None:
+    rows = []
+    for n in (4, 8, 16, 32, 64, 128):
+        legacy = legacy_fmax_mhz(n)
+        axi = axi_icrt_fmax_mhz(n)
+        blue = bluescale_fmax_mhz(n)
+        limiter = "interconnect" if axi < legacy else "cores"
+        rows.append([n, f"{legacy:.0f}", f"{axi:.0f}", f"{blue:.0f}", limiter])
+    print(
+        format_table(
+            ["clients", "legacy fmax", "AXI-IC^RT fmax", "BlueScale fmax",
+             "AXI system limited by"],
+            rows,
+            title="Maximum frequency vs client count (MHz)",
+        )
+    )
+
+
+def buffer_depth_tradeoff() -> None:
+    rows = []
+    for depth in (2, 4, 8, 16):
+        se = scale_element_cost(buffer_depth=depth)
+        rows.append([depth, se.luts, se.registers, f"{se.power_mw:.1f}"])
+    print(
+        format_table(
+            ["port-buffer depth", "LUTs/SE", "registers/SE", "power/SE (mW)"],
+            rows,
+            title="Scale Element cost vs random-access-buffer depth",
+        )
+    )
+
+
+def platform_budget() -> None:
+    rows = []
+    for n in (16, 64, 128):
+        legacy = legacy_system_cost(n)
+        with_blue = legacy + bluescale_cost(n)
+        with_axi = legacy + axi_icrt_cost(n)
+        rows.append(
+            [
+                n,
+                f"{area_fraction(legacy):.1%}",
+                f"{area_fraction(with_blue):.1%}",
+                f"{area_fraction(with_axi):.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["clients", "legacy", "legacy+BlueScale", "legacy+AXI-IC^RT"],
+            rows,
+            title="Platform area budget (fraction of a VC707)",
+        )
+    )
+
+
+def synthesis_report() -> None:
+    from repro.hardware import format_synthesis_report, synthesize_bluescale_system
+
+    print(format_synthesis_report(synthesize_bluescale_system(64)))
+
+
+def main() -> None:
+    resource_sweep()
+    print()
+    frequency_sweep()
+    print()
+    buffer_depth_tradeoff()
+    print()
+    platform_budget()
+    print()
+    synthesis_report()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Scaling memory bandwidth with multiple channels (library extension).
+
+One BlueScale tree guarantees at most one transaction per slot at its
+root.  This example adds memory channels — one quadtree of SEs per
+channel, traffic interleaved by address — and shows a workload that
+overloads one channel running cleanly on two, with per-channel
+compositional guarantees intact.
+
+Run:  python examples/multi_memory.py
+"""
+
+from repro.clients import TrafficGenerator
+from repro.core.multi_memory import MultiMemorySystem, run_multi_memory_trial
+from repro.tasks import PeriodicTask, TaskSet
+
+N_CLIENTS = 16
+HORIZON = 20_000
+
+
+def build_workload() -> dict[int, TaskSet]:
+    """An even ~1.3-utilization workload: too much for one channel."""
+    periods = (180, 205, 235, 250)
+    tasksets = {}
+    for client in range(N_CLIENTS):
+        tasks = []
+        for index in range(4):
+            period = periods[index % 4] + 3 * client
+            wcet = max(1, round(period * 1.3 / (N_CLIENTS * 4)))
+            tasks.append(
+                PeriodicTask(
+                    period=period, wcet=wcet, name=f"t{index}", client_id=client
+                )
+            )
+        tasksets[client] = TaskSet(tasks)
+    return tasksets
+
+
+def main() -> None:
+    tasksets = build_workload()
+    total = sum(ts.utilization_float for ts in tasksets.values())
+    print(f"workload: {N_CLIENTS} clients, aggregate utilization {total:.2f}")
+
+    print(f"\n{'channels':>8} {'schedulable':>12} {'miss ratio':>11} "
+          f"{'balance':>8} {'per-channel load':>18}")
+    for n_channels in (1, 2, 4):
+        system = MultiMemorySystem(N_CLIENTS, n_channels=n_channels)
+        system.configure(tasksets)
+        loads = [
+            sum(ts.utilization_float for ts in channel.values())
+            for channel in system.split_tasksets_by_channel(tasksets)
+        ]
+        clients = [
+            TrafficGenerator(c, ts) for c, ts in tasksets.items()
+        ]
+        result = run_multi_memory_trial(clients, system, HORIZON, drain=8_000)
+        print(
+            f"{n_channels:>8} {str(system.schedulable):>12} "
+            f"{result.deadline_miss_ratio:>11.4%} "
+            f"{result.channel_balance():>8.2f} "
+            f"{'/'.join(f'{load:.2f}' for load in loads):>18}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Walk through the paper's Sec. 5 analysis on a small example.
+
+Demonstrates, without any simulation:
+
+* supply bound function sbf(t) of a periodic resource (Pi, Theta);
+* demand bound function dbf(t) of an EDF task set;
+* the Theorem-1 test bound beta and the dbf<=sbf schedulability test;
+* the Theorem-2 period range and the minimum-bandwidth interface
+  search (binary search over Theta per candidate Pi);
+* the hierarchical composition over a 16-client quadtree, and the
+  path-local update when a task joins one client.
+
+Run:  python examples/schedulability_analysis.py
+"""
+
+from fractions import Fraction
+
+from repro.analysis import (
+    ResourceInterface,
+    compose,
+    dbf,
+    is_schedulable,
+    sbf,
+    select_interface,
+    theorem1_bound,
+    theorem2_period_bound,
+    update_client,
+)
+from repro.tasks import PeriodicTask, TaskSet
+from repro.topology import quadtree
+
+
+def main() -> None:
+    # A VE's task set: two transaction tasks on one client.
+    taskset = TaskSet(
+        [
+            PeriodicTask(period=40, wcet=4, name="sensor"),
+            PeriodicTask(period=100, wcet=10, name="control"),
+        ]
+    )
+    print(f"task set utilization U = {taskset.utilization} "
+          f"({taskset.utilization_float:.3f})")
+
+    # Supply vs demand for a candidate interface.
+    interface = ResourceInterface(period=10, budget=3)
+    print(f"\ncandidate interface (Pi={interface.period}, Theta={interface.budget}),"
+          f" bandwidth {interface.bandwidth_float:.2f}")
+    beta = theorem1_bound(interface, taskset.utilization)
+    print(f"Theorem 1 test bound beta = {beta}")
+    print(f"{'t':>5} {'dbf':>5} {'sbf':>5}")
+    for t in (20, 40, 80, 100, 120, 200):
+        print(f"{t:>5} {dbf(t, taskset):>5} {sbf(t, interface):>5}")
+    verdict = is_schedulable(taskset, interface)
+    print(f"schedulable on (10,3)? {verdict.schedulable}")
+
+    from repro.experiments.reporting import format_supply_demand
+
+    print()
+    print(format_supply_demand(taskset, interface, horizon=200))
+
+    # Theorem 2 period range, then the minimum-bandwidth search.
+    sibling_utilization = Fraction(1, 2)  # other VEs' load on this SE
+    bound = theorem2_period_bound(taskset, sibling_utilization)
+    print(f"\nTheorem 2: feasible periods Pi <= {bound}")
+    selection = select_interface(taskset, sibling_utilization)
+    chosen = selection.interface
+    print(
+        f"minimum-bandwidth interface: (Pi={chosen.period}, "
+        f"Theta={chosen.budget}), bandwidth {chosen.bandwidth_float:.3f} "
+        f"(examined {selection.periods_examined} periods)"
+    )
+
+    # Hierarchical composition over a 16-client quadtree.
+    topology = quadtree(16)
+    client_tasksets = {
+        client: TaskSet(
+            [PeriodicTask(period=200 + 40 * client, wcet=6, name=f"t{client}")]
+        )
+        for client in range(16)
+    }
+    composition = compose(topology, client_tasksets)
+    print(
+        f"\ncomposition over {topology.n_nodes()} SEs: "
+        f"schedulable={composition.schedulable}, "
+        f"root bandwidth {float(composition.root_bandwidth):.3f}"
+    )
+
+    # A task joins client 5: only the SEs on its path are re-resolved.
+    client_tasksets[5] = client_tasksets[5].merged_with(
+        TaskSet([PeriodicTask(period=150, wcet=5, name="joiner")])
+    )
+    updated = update_client(composition, client_tasksets, client_id=5)
+    path = topology.path_to_root(5)
+    changed = [
+        node
+        for node in composition.interfaces
+        if composition.interfaces[node] != updated.interfaces[node]
+    ]
+    print(f"task joined client 5: path to root = {path}")
+    print(f"SEs whose interfaces changed: {changed} (all on the path: "
+          f"{set(changed) <= set(path)})")
+    print(f"updated root bandwidth: {float(updated.root_bandwidth):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Schedulability analysis: periodic resource model, Theorems 1 & 2,
+interface selection and hierarchical composition (paper Sec. 5)."""
+
+from repro.analysis.prm import (
+    ResourceInterface,
+    dbf,
+    dbf_step_points,
+    dbf_task,
+    sbf,
+    sbf_linear_lower_bound,
+)
+from repro.analysis.schedulability import (
+    SchedulabilityResult,
+    is_schedulable,
+    is_schedulable_exhaustive,
+    theorem1_bound,
+)
+from repro.analysis.interface_selection import (
+    SelectionConfig,
+    SelectionResult,
+    brute_force_minimum_bandwidth,
+    minimal_budget_for_period,
+    select_interface,
+    theorem2_period_bound,
+)
+from repro.analysis.composition import (
+    CompositionResult,
+    compose,
+    default_deadline_margin,
+    tighten_deadlines,
+    update_client,
+)
+from repro.analysis.sensitivity import (
+    BreakdownResult,
+    breakdown_scale,
+    breakdown_utilization,
+    can_admit,
+    slack_per_client,
+)
+from repro.analysis.response_time import (
+    PathResponseBound,
+    busy_period_length,
+    end_to_end_bound,
+    holistic_response_bounds,
+    supply_inverse,
+    wcrt_on_interface,
+)
+
+__all__ = [
+    "ResourceInterface",
+    "dbf",
+    "dbf_step_points",
+    "dbf_task",
+    "sbf",
+    "sbf_linear_lower_bound",
+    "SchedulabilityResult",
+    "is_schedulable",
+    "is_schedulable_exhaustive",
+    "theorem1_bound",
+    "SelectionConfig",
+    "SelectionResult",
+    "brute_force_minimum_bandwidth",
+    "minimal_budget_for_period",
+    "select_interface",
+    "theorem2_period_bound",
+    "CompositionResult",
+    "compose",
+    "default_deadline_margin",
+    "tighten_deadlines",
+    "update_client",
+    "BreakdownResult",
+    "breakdown_scale",
+    "breakdown_utilization",
+    "can_admit",
+    "slack_per_client",
+    "PathResponseBound",
+    "busy_period_length",
+    "end_to_end_bound",
+    "holistic_response_bounds",
+    "supply_inverse",
+    "wcrt_on_interface",
+]

@@ -1,0 +1,290 @@
+"""Hierarchical (iterative) composition over the BlueScale quadtree.
+
+Sec. 5: interface selection problems are resolved level by level, from
+the leaf SEs (level L) up to the root (level 0).  At level ℓ, each SE
+selects one interface per local client:
+
+* for leaf SEs the local clients are system clients and the task sets
+  are the application task sets;
+* for internal SEs the local clients are child SEs, and each child
+  contributes its (up to four) server tasks as the VE's task set.
+
+After level 0 is resolved, the memory controller must not be
+over-utilized by the root's server tasks: ``Σ Θ_X/Π_X <= 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.analysis.interface_selection import (
+    DEFAULT_CONFIG,
+    SelectionConfig,
+    select_interface,
+)
+from repro.analysis.prm import ResourceInterface
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+from repro.topology import NodeId, TreeTopology
+
+
+@dataclass
+class CompositionResult:
+    """All interfaces selected across the tree, plus the root check.
+
+    ``interfaces[node][port]`` is the interface of the VE serving local
+    client ``port`` of SE ``node`` (idle ports get the zero interface).
+    """
+
+    topology: TreeTopology
+    interfaces: dict[NodeId, list[ResourceInterface]] = field(default_factory=dict)
+    schedulable: bool = True
+    #: total bandwidth the root's server tasks demand of the memory controller
+    root_bandwidth: Fraction = Fraction(0)
+    #: human-readable reason when not schedulable
+    failure: str = ""
+
+    def interface_for(self, node: NodeId, port: int) -> ResourceInterface:
+        return self.interfaces[node][port]
+
+    def node_bandwidth(self, node: NodeId) -> Fraction:
+        """Combined bandwidth of one SE's server tasks."""
+        return sum(
+            (iface.bandwidth for iface in self.interfaces[node]), Fraction(0)
+        )
+
+    def server_taskset(self, node: NodeId) -> TaskSet:
+        """The SE's non-idle server tasks, as periodic tasks (T=Π, C=Θ)."""
+        tasks = TaskSet()
+        for port, iface in enumerate(self.interfaces[node]):
+            if iface.budget > 0:
+                tasks.add(iface.as_server_task(name=f"srv{node}:{port}", client_id=port))
+        return tasks
+
+
+#: fraction of each deadline reserved for cross-level pipeline jitter
+RELATIVE_MARGIN = 0.10
+
+
+def tighten_deadlines(
+    taskset: TaskSet, margin: int, relative_margin: float = RELATIVE_MARGIN
+) -> TaskSet:
+    """Shrink task periods/deadlines for analysis purposes.
+
+    The compositional model guarantees that a job's transactions are
+    *forwarded through each SE* by its deadline; two effects sit outside
+    the per-SE model and are absorbed by margins here:
+
+    * the constant pipeline latency (one cycle per SE on the request
+      path, the controller, the response demux chain) — the absolute
+      ``margin``;
+    * supply blackouts of the *interior* levels' server tasks, which a
+      request crosses after leaving its leaf SE — the ``relative_margin``
+      fraction of each deadline.
+
+    Shrinking the period (the analysis uses it as both rate and
+    deadline) slightly over-states long-run demand, which is
+    conservative: compositions tighten, never loosen.
+    """
+    if margin <= 0 and relative_margin <= 0:
+        return taskset
+    return TaskSet(
+        [
+            PeriodicTask(
+                period=max(
+                    task.wcet,
+                    task.period - margin - round(relative_margin * task.period),
+                ),
+                wcet=task.wcet,
+                name=task.name,
+                client_id=task.client_id,
+            )
+            for task in taskset
+        ]
+    )
+
+
+def _port_tasksets(
+    topology: TreeTopology,
+    node: NodeId,
+    client_tasksets: dict[int, TaskSet],
+    result: CompositionResult,
+    deadline_margin: int = 0,
+) -> list[TaskSet]:
+    """The task set presented at each local-client port of ``node``."""
+    fanout = topology.fanout
+    level, order = node
+    port_sets: list[TaskSet] = []
+    if level == topology.depth:
+        first = order * fanout
+        for port in range(fanout):
+            client_id = first + port
+            if client_id < topology.n_clients:
+                port_sets.append(
+                    tighten_deadlines(
+                        client_tasksets.get(client_id, TaskSet()),
+                        deadline_margin,
+                    )
+                )
+            else:
+                port_sets.append(TaskSet())
+    else:
+        for child in topology.children(node):
+            if child in result.interfaces:
+                port_sets.append(result.server_taskset(child))
+            else:
+                port_sets.append(TaskSet())
+    return port_sets
+
+
+def default_deadline_margin(topology: TreeTopology) -> int:
+    """Constant end-to-end path latency of the deepest client.
+
+    One cycle per SE on the request path, one for the controller, and
+    one per demux level plus one on the response path.
+    """
+    request_hops = topology.depth + 1
+    response_hops = topology.depth + 2
+    return request_hops + 1 + response_hops
+
+
+def compose(
+    topology: TreeTopology,
+    client_tasksets: dict[int, TaskSet],
+    config: SelectionConfig = DEFAULT_CONFIG,
+    deadline_margin: int | None = None,
+) -> CompositionResult:
+    """Resolve all interface-selection problems from level L down to 0.
+
+    Never raises on infeasibility: the returned result carries
+    ``schedulable=False`` and a ``failure`` message, because experiments
+    (Fig. 7's utilization sweep) need to observe infeasible points, not
+    crash on them.
+    """
+    for client_id in client_tasksets:
+        if not 0 <= client_id < topology.n_clients:
+            raise ConfigurationError(
+                f"task set given for client {client_id}, but topology has "
+                f"{topology.n_clients} clients"
+            )
+    if deadline_margin is None:
+        deadline_margin = default_deadline_margin(topology)
+    result = CompositionResult(topology=topology)
+    for level in range(topology.depth, -1, -1):
+        for order in range(topology.nodes_at_level(level)):
+            node = (level, order)
+            if topology.subtree_client_range(level, order)[0] >= topology.n_clients:
+                continue  # pruned empty subtree
+            port_sets = _port_tasksets(
+                topology, node, client_tasksets, result, deadline_margin
+            )
+            total_util = sum(
+                (ts.utilization for ts in port_sets), Fraction(0)
+            )
+            if total_util > 1:
+                result.schedulable = False
+                result.failure = (
+                    f"SE{node} is over-utilized: local demand "
+                    f"{float(total_util):.3f} > 1"
+                )
+            interfaces: list[ResourceInterface] = []
+            for port, taskset in enumerate(port_sets):
+                if len(taskset) == 0:
+                    interfaces.append(ResourceInterface(1, 0))
+                    continue
+                sibling_util = total_util - taskset.utilization
+                try:
+                    selection = select_interface(taskset, sibling_util, config)
+                    interfaces.append(selection.interface)
+                except InfeasibleError as exc:
+                    result.schedulable = False
+                    if not result.failure:
+                        result.failure = f"SE{node} port {port}: {exc}"
+                    # Fall back to a full-bandwidth interface so the
+                    # composition can continue and report root pressure.
+                    fallback_period = max(taskset.min_period // 2, 1)
+                    interfaces.append(
+                        ResourceInterface(fallback_period, fallback_period)
+                    )
+            result.interfaces[node] = interfaces
+            selected_bw = result.node_bandwidth(node)
+            if selected_bw > 1 and result.schedulable:
+                # The SE forwards at most one transaction per slot; four
+                # servers jointly demanding more cannot all be honored.
+                result.schedulable = False
+                result.failure = (
+                    f"SE{node}: selected server bandwidths sum to "
+                    f"{float(selected_bw):.3f} > 1"
+                )
+    root = (0, 0)
+    result.root_bandwidth = result.node_bandwidth(root)
+    if result.root_bandwidth > 1:
+        result.schedulable = False
+        if not result.failure:
+            result.failure = (
+                f"memory controller over-utilized: root bandwidth "
+                f"{float(result.root_bandwidth):.3f} > 1"
+            )
+    return result
+
+
+def update_client(
+    result: CompositionResult,
+    client_tasksets: dict[int, TaskSet],
+    client_id: int,
+    config: SelectionConfig = DEFAULT_CONFIG,
+    deadline_margin: int | None = None,
+) -> CompositionResult:
+    """Re-resolve only the SEs on one client's memory-request path.
+
+    This mirrors the paper's scheduling-scalability property: when a
+    task joins or leaves a client, only the server tasks along that
+    client's path to the root are refreshed; all other interfaces are
+    reused verbatim.
+    """
+    topology = result.topology
+    if deadline_margin is None:
+        deadline_margin = default_deadline_margin(topology)
+    fresh = CompositionResult(topology=topology)
+    fresh.interfaces = dict(result.interfaces)
+    fresh.schedulable = True
+    path = topology.path_to_root(client_id)
+    for node in path:  # leaf first, root last — same order as compose()
+        port_sets = _port_tasksets(
+            topology, node, client_tasksets, fresh, deadline_margin
+        )
+        total_util = sum((ts.utilization for ts in port_sets), Fraction(0))
+        if total_util > 1:
+            fresh.schedulable = False
+            fresh.failure = (
+                f"SE{node} is over-utilized: local demand "
+                f"{float(total_util):.3f} > 1"
+            )
+        interfaces = []
+        for port, taskset in enumerate(port_sets):
+            if len(taskset) == 0:
+                interfaces.append(ResourceInterface(1, 0))
+                continue
+            sibling_util = total_util - taskset.utilization
+            try:
+                interfaces.append(
+                    select_interface(taskset, sibling_util, config).interface
+                )
+            except InfeasibleError as exc:
+                fresh.schedulable = False
+                if not fresh.failure:
+                    fresh.failure = f"SE{node} port {port}: {exc}"
+                fallback_period = max(taskset.min_period // 2, 1)
+                interfaces.append(ResourceInterface(fallback_period, fallback_period))
+        fresh.interfaces[node] = interfaces
+    fresh.root_bandwidth = fresh.node_bandwidth((0, 0))
+    if fresh.root_bandwidth > 1:
+        fresh.schedulable = False
+        if not fresh.failure:
+            fresh.failure = (
+                f"memory controller over-utilized: root bandwidth "
+                f"{float(fresh.root_bandwidth):.3f} > 1"
+            )
+    return fresh

@@ -1,0 +1,192 @@
+"""Interface selection: the minimum-bandwidth ``(Π, Θ)`` per VE (Sec. 5).
+
+The level-ℓ interface selection problem: given the tasks (or lower-level
+server tasks) belonging to each VE at level ℓ+1, choose each VE's
+interface ``(Π_X, Θ_X)`` minimizing the bandwidth ``Θ_X/Π_X`` subject to
+EDF schedulability of the VE's task set on the resulting periodic
+resource.
+
+The search follows the paper exactly:
+
+* Theorem 2 bounds the feasible periods:
+  ``Π_X <= min_{τi∈T_X} T_i / (2·(U_{ℓ+2} − U_X))``
+  where ``U_{ℓ+2}`` is the total utilization of all tasks competing at
+  this SE (the VE's own tasks plus its siblings').  When the VE has no
+  competing siblings the bound degenerates; we then cap enumeration at
+  ``min T_i`` (a longer period can never reduce the minimum bandwidth,
+  because sbf's blackout interval 2(Π−Θ) must stay under min T_i).
+* For each candidate ``Π``, schedulability is monotone in ``Θ``, so a
+  binary search finds the minimal schedulable budget.
+* Among all candidates the pair with minimum bandwidth wins; ties break
+  toward the larger period (fewer server replenishments per unit time,
+  i.e. less scheduling activity in the SE hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.analysis.prm import ResourceInterface
+from repro.analysis.schedulability import is_schedulable
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Tuning knobs for the interface-selection search.
+
+    ``max_period_candidates`` caps how many periods are examined: when
+    the Theorem-2 range is wider, candidates are sampled evenly across
+    it (the bandwidth landscape is smooth enough that this finds the
+    optimum or a near-optimum; set it to 0 for exhaustive enumeration).
+    """
+
+    max_period_candidates: int = 256
+    min_period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_period_candidates < 0:
+            raise ConfigurationError("max_period_candidates must be >= 0")
+        if self.min_period < 1:
+            raise ConfigurationError("min_period must be >= 1")
+
+
+DEFAULT_CONFIG = SelectionConfig()
+
+
+def theorem2_period_bound(
+    taskset: TaskSet, sibling_utilization: Fraction
+) -> int:
+    """Theorem 2's necessary upper bound on Π_X.
+
+    ``sibling_utilization`` is ``U_{ℓ+2} − U_X``: the combined
+    utilization of tasks belonging to the *other* VEs sharing this SE.
+    Returns ``min T_i`` when the bound degenerates (no siblings).
+    """
+    if len(taskset) == 0:
+        raise ConfigurationError("period bound of an empty task set is undefined")
+    min_period = taskset.min_period
+    if sibling_utilization <= 0:
+        return min_period
+    bound = Fraction(min_period) / (2 * sibling_utilization)
+    return int(min(bound, Fraction(min_period)))
+
+
+def minimal_budget_for_period(
+    taskset: TaskSet, period: int
+) -> int | None:
+    """Binary-search the minimal schedulable Θ for a fixed Π.
+
+    Returns ``None`` when even Θ=Π is unschedulable.
+    """
+    if period <= 0:
+        raise ConfigurationError(f"period must be positive, got {period}")
+    if len(taskset) == 0:
+        return 0
+    utilization = taskset.utilization
+    # Θ/Π must strictly exceed U, so start above the utilization floor.
+    low = int(utilization * period) + 1
+    high = period
+    if low > high:
+        return None
+    if not is_schedulable(taskset, ResourceInterface(period, high)).schedulable:
+        return None
+    while low < high:
+        mid = (low + high) // 2
+        if is_schedulable(taskset, ResourceInterface(period, mid)).schedulable:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def _candidate_periods(upper: int, config: SelectionConfig) -> list[int]:
+    """Periods to examine: exhaustive when small, evenly sampled otherwise."""
+    lower = config.min_period
+    if upper < lower:
+        return []
+    count = upper - lower + 1
+    if config.max_period_candidates == 0 or count <= config.max_period_candidates:
+        return list(range(lower, upper + 1))
+    # Evenly sample, always including both endpoints.
+    step = (upper - lower) / (config.max_period_candidates - 1)
+    sampled = {lower + round(i * step) for i in range(config.max_period_candidates)}
+    sampled.add(upper)
+    return sorted(sampled)
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """A chosen interface and the search telemetry that produced it."""
+
+    interface: ResourceInterface
+    periods_examined: int
+    period_bound: int
+
+    @property
+    def bandwidth(self) -> Fraction:
+        return self.interface.bandwidth
+
+
+def select_interface(
+    taskset: TaskSet,
+    sibling_utilization: Fraction = Fraction(0),
+    config: SelectionConfig = DEFAULT_CONFIG,
+) -> SelectionResult:
+    """Find the minimum-bandwidth schedulable interface for one VE.
+
+    Raises :class:`InfeasibleError` when no ``(Π, Θ)`` within the
+    Theorem-2 period range schedules the task set.
+    An empty task set yields the idle interface ``(1, 0)``.
+    """
+    if len(taskset) == 0:
+        return SelectionResult(
+            interface=ResourceInterface(1, 0), periods_examined=0, period_bound=0
+        )
+    period_bound = theorem2_period_bound(taskset, sibling_utilization)
+    candidates = _candidate_periods(period_bound, config)
+    best: ResourceInterface | None = None
+    best_bw: Fraction | None = None
+    examined = 0
+    for period in candidates:
+        examined += 1
+        budget = minimal_budget_for_period(taskset, period)
+        if budget is None:
+            continue
+        interface = ResourceInterface(period, budget)
+        bandwidth = interface.bandwidth
+        if (
+            best_bw is None
+            or bandwidth < best_bw
+            or (bandwidth == best_bw and period > best.period)  # type: ignore[union-attr]
+        ):
+            best, best_bw = interface, bandwidth
+    if best is None:
+        raise InfeasibleError(
+            f"no schedulable interface for task set with U="
+            f"{taskset.utilization_float:.3f} within period bound {period_bound}"
+        )
+    return SelectionResult(
+        interface=best, periods_examined=examined, period_bound=period_bound
+    )
+
+
+def brute_force_minimum_bandwidth(
+    taskset: TaskSet, max_period: int
+) -> ResourceInterface | None:
+    """Exhaustive (Π, Θ) scan for the minimum-bandwidth interface.
+
+    O(max_period²) schedulability tests — only for validating
+    :func:`select_interface` on tiny task sets in the test suite.
+    """
+    best: ResourceInterface | None = None
+    for period in range(1, max_period + 1):
+        for budget in range(1, period + 1):
+            interface = ResourceInterface(period, budget)
+            if is_schedulable(taskset, interface).schedulable:
+                if best is None or interface.bandwidth < best.bandwidth:
+                    best = interface
+                break  # larger budgets at this period only raise bandwidth
+    return best

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Runs any of the paper's experiments (or the extensions) from the shell,
+prints the same rows/series the paper reports, and optionally saves the
+structured result as JSON.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig5 --output results/fig5.json
+    python -m repro fig6 --clients 16 --trials 5
+    python -m repro fig7 --processors 16 --trials 4
+    python -m repro ablation
+    python -m repro dram
+    python -m repro update-latency
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BlueScale (DAC 2022) reproduction experiments",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also save the structured result as JSON",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    sub.add_parser(
+        "table1",
+        help="Table 1: hardware overhead (16 clients)",
+        parents=[common],
+    )
+
+    fig5 = sub.add_parser(
+        "fig5", help="Fig. 5: hardware scalability", parents=[common]
+    )
+    fig5.add_argument("--eta-max", type=int, default=7)
+
+    fig6 = sub.add_parser(
+        "fig6", help="Fig. 6: real-time performance", parents=[common]
+    )
+    fig6.add_argument("--clients", type=int, default=16, choices=(16, 64))
+    fig6.add_argument("--trials", type=int, default=5)
+    fig6.add_argument("--horizon", type=int, default=20_000)
+
+    fig7 = sub.add_parser(
+        "fig7", help="Fig. 7: automotive case study", parents=[common]
+    )
+    fig7.add_argument("--processors", type=int, default=16, choices=(16, 64))
+    fig7.add_argument("--trials", type=int, default=4)
+    fig7.add_argument("--horizon", type=int, default=15_000)
+
+    ablation = sub.add_parser(
+        "ablation",
+        help="BlueScale design-choice ablations",
+        parents=[common],
+    )
+    ablation.add_argument(
+        "--quick", action="store_true", help="single-seed short run"
+    )
+    dram = sub.add_parser(
+        "dram",
+        help="provider-model sensitivity extension",
+        parents=[common],
+    )
+    dram.add_argument(
+        "--quick", action="store_true", help="single-seed short run"
+    )
+    update = sub.add_parser(
+        "update-latency",
+        help="task-join update locality extension",
+        parents=[common],
+    )
+    update.add_argument(
+        "--quick", action="store_true", help="16/64 clients only"
+    )
+    sweep = sub.add_parser(
+        "scalability",
+        help="miss/response vs client count extension",
+        parents=[common],
+    )
+    sweep.add_argument(
+        "--max-clients", type=int, default=64, choices=(16, 64, 256)
+    )
+    fairness = sub.add_parser(
+        "fairness",
+        help="per-client fairness extension",
+        parents=[common],
+    )
+    fairness.add_argument(
+        "--quick", action="store_true", help="single-seed short run"
+    )
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the standard campaign and archive results",
+        parents=[common],
+    )
+    campaign.add_argument("--results-dir", default="results")
+    campaign.add_argument("--label", default=None)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imports are deferred so `--help` stays instant.
+    if args.experiment == "table1":
+        from repro.experiments.table1 import format_table1, run_table1
+
+        result = run_table1()
+        print(format_table1(result))
+    elif args.experiment == "fig5":
+        from repro.experiments.fig5 import format_fig5, run_fig5
+
+        result = run_fig5(1, args.eta_max)
+        print(format_fig5(result))
+    elif args.experiment == "fig6":
+        from repro.experiments.fig6 import Fig6Config, format_fig6, run_fig6
+
+        result = run_fig6(
+            Fig6Config(
+                n_clients=args.clients,
+                trials=args.trials,
+                horizon=args.horizon,
+            )
+        )
+        print(format_fig6(result))
+    elif args.experiment == "fig7":
+        from repro.experiments.fig7 import Fig7Config, format_fig7, run_fig7
+
+        result = run_fig7(
+            Fig7Config(
+                n_processors=args.processors,
+                trials=args.trials,
+                horizon=args.horizon,
+            )
+        )
+        print(format_fig7(result))
+    elif args.experiment == "ablation":
+        from repro.experiments.ablation import run_ablation
+        from repro.experiments.reporting import format_table
+
+        if args.quick:
+            result = run_ablation(seeds=(1,), horizon=5_000)
+        else:
+            result = run_ablation()
+        rows = [
+            [
+                p.variant,
+                f"{100 * p.mean_miss_ratio:.2f}",
+                f"{p.mean_blocking:.2f}",
+                f"{p.mean_response:.1f}",
+            ]
+            for p in result.values()
+        ]
+        print(
+            format_table(
+                ["variant", "miss (%)", "blocking", "response"],
+                rows,
+                title="BlueScale design-choice ablations",
+            )
+        )
+    elif args.experiment == "dram":
+        from repro.experiments.dram_sensitivity import (
+            format_dram_sensitivity,
+            run_dram_sensitivity,
+        )
+
+        if args.quick:
+            result = run_dram_sensitivity(seeds=(1,), horizon=5_000)
+        else:
+            result = run_dram_sensitivity()
+        print(format_dram_sensitivity(result))
+    elif args.experiment == "update-latency":
+        from repro.experiments.update_latency import (
+            format_update_latency,
+            run_update_latency,
+        )
+
+        if args.quick:
+            result = run_update_latency((16, 64))
+        else:
+            result = run_update_latency()
+        print(format_update_latency(result))
+    elif args.experiment == "scalability":
+        from repro.experiments.scalability_sweep import (
+            format_scalability,
+            run_scalability_sweep,
+        )
+
+        counts = tuple(c for c in (4, 16, 64, 256) if c <= args.max_clients)
+        result = run_scalability_sweep(counts, seeds=(1,))
+        print(format_scalability(result))
+    elif args.experiment == "fairness":
+        from repro.experiments.fairness import format_fairness, run_fairness
+
+        if args.quick:
+            result = run_fairness(seeds=(1,), horizon=8_000)
+        else:
+            result = run_fairness()
+        print(format_fairness(result))
+    elif args.experiment == "campaign":
+        from repro.experiments.campaign import default_specs, run_campaign
+
+        record = run_campaign(
+            default_specs(quick=True), args.results_dir, label=args.label
+        )
+        result = record.metrics
+        print(f"campaign '{record.label}' archived to {record.directory}")
+        for name, seconds in record.seconds.items():
+            print(f"  {name}: {seconds:.1f}s")
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.experiment)
+
+    if args.output:
+        from repro.experiments.persistence import save_json
+
+        path = save_json(result, args.output, label=args.experiment)
+        print(f"\nresult saved to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

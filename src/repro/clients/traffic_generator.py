@@ -1,0 +1,273 @@
+"""Traffic-generator clients (paper Sec. 6.3).
+
+A traffic generator replays a periodic task set as memory traffic
+without processing any data: each job of task ``(T, C)`` releases a
+burst of ``C`` transactions (the task's memory demand in transaction
+time units) with the job's absolute deadline.  Pending transactions are
+issued to the interconnect in EDF order, one per cycle — the per-client
+"fixed priority scheduler, with the request priority assigned using
+GEDF" of the paper's setup.
+
+Job bookkeeping supports the case study (Fig. 7): a *job* succeeds when
+every one of its transactions completes by its deadline, and a trial
+succeeds when no monitored task misses any job.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memory.request import MemoryRequest, RequestKind
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass
+class JobRecord:
+    """Completion tracking for one released job."""
+
+    task_name: str
+    release: int
+    deadline: int
+    outstanding: int
+    monitored: bool
+    last_completion: int = -1
+    dropped: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.outstanding == 0
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.finished and self.dropped == 0 and self.last_completion <= self.deadline
+
+
+#: client-side issue-order policies: how the pending queue is sorted
+QUEUE_POLICIES = ("edf", "fifo", "rm")
+
+
+class TrafficGenerator:
+    """A client that converts a periodic task set into memory requests.
+
+    ``queue_policy`` selects the *issue order* of the client's own
+    pending transactions: ``edf`` (the paper's GEDF assignment,
+    default), ``fifo`` (release order), or ``rm`` (rate-monotonic: the
+    shortest-period task's transactions first).  The deadline carried
+    by each transaction — what the interconnects arbitrate on — is
+    unaffected.
+    """
+
+    #: address stride between consecutive requests of one burst
+    BURST_STRIDE = 64
+
+    def __init__(
+        self,
+        client_id: int,
+        taskset: TaskSet,
+        pending_capacity: int = 256,
+        rng: random.Random | None = None,
+        random_phases: bool = False,
+        write_ratio: float = 0.0,
+        monitored_tasks: set[str] | None = None,
+        address_base: int | None = None,
+        queue_policy: str = "edf",
+        criticality: dict[str, int] | None = None,
+    ) -> None:
+        if client_id < 0:
+            raise ConfigurationError(f"client id must be >= 0, got {client_id}")
+        if pending_capacity <= 0:
+            raise ConfigurationError("pending capacity must be positive")
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ConfigurationError(f"write ratio {write_ratio} outside [0, 1]")
+        if queue_policy not in QUEUE_POLICIES:
+            raise ConfigurationError(
+                f"unknown queue policy {queue_policy!r}; "
+                f"expected one of {QUEUE_POLICIES}"
+            )
+        self.queue_policy = queue_policy
+        # Optional criticality-aware shedding (higher value = more
+        # critical): on queue overflow, a new transaction may evict the
+        # least critical pending one instead of being dropped itself.
+        self.criticality = criticality
+        self.client_id = client_id
+        self.taskset = taskset
+        self.pending_capacity = pending_capacity
+        self.rng = rng if rng is not None else random.Random(client_id)
+        self.write_ratio = write_ratio
+        self.monitored_tasks = monitored_tasks
+        # Give each client its own 16 MB window so DRAM banks/rows differ.
+        self.address_base = (
+            address_base if address_base is not None else client_id * (1 << 24)
+        )
+        # (next_release, task_index, job_index) min-heap
+        self._release_heap: list[tuple[int, int, int]] = []
+        for index, task in enumerate(taskset):
+            phase = self.rng.randrange(task.period) if random_phases else 0
+            heapq.heappush(self._release_heap, (phase, index, 0))
+        # pending transactions in EDF order
+        self._pending: list[tuple[tuple[int, int], MemoryRequest]] = []
+        self.jobs: list[JobRecord] = []
+        self._job_of_request: dict[int, JobRecord] = {}
+        self.released_jobs = 0
+        self.released_requests = 0
+        self.dropped_requests = 0
+
+    def _queue_key(self, request: MemoryRequest, task) -> tuple[int, int]:  # noqa: ANN001
+        """Pending-queue ordering key under the configured policy."""
+        if self.queue_policy == "edf":
+            return request.priority_key
+        if self.queue_policy == "fifo":
+            return (request.release_cycle, request.rid)
+        # rm: shortest period first, ties by id
+        return (task.period, request.rid)
+
+    # -- releases ------------------------------------------------------------
+    def _release_due_jobs(self, cycle: int) -> None:
+        heap = self._release_heap
+        while heap and heap[0][0] <= cycle:
+            release, task_index, job_index = heapq.heappop(heap)
+            task = self.taskset[task_index]
+            heapq.heappush(
+                heap, (release + task.period, task_index, job_index + 1)
+            )
+            deadline = release + task.deadline
+            monitored = (
+                self.monitored_tasks is None or task.name in self.monitored_tasks
+            )
+            job = JobRecord(
+                task_name=task.name,
+                release=release,
+                deadline=deadline,
+                outstanding=task.wcet,
+                monitored=monitored,
+            )
+            self.jobs.append(job)
+            self.released_jobs += 1
+            base = self.address_base + (task_index << 16)
+            for burst_index in range(task.wcet):
+                kind = (
+                    RequestKind.WRITE
+                    if self.rng.random() < self.write_ratio
+                    else RequestKind.READ
+                )
+                request = MemoryRequest(
+                    client_id=self.client_id,
+                    release_cycle=release,
+                    absolute_deadline=deadline,
+                    kind=kind,
+                    address=base + burst_index * self.BURST_STRIDE,
+                    task_name=task.name,
+                )
+                self.released_requests += 1
+                if len(self._pending) >= self.pending_capacity:
+                    if not self._try_evict_for(task.name):
+                        # Queue overflow: the transaction can never make
+                        # its deadline; count it against the job.
+                        self.dropped_requests += 1
+                        job.dropped += 1
+                        job.outstanding -= 1
+                        continue
+                heapq.heappush(
+                    self._pending, (self._queue_key(request, task), request)
+                )
+                self._job_of_request[request.rid] = job
+
+    def _try_evict_for(self, task_name: str) -> bool:
+        """Criticality-aware shedding: make room for a more critical
+        transaction by dropping the least critical pending one.
+
+        Returns True when a slot was freed.  Without a criticality map
+        (the default) no eviction happens — the newest transaction is
+        the one dropped, matching plain overflow semantics.
+        """
+        if self.criticality is None or not self._pending:
+            return False
+        new_level = self.criticality.get(task_name, 0)
+        victim_index = min(
+            range(len(self._pending)),
+            key=lambda i: (
+                self.criticality.get(self._pending[i][1].task_name, 0),
+                -self._pending[i][1].absolute_deadline,
+            ),
+        )
+        victim = self._pending[victim_index][1]
+        if self.criticality.get(victim.task_name, 0) >= new_level:
+            return False  # nothing less critical to shed
+        self._pending.pop(victim_index)
+        heapq.heapify(self._pending)
+        victim_job = self._job_of_request.pop(victim.rid, None)
+        if victim_job is not None:
+            victim_job.dropped += 1
+            victim_job.outstanding -= 1
+        self.dropped_requests += 1
+        return True
+
+    # -- issue ----------------------------------------------------------------
+    def tick(
+        self,
+        cycle: int,
+        inject,  # noqa: ANN001 - hook
+        max_injections: int = 1,
+        probe_limit: int | None = None,
+    ) -> None:
+        """Release due jobs, then offer transactions in EDF order.
+
+        ``inject`` is ``interconnect.try_inject``.  The default (one
+        injection, one probe) models a single memory port: the head
+        request is offered and retried next cycle if refused.  Clients
+        of multi-channel systems pass ``max_injections`` = number of
+        channels and a larger ``probe_limit`` so a blocked head does not
+        starve requests bound for other channels.
+        """
+        self._release_due_jobs(cycle)
+        if not self._pending:
+            return
+        probes = probe_limit if probe_limit is not None else max_injections
+        injected = 0
+        skipped: list[tuple[tuple[int, int], MemoryRequest]] = []
+        while self._pending and injected < max_injections and probes > 0:
+            entry = heapq.heappop(self._pending)
+            if inject(entry[1], cycle):
+                injected += 1
+            else:
+                skipped.append(entry)
+                probes -= 1
+        for entry in skipped:
+            heapq.heappush(self._pending, entry)
+
+    # -- completion ------------------------------------------------------------
+    def on_response(self, request: MemoryRequest) -> None:
+        """Account a completed transaction against its job."""
+        job = self._job_of_request.pop(request.rid, None)
+        if job is None:
+            return
+        job.outstanding -= 1
+        job.last_completion = max(job.last_completion, request.complete_cycle)
+
+    # -- outcome -------------------------------------------------------------
+    def monitored_job_misses(self, horizon: int) -> int:
+        """Monitored jobs that missed (or could not finish by) their deadline.
+
+        Only jobs whose deadline falls within the simulated horizon are
+        judged, so truncation at the end of a trial does not create
+        phantom misses.
+        """
+        misses = 0
+        for job in self.jobs:
+            if not job.monitored or job.deadline > horizon:
+                continue
+            if not job.met_deadline:
+                misses += 1
+        return misses
+
+    def monitored_jobs_judged(self, horizon: int) -> int:
+        return sum(
+            1 for job in self.jobs if job.monitored and job.deadline <= horizon
+        )
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

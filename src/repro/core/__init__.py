@@ -1,0 +1,42 @@
+"""BlueScale core: Scale Elements, nested priority queues, quadtree."""
+
+from repro.core.counters import CountdownCounter, ServerCounterPair
+from repro.core.random_access_buffer import RandomAccessBuffer
+from repro.core.local_scheduler import LocalScheduler, ServerTaskState
+from repro.core.interface_selector import (
+    InterfaceSelector,
+    SelectedServer,
+    TableEntry,
+    TaskParameterTable,
+)
+from repro.core.scale_element import ScaleElement
+from repro.core.interconnect import BlueScaleInterconnect
+from repro.core.algorithm1 import LocalTask, PendingJob, ServerTask, algorithm1
+from repro.core.multi_memory import (
+    AddressInterleaver,
+    MultiMemoryResult,
+    MultiMemorySystem,
+    run_multi_memory_trial,
+)
+
+__all__ = [
+    "LocalTask",
+    "PendingJob",
+    "ServerTask",
+    "algorithm1",
+    "AddressInterleaver",
+    "MultiMemoryResult",
+    "MultiMemorySystem",
+    "run_multi_memory_trial",
+    "CountdownCounter",
+    "ServerCounterPair",
+    "RandomAccessBuffer",
+    "LocalScheduler",
+    "ServerTaskState",
+    "InterfaceSelector",
+    "SelectedServer",
+    "TableEntry",
+    "TaskParameterTable",
+    "ScaleElement",
+    "BlueScaleInterconnect",
+]

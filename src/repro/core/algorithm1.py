@@ -1,0 +1,86 @@
+"""A literal transcription of the paper's Algorithm 1.
+
+The SE hardware (random-access buffers + local scheduler) *implements*
+Algorithm 1; this module *is* Algorithm 1, line by line, over abstract
+server tasks and jobs.  It exists so the hardware model can be checked
+against the published pseudocode (see
+``tests/core/test_algorithm1.py``), and as executable documentation.
+
+Algorithm 1 (BlueScale scheduling under GEDF)::
+
+    input : Ready(t), the ready server task set at time t
+    output: Sched(t), the scheduled job at time t
+
+    Sched(t) = ∅
+    while (Sched(t) = ∅ & Ready(t) ≠ ∅):
+        loop through Ready(t) to find the server task τ_X with the
+            earliest deadline
+        if τ_X has local tasks:
+            loop through all local tasks in τ_X to find the local
+                task τ_i with the earliest deadline
+            if τ_i has a pending job τ_{i,j}:
+                Sched(t) = τ_{i,j}
+            else:
+                remove τ_i from τ_X
+        else:
+            remove τ_X from Ready(t)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PendingJob:
+    """τ_{i,j}: one pending job of a local task."""
+
+    name: str
+    deadline: int
+
+
+@dataclass
+class LocalTask:
+    """τ_i: a local task holding (possibly empty) pending jobs."""
+
+    name: str
+    deadline: int
+    jobs: list[PendingJob] = field(default_factory=list)
+
+    def earliest_pending_job(self) -> PendingJob | None:
+        if not self.jobs:
+            return None
+        return min(self.jobs, key=lambda job: job.deadline)
+
+
+@dataclass
+class ServerTask:
+    """τ_X: a ready server task with its local tasks."""
+
+    name: str
+    deadline: int
+    local_tasks: list[LocalTask] = field(default_factory=list)
+
+
+def algorithm1(ready: list[ServerTask]) -> PendingJob | None:
+    """Run Algorithm 1 over ``Ready(t)``; returns ``Sched(t)``.
+
+    ``ready`` is mutated exactly as the pseudocode mutates its inputs:
+    exhausted local tasks are removed from their server, and empty
+    servers are removed from the ready set.
+    """
+    sched: PendingJob | None = None  # Sched(t) = ∅                 (line 1)
+    while sched is None and ready:  # while Sched=∅ & Ready≠∅       (line 2)
+        # server task with the earliest deadline                    (line 3)
+        server = min(ready, key=lambda s: s.deadline)
+        if server.local_tasks:  # if τ_X has local tasks            (line 4)
+            # local task with the earliest deadline                 (line 5)
+            local = min(server.local_tasks, key=lambda t: t.deadline)
+            job = local.earliest_pending_job()
+            if job is not None:  # if τ_i has a pending job         (line 6)
+                sched = job  # Sched(t) = τ_{i,j}                   (line 7)
+            else:
+                server.local_tasks.remove(local)  # remove τ_i      (line 10)
+        else:
+            ready.remove(server)  # remove τ_X from Ready(t)        (line 14)
+    return sched

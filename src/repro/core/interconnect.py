@@ -1,0 +1,218 @@
+"""The BlueScale interconnect: a quadtree of Scale Elements (Sec. 3).
+
+Clients sit at the leaves, the memory subsystem at the root.  Requests
+climb the tree one SE per cycle (staged pipeline); each SE arbitrates
+locally with its compositional scheduler.  Responses descend through
+demultiplexers, modelled as one cycle per level.
+
+Configuration: :meth:`BlueScaleInterconnect.configure` runs the
+interface-selection composition for the attached client task sets and
+programs every SE's server tasks through the parameter path.  The
+distributed variant :meth:`configure_distributed` instead lets each
+SE's own :class:`InterfaceSelector` resolve its local problem from its
+children's announcements — same results, computed with local
+information only, mirroring the hardware's parameter path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.composition import (
+    CompositionResult,
+    compose,
+    default_deadline_margin,
+    tighten_deadlines,
+    update_client,
+)
+from repro.analysis.interface_selection import DEFAULT_CONFIG, SelectionConfig
+from repro.analysis.prm import ResourceInterface
+from repro.core.scale_element import ScaleElement
+from repro.errors import ConfigurationError
+from repro.interconnects.base import Interconnect
+from repro.memory.request import MemoryRequest
+from repro.tasks.taskset import TaskSet
+from repro.topology import NodeId, TreeTopology
+
+
+class BlueScaleInterconnect(Interconnect):
+    """Hierarchically distributed interconnect built from identical SEs."""
+
+    name = "BlueScale"
+
+    def __init__(
+        self,
+        n_clients: int,
+        buffer_capacity: int = 8,
+        leaf_table_depth: int = 64,
+        fanout: int = 4,
+    ) -> None:
+        super().__init__(n_clients)
+        self.topology = TreeTopology(n_clients=n_clients, fanout=fanout)
+        self.elements: dict[NodeId, ScaleElement] = {}
+        for node in self.topology.all_nodes():
+            depth = (
+                leaf_table_depth if node[0] == self.topology.depth else 16
+            )
+            self.elements[node] = ScaleElement(
+                node,
+                buffer_capacity=buffer_capacity,
+                table_depth=depth,
+                fanout=fanout,
+            )
+        self._wire_tree()
+        # Root-first tick order gives one-cycle-per-hop pipelining.
+        self._tick_order = [self.elements[n] for n in self.topology.all_nodes()]
+        self.composition: CompositionResult | None = None
+
+    # -- wiring ----------------------------------------------------------------
+    def _wire_tree(self) -> None:
+        for node, element in self.elements.items():
+            parent = self.topology.parent(node)
+            if parent is None:
+                element.forward_to_provider = self._root_forward
+            else:
+                port = node[1] % self.topology.fanout
+                parent_element = self.elements[parent]
+                element.forward_to_provider = self._make_hop(parent_element, port)
+
+    @staticmethod
+    def _make_hop(parent: ScaleElement, port: int):
+        def hop(request: MemoryRequest, cycle: int) -> bool:
+            return parent.try_accept(port, request)
+
+        return hop
+
+    def _root_forward(self, request: MemoryRequest, cycle: int) -> bool:
+        if not self._provider_can_accept():
+            return False
+        self._forward_to_provider(request, cycle)
+        return True
+
+    # -- configuration -----------------------------------------------------------
+    def configure(
+        self,
+        client_tasksets: dict[int, TaskSet],
+        config: SelectionConfig = DEFAULT_CONFIG,
+    ) -> CompositionResult:
+        """Run the interface-selection composition and program all SEs."""
+        result = compose(self.topology, client_tasksets, config)
+        self.apply_composition(result)
+        return result
+
+    def apply_composition(self, result: CompositionResult) -> None:
+        """Program every SE's server tasks from a composition result."""
+        if result.topology.n_clients != self.n_clients:
+            raise ConfigurationError(
+                "composition was computed for a different client count"
+            )
+        for node, interfaces in result.interfaces.items():
+            element = self.elements[node]
+            for port, interface in enumerate(interfaces):
+                element.program_port(port, interface, now=0)
+        self.composition = result
+
+    def reprogram_client(
+        self,
+        client_tasksets: dict[int, TaskSet],
+        client_id: int,
+        cycle: int,
+        config: SelectionConfig = DEFAULT_CONFIG,
+    ) -> CompositionResult:
+        """Runtime parameter-path update after a task joins/leaves.
+
+        The paper's scheduling-scalability property in action: only the
+        SEs on ``client_id``'s memory-request path re-resolve their
+        interface-selection problems and are reprogrammed (at ``cycle``,
+        budgets restarting fresh); every other SE keeps running with
+        untouched parameters.  Traffic already in flight is unaffected.
+        """
+        if self.composition is None:
+            raise ConfigurationError(
+                "reprogram_client needs an initial configure() first"
+            )
+        updated = update_client(
+            self.composition, client_tasksets, client_id, config
+        )
+        for node in self.topology.path_to_root(client_id):
+            element = self.elements[node]
+            for port, interface in enumerate(updated.interfaces[node]):
+                if interface != self.composition.interfaces[node][port]:
+                    element.program_port(port, interface, now=cycle)
+        self.composition = updated
+        return updated
+
+    def configure_distributed(
+        self,
+        client_tasksets: dict[int, TaskSet],
+        config: SelectionConfig = DEFAULT_CONFIG,
+    ) -> dict[NodeId, list[ResourceInterface]]:
+        """Let each SE's interface selector resolve its own problem.
+
+        Proceeds level by level from the leaves: each SE loads its local
+        clients' task parameters into its parameter table, runs its
+        selection, programs its own scheduler, and announces the
+        resulting server tasks to its parent — exactly the paper's
+        distributed parameter path.  Returns the programmed interfaces
+        per SE (tests assert they match :func:`compose`).
+        """
+        topology = self.topology
+        announced: dict[NodeId, list[ResourceInterface]] = {}
+        for level in range(topology.depth, -1, -1):
+            for order in range(topology.nodes_at_level(level)):
+                node = (level, order)
+                if node not in self.elements:
+                    continue
+                element = self.elements[node]
+                element.selector.config = config
+                for port in range(topology.fanout):
+                    element.selector.clear_port(port)
+                if level == topology.depth:
+                    margin = default_deadline_margin(topology)
+                    for port, client_id in enumerate(
+                        range(order * topology.fanout, (order + 1) * topology.fanout)
+                    ):
+                        if client_id >= self.n_clients:
+                            continue
+                        taskset = tighten_deadlines(
+                            client_tasksets.get(client_id, TaskSet()), margin
+                        )
+                        element.selector.load_taskset(port, taskset)
+                else:
+                    for port, child in enumerate(topology.children(node)):
+                        for iface in announced.get(child, []):
+                            if iface.budget > 0:
+                                element.selector.load_task(
+                                    port, iface.period, iface.budget
+                                )
+                selections = element.selector.run_selection()
+                interfaces = [s.interface for s in selections]
+                for port, interface in enumerate(interfaces):
+                    element.program_port(port, interface, now=0)
+                announced[node] = interfaces
+        return announced
+
+    # -- Interconnect contract -----------------------------------------------
+    def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
+        leaf, port = self.topology.leaf_of_client(request.client_id)
+        accepted = self.elements[leaf].try_accept(port, request)
+        if accepted and request.inject_cycle < 0:
+            request.inject_cycle = cycle
+        return accepted
+
+    def tick_request_path(self, cycle: int) -> None:
+        for element in self._tick_order:
+            element.tick(cycle)
+
+    def response_latency(self, client_id: int) -> int:
+        # One demux stage per SE level, plus the controller-to-root hop.
+        return self.topology.hops_to_memory(client_id) + 1
+
+    def requests_in_flight(self) -> int:
+        return sum(element.occupancy() for element in self.elements.values())
+
+    # -- introspection -----------------------------------------------------------
+    def element(self, level: int, order: int) -> ScaleElement:
+        return self.elements[(level, order)]
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.elements)

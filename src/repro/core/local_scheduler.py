@@ -1,0 +1,140 @@
+"""The SE local scheduler: server tasks + scheduling circuits (Sec. 4.2).
+
+The local scheduler is the *upper* of the two nested priority queues.
+Each of the four local-client ports is represented by a server task
+``τ_X`` with interface ``(Π_X, Θ_X)`` realized by a P/B counter pair.
+Every cycle the scheduling circuits pick, among server tasks that (a)
+have remaining budget and (b) have a pending request in their port
+buffer, the one with the earliest server deadline — the GEDF loop of
+Algorithm 1.  The chosen server's port buffer then supplies its own
+earliest-deadline request (the lower priority queue).
+
+A port whose interface has zero budget (an idle VE) is treated as a
+background server: it may forward only when no budgeted server is
+ready, with the latest possible deadline.  This matches a conservative
+hardware fallback and only matters for traffic that the interface
+selection did not provision (tests exercise it; experiments never hit
+it when the composition is schedulable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.prm import ResourceInterface
+from repro.core.counters import ServerCounterPair
+from repro.core.random_access_buffer import RandomAccessBuffer
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ServerTaskState:
+    """One server task: its counters plus the absolute-deadline view."""
+
+    interface: ResourceInterface
+    counters: ServerCounterPair
+    #: absolute cycle at which the current period ends (= EDF deadline)
+    deadline: int
+
+    @classmethod
+    def create(cls, interface: ResourceInterface, now: int = 0) -> "ServerTaskState":
+        period = max(interface.period, 1)
+        counters = ServerCounterPair(period, interface.budget)
+        return cls(interface=interface, counters=counters, deadline=now + period)
+
+    @property
+    def has_budget(self) -> bool:
+        return self.counters.has_budget
+
+    @property
+    def is_idle_interface(self) -> bool:
+        return self.interface.budget == 0
+
+    def tick(self, now: int) -> None:
+        """Advance the period logic one cycle (after scheduling at ``now``)."""
+        replenished = self.counters.tick()
+        if replenished:
+            self.deadline = now + 1 + self.counters.period
+
+    def consume(self) -> None:
+        self.counters.consume()
+
+    def reprogram(self, interface: ResourceInterface, now: int) -> None:
+        """Parameter-path update: new (Π, Θ) takes effect immediately."""
+        self.interface = interface
+        period = max(interface.period, 1)
+        self.counters.reprogram(period, interface.budget)
+        self.deadline = now + period
+
+
+class LocalScheduler:
+    """Scheduling circuits over four server tasks (one per local port)."""
+
+    def __init__(
+        self, interfaces: list[ResourceInterface], now: int = 0
+    ) -> None:
+        if not interfaces:
+            raise ConfigurationError("local scheduler needs at least one server")
+        self.servers = [ServerTaskState.create(iface, now) for iface in interfaces]
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.servers)
+
+    def reprogram_port(
+        self, port: int, interface: ResourceInterface, now: int
+    ) -> None:
+        self.servers[port].reprogram(interface, now)
+
+    def select_port(self, buffers: list[RandomAccessBuffer]) -> int | None:
+        """Algorithm 1: pick the port whose request should be forwarded now.
+
+        Returns the port index, or None when no port is ready.  Budgeted
+        servers compete by earliest server deadline; zero-budget servers
+        only when no budgeted server is ready (background).
+        """
+        if len(buffers) != len(self.servers):
+            raise ConfigurationError(
+                f"{len(buffers)} buffers for {len(self.servers)} servers"
+            )
+        best_port: int | None = None
+        best_key: tuple[int, int] | None = None
+        for port, (server, buffer) in enumerate(zip(self.servers, buffers)):
+            if buffer.empty or server.is_idle_interface:
+                continue
+            if not server.has_budget:
+                continue
+            request_deadline = buffer.earliest_deadline()
+            assert request_deadline is not None
+            # Server deadlines first (Algorithm 1); equal server deadlines
+            # fall back to the pending requests' own EDF order.
+            key = (server.deadline, request_deadline)
+            if best_key is None or key < best_key:
+                best_port = port
+                best_key = key
+        if best_port is not None:
+            return best_port
+        # Background pass: un-provisioned traffic, earliest request deadline.
+        fallback: int | None = None
+        fallback_deadline = 0
+        for port, (server, buffer) in enumerate(zip(self.servers, buffers)):
+            if buffer.empty or not server.is_idle_interface:
+                continue
+            deadline = buffer.earliest_deadline()
+            assert deadline is not None
+            if fallback is None or deadline < fallback_deadline:
+                fallback = port
+                fallback_deadline = deadline
+        return fallback
+
+    def account_forward(self, port: int) -> None:
+        """Budget consumption for a forward from ``port``."""
+        server = self.servers[port]
+        if not server.is_idle_interface:
+            server.consume()
+
+    def tick(self, now: int) -> None:
+        """Advance all period counters by one cycle."""
+        for server in self.servers:
+            if not server.is_idle_interface:
+                server.tick(now)

@@ -1,0 +1,241 @@
+"""Multi-memory BlueScale: one Scale-Element tree per memory channel.
+
+The paper's related work (Meshed BlueTree, Wang et al. TCAD 2020)
+extends tree interconnects to multiple memories; this module provides
+the BlueScale equivalent: ``M`` memory channels, each behind its own
+quadtree of SEs, with client traffic routed to channels by address
+interleaving.  Aggregate memory bandwidth scales with ``M`` while each
+channel keeps BlueScale's per-channel compositional guarantees.
+
+Analysis model: a task's burst stays inside one interleave granule (the
+clients' burst addresses span well under the granule size), so each
+task has a *home channel* determined by its base address; each
+channel's composition sees exactly the tasks homed on it.
+
+Known analysis gap: the client's memory port is shared by all channels
+(one transaction per channel per cycle, but a common pending queue), a
+coupling the per-channel compositions do not model.  In measurements it
+contributes about a percent of residual deadline misses near capacity;
+see ``tests/core/test_multi_memory.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.composition import CompositionResult
+from repro.analysis.interface_selection import DEFAULT_CONFIG, SelectionConfig
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.core.interconnect import BlueScaleInterconnect
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.controller import MemoryController
+from repro.memory.dram import FixedLatencyDevice
+from repro.memory.request import MemoryRequest, reset_request_ids
+from repro.sim.stats import LatencyRecorder
+from repro.tasks.taskset import TaskSet
+
+
+class AddressInterleaver:
+    """Maps addresses to memory channels by power-of-two granules."""
+
+    def __init__(self, n_channels: int, granule_bytes: int = 1 << 16) -> None:
+        if n_channels < 1:
+            raise ConfigurationError(
+                f"need at least one channel, got {n_channels}"
+            )
+        if granule_bytes <= 0 or granule_bytes & (granule_bytes - 1):
+            raise ConfigurationError(
+                f"granule must be a positive power of two, got {granule_bytes}"
+            )
+        self.n_channels = n_channels
+        self.granule_bytes = granule_bytes
+
+    def channel_of(self, address: int) -> int:
+        return (address // self.granule_bytes) % self.n_channels
+
+
+@dataclass
+class MultiMemoryResult:
+    """Trial outcome of a multi-channel simulation."""
+
+    recorder: LatencyRecorder
+    per_channel_completed: list[int]
+    requests_released: int = 0
+    requests_dropped: int = 0
+    requests_in_flight: int = 0
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        return self.recorder.deadline_miss_ratio
+
+    @property
+    def requests_completed(self) -> int:
+        return self.recorder.completed
+
+    def channel_balance(self) -> float:
+        """min/max completed-per-channel ratio (1.0 = perfectly even)."""
+        busiest = max(self.per_channel_completed)
+        if busiest == 0:
+            return 1.0
+        return min(self.per_channel_completed) / busiest
+
+
+class MultiMemorySystem:
+    """``M`` BlueScale trees, one per memory channel, shared clients.
+
+    Each client owns one ingress per channel (hardware: a channel
+    demux at the client's memory port).  Clients still issue at most
+    one transaction per cycle; the interleaver picks the tree.
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        n_channels: int = 2,
+        buffer_capacity: int = 2,
+        granule_bytes: int = 1 << 16,
+        controller_factory=None,  # noqa: ANN001 - optional hook
+    ) -> None:
+        if n_channels < 1:
+            raise ConfigurationError("need at least one channel")
+        self.n_clients = n_clients
+        self.interleaver = AddressInterleaver(n_channels, granule_bytes)
+        self.trees = [
+            BlueScaleInterconnect(n_clients, buffer_capacity=buffer_capacity)
+            for _ in range(n_channels)
+        ]
+        make_controller = controller_factory or (
+            lambda: MemoryController(FixedLatencyDevice(1), queue_capacity=4)
+        )
+        self.controllers = [make_controller() for _ in range(n_channels)]
+        for tree, controller in zip(self.trees, self.controllers):
+            tree.attach_controller(controller)
+        self.compositions: list[CompositionResult] | None = None
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.trees)
+
+    # -- analysis ------------------------------------------------------------
+    def split_tasksets_by_channel(
+        self, client_tasksets: dict[int, TaskSet]
+    ) -> list[dict[int, TaskSet]]:
+        """Partition each client's tasks to their home channels.
+
+        A task's home channel follows its burst base address, which the
+        traffic generators derive from the client id and the task's
+        index within the client (see ``TrafficGenerator``).
+        """
+        per_channel: list[dict[int, TaskSet]] = [
+            {} for _ in range(self.n_channels)
+        ]
+        for client, taskset in client_tasksets.items():
+            base = client * (1 << 24)
+            for index, task in enumerate(taskset):
+                address = base + (index << 16)
+                channel = self.interleaver.channel_of(address)
+                per_channel[channel].setdefault(client, TaskSet()).add(task)
+        return per_channel
+
+    def configure(
+        self,
+        client_tasksets: dict[int, TaskSet],
+        config: SelectionConfig = DEFAULT_CONFIG,
+    ) -> list[CompositionResult]:
+        """Compose each channel's tree for the tasks homed on it."""
+        per_channel = self.split_tasksets_by_channel(client_tasksets)
+        self.compositions = [
+            tree.configure(tasksets, config)
+            for tree, tasksets in zip(self.trees, per_channel)
+        ]
+        return self.compositions
+
+    @property
+    def schedulable(self) -> bool:
+        if self.compositions is None:
+            raise ConfigurationError("configure() has not run")
+        return all(c.schedulable for c in self.compositions)
+
+    # -- datapath ------------------------------------------------------------
+    def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
+        channel = self.interleaver.channel_of(request.address)
+        return self.trees[channel].try_inject(request, cycle)
+
+    def tick(self, cycle: int) -> list[MemoryRequest]:
+        """Advance every channel one cycle; returns delivered responses."""
+        delivered: list[MemoryRequest] = []
+        for tree, controller in zip(self.trees, self.controllers):
+            tree.tick_request_path(cycle)
+            controller.tick(cycle)
+            delivered.extend(tree.tick_response_path(cycle))
+        return delivered
+
+    def requests_in_flight(self) -> int:
+        return sum(
+            tree.requests_in_flight()
+            + tree.responses_in_flight()
+            + controller.in_flight
+            for tree, controller in zip(self.trees, self.controllers)
+        )
+
+
+def run_multi_memory_trial(
+    clients: list[TrafficGenerator],
+    system: MultiMemorySystem,
+    horizon: int,
+    drain: int | None = None,
+) -> MultiMemoryResult:
+    """Simulate one trial on a multi-channel system."""
+    if not clients:
+        raise ConfigurationError("need at least one client")
+    if drain is None:
+        drain = min(4 * horizon, 20_000)
+    reset_request_ids()
+    by_id = {client.client_id: client for client in clients}
+    recorder = LatencyRecorder()
+    per_channel_completed = [0] * system.n_channels
+    for cycle in range(horizon + drain):
+        if cycle < horizon:
+            for client in clients:
+                # one injection opportunity per channel; skip blocked
+                # heads so one congested channel cannot starve the rest
+                client.tick(
+                    cycle,
+                    system.try_inject,
+                    max_injections=system.n_channels,
+                    probe_limit=2 * system.n_channels,
+                )
+        for request in system.tick(cycle):
+            recorder.record_completion(
+                request.response_time,
+                request.blocking_cycles,
+                request.met_deadline,
+            )
+            channel = system.interleaver.channel_of(request.address)
+            per_channel_completed[channel] += 1
+            owner = by_id.get(request.client_id)
+            if owner is None:
+                raise SimulationError(
+                    f"response for unknown client {request.client_id}"
+                )
+            owner.on_response(request)
+    released = sum(client.released_requests for client in clients)
+    dropped = sum(client.dropped_requests for client in clients)
+    for _ in range(dropped):
+        recorder.record_drop()
+    in_flight = system.requests_in_flight() + sum(
+        client.pending_count for client in clients
+    )
+    if recorder.completed + dropped + in_flight != released:
+        raise SimulationError(
+            f"conservation violated: released={released}, "
+            f"completed={recorder.completed}, dropped={dropped}, "
+            f"in_flight={in_flight}"
+        )
+    return MultiMemoryResult(
+        recorder=recorder,
+        per_channel_completed=per_channel_completed,
+        requests_released=released,
+        requests_dropped=dropped,
+        requests_in_flight=in_flight,
+    )

@@ -1,0 +1,84 @@
+"""Random access buffers (paper Sec. 4.1, Fig. 2(c)).
+
+The low-level priority queue of a Scale Element.  Unlike a FIFO, the
+buffer's arbiter (comparators over the stored parameters) can fetch the
+highest-priority entry regardless of arrival order — here, the request
+with the earliest absolute deadline (EDF, with the request id breaking
+ties deterministically, mirroring the fixed comparator chain).
+
+The hardware holds entries in a register chain of fixed depth; a full
+buffer refuses the loader, which is how backpressure propagates down
+the tree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory.request import MemoryRequest
+
+
+class RandomAccessBuffer:
+    """Fixed-capacity random-access priority buffer over memory requests."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: list[MemoryRequest] = []
+        self.peak_occupancy = 0
+        self.total_loaded = 0
+
+    # -- loader ----------------------------------------------------------------
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self, request: MemoryRequest) -> None:
+        """Store a request into a free register-bank slot."""
+        if self.full:
+            raise CapacityError(
+                f"random access buffer full (capacity {self.capacity})"
+            )
+        self._entries.append(request)
+        self.total_loaded += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+
+    def try_load(self, request: MemoryRequest) -> bool:
+        """Load unless full; returns whether the request was accepted."""
+        if self.full:
+            return False
+        self.load(request)
+        return True
+
+    # -- arbiter / fetcher -------------------------------------------------------
+    def peek_highest_priority(self) -> MemoryRequest | None:
+        """The comparator tree's current winner (None when empty)."""
+        if not self._entries:
+            return None
+        return min(self._entries, key=lambda r: r.priority_key)
+
+    def fetch_highest_priority(self) -> MemoryRequest:
+        """Remove and return the highest-priority request."""
+        if not self._entries:
+            raise CapacityError("fetch from an empty random access buffer")
+        winner = min(self._entries, key=lambda r: r.priority_key)
+        self._entries.remove(winner)
+        return winner
+
+    def earliest_deadline(self) -> int | None:
+        """Deadline of the current winner (None when empty)."""
+        winner = self.peek_highest_priority()
+        return None if winner is None else winner.absolute_deadline
+
+    # -- metric support ----------------------------------------------------------
+    def waiting_requests(self) -> list[MemoryRequest]:
+        """Snapshot of buffered requests (for blocking accounting)."""
+        return list(self._entries)

@@ -1,0 +1,137 @@
+"""The Scale Element (paper Sec. 3.1 and 4, Fig. 2(b)).
+
+An SE wires together the two nested priority queues:
+
+* **lower level** — one :class:`RandomAccessBuffer` per local client
+  port, each delivering its earliest-deadline request;
+* **upper level** — the :class:`LocalScheduler`'s server tasks, which
+  gate each port by its VE budget and compete under EDF (Algorithm 1).
+
+Each cycle an SE forwards at most one request toward its local
+provider (the parent SE's port buffer, or the memory controller at the
+root).  Forwarding respects provider backpressure: the winning request
+is only fetched when the provider can accept it, so nothing is dropped
+inside the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.prm import ResourceInterface
+from repro.core.interface_selector import InterfaceSelector
+from repro.core.local_scheduler import LocalScheduler
+from repro.core.random_access_buffer import RandomAccessBuffer
+from repro.errors import ConfigurationError
+from repro.memory.request import MemoryRequest
+from repro.topology import NodeId
+
+#: provider-side hook: returns True when it consumed the request
+ForwardHook = Callable[[MemoryRequest, int], bool]
+
+
+class ScaleElement:
+    """One Scale Element of the BlueScale tree.
+
+    The paper's SEs are 4-to-1 (quadtree); ``fanout`` generalizes the
+    element for design-space studies (e.g. the binary-fanout ablation).
+    """
+
+    FANOUT = 4
+
+    def __init__(
+        self,
+        node: NodeId,
+        buffer_capacity: int = 8,
+        table_depth: int = 16,
+        interfaces: list[ResourceInterface] | None = None,
+        fanout: int | None = None,
+    ) -> None:
+        self.fanout = fanout if fanout is not None else self.FANOUT
+        if self.fanout < 2:
+            raise ConfigurationError(f"SE fanout must be >= 2, got {self.fanout}")
+        if interfaces is None:
+            # Until configured, every port gets a background (idle)
+            # interface: traffic still flows, EDF order only.
+            interfaces = [ResourceInterface(1, 0)] * self.fanout
+        if len(interfaces) != self.fanout:
+            raise ConfigurationError(
+                f"SE needs {self.fanout} interfaces, got {len(interfaces)}"
+            )
+        self.node = node
+        self.buffers = [
+            RandomAccessBuffer(buffer_capacity) for _ in range(self.fanout)
+        ]
+        self.scheduler = LocalScheduler(interfaces)
+        self.selector = InterfaceSelector(
+            n_ports=self.fanout, table_depth=table_depth
+        )
+        self.forward_to_provider: ForwardHook | None = None
+        self.forwarded = 0
+        self.stalled_cycles = 0
+
+    # -- local client ports ----------------------------------------------------
+    def try_accept(self, port: int, request: MemoryRequest) -> bool:
+        """Local-client-port ingress (loader side of the port buffer)."""
+        if not 0 <= port < self.fanout:
+            raise ConfigurationError(f"port {port} out of range")
+        return self.buffers[port].try_load(request)
+
+    def port_free(self, port: int) -> bool:
+        return not self.buffers[port].full
+
+    # -- parameter path ----------------------------------------------------------
+    def program_port(
+        self, port: int, interface: ResourceInterface, now: int = 0
+    ) -> None:
+        """Program one server task's (Π, Θ) via the parameter path."""
+        self.scheduler.reprogram_port(port, interface, now)
+
+    def interfaces(self) -> list[ResourceInterface]:
+        return [server.interface for server in self.scheduler.servers]
+
+    # -- request path ------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """One cycle: scheduling decision, forward, counter update."""
+        port = self.scheduler.select_port(self.buffers)
+        if port is not None:
+            buffer = self.buffers[port]
+            winner = buffer.peek_highest_priority()
+            assert winner is not None
+            if self.forward_to_provider is not None and self.forward_to_provider(
+                winner, cycle
+            ):
+                buffer.fetch_highest_priority()
+                self.scheduler.account_forward(port)
+                self.forwarded += 1
+                self._charge_blocking(winner)
+            else:
+                self.stalled_cycles += 1
+        self.scheduler.tick(cycle)
+
+    def _charge_blocking(self, forwarded: MemoryRequest) -> None:
+        """Charge priority inversion to eligible waiting requests.
+
+        A waiting request is *blocked by a lower-priority request* when
+        a later-deadline request is forwarded while it (a) has an
+        earlier deadline and (b) was eligible — its server still had
+        budget (a port waiting only because its VE budget is exhausted
+        is being shaped by its reservation, not blocked by lower-
+        priority traffic).
+        """
+        key = forwarded.priority_key
+        for port, buffer in enumerate(self.buffers):
+            server = self.scheduler.servers[port]
+            if not (server.is_idle_interface or server.has_budget):
+                continue
+            for request in buffer.waiting_requests():
+                if request.priority_key < key:
+                    request.charge_blocking()
+
+    # -- introspection -----------------------------------------------------------
+    def occupancy(self) -> int:
+        return sum(len(buffer) for buffer in self.buffers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        level, order = self.node
+        return f"<SE({level},{order}) occ={self.occupancy()} fwd={self.forwarded}>"

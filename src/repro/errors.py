@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause while still being able to discriminate configuration
+problems from analysis infeasibility or simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A bounded hardware structure (buffer, table) was over-filled."""
+
+
+class InfeasibleError(ReproError):
+    """An analysis problem admits no solution (e.g. no schedulable interface)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (a bug or misuse)."""
+
+
+class ProtocolError(ReproError):
+    """A transaction violated the interconnect handshake protocol."""

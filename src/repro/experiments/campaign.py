@@ -1,0 +1,196 @@
+"""Experiment campaigns: batch runs, archives, regression comparison.
+
+A *campaign* is a named list of experiment specs executed in one go,
+with every result archived as JSON under a results directory plus a
+manifest.  ``compare_campaigns`` diffs two archives and reports metric
+regressions — the tooling that keeps a long-lived reproduction honest
+across refactors (the bench suite asserts shapes; campaigns track the
+actual numbers over time).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments.persistence import save_json
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment in a campaign."""
+
+    name: str
+    #: zero-argument callable returning the result object
+    runner: Callable[[], Any]
+    #: extracts {metric_name: float} from the result for comparisons
+    metrics: Callable[[Any], dict[str, float]]
+
+
+@dataclass
+class CampaignRecord:
+    """What one campaign run produced."""
+
+    label: str
+    directory: Path
+    results: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+    seconds: dict[str, float] = field(default_factory=dict)
+
+
+def default_specs(quick: bool = True) -> list[ExperimentSpec]:
+    """The standard campaign: every paper artefact at bench scale."""
+    from repro.experiments.fig5 import run_fig5
+    from repro.experiments.fig6 import Fig6Config, run_fig6
+    from repro.experiments.table1 import run_table1
+
+    trials = 3 if quick else 10
+    horizon = 8_000 if quick else 20_000
+
+    def table1_metrics(rows) -> dict[str, float]:  # noqa: ANN001
+        return {
+            f"{row.design}/luts": float(row.report.luts) for row in rows
+        }
+
+    def fig5_metrics(result) -> dict[str, float]:  # noqa: ANN001
+        return {
+            "bluescale/area@64": result.area["BlueScale"][5],
+            "axi/fmax@64": result.fmax_mhz["AXI-IC^RT"][5],
+            "crossover_eta": float(result.crossover_eta() or 0),
+        }
+
+    def fig6_metrics(result) -> dict[str, float]:  # noqa: ANN001
+        return {
+            f"{name}/miss": m.mean_miss_ratio
+            for name, m in result.metrics.items()
+        } | {
+            f"{name}/blocking": m.mean_blocking
+            for name, m in result.metrics.items()
+        }
+
+    return [
+        ExperimentSpec("table1", run_table1, table1_metrics),
+        ExperimentSpec("fig5", run_fig5, fig5_metrics),
+        ExperimentSpec(
+            "fig6-16",
+            lambda: run_fig6(
+                Fig6Config(n_clients=16, trials=trials, horizon=horizon)
+            ),
+            fig6_metrics,
+        ),
+    ]
+
+
+def run_campaign(
+    specs: list[ExperimentSpec],
+    results_dir: str | Path,
+    label: str | None = None,
+) -> CampaignRecord:
+    """Run every spec, archiving results and a manifest."""
+    if not specs:
+        raise ConfigurationError("campaign needs at least one experiment")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate experiment names: {names}")
+    label = label or time.strftime("%Y%m%d-%H%M%S")
+    directory = Path(results_dir) / label
+    directory.mkdir(parents=True, exist_ok=True)
+    record = CampaignRecord(label=label, directory=directory)
+    for spec in specs:
+        start = time.perf_counter()
+        result = spec.runner()
+        elapsed = time.perf_counter() - start
+        record.results[spec.name] = result
+        record.metrics[spec.name] = spec.metrics(result)
+        record.seconds[spec.name] = elapsed
+        save_json(result, directory / f"{spec.name}.json", label=spec.name)
+    manifest = {
+        "label": label,
+        "experiments": names,
+        "metrics": record.metrics,
+        "seconds": record.seconds,
+    }
+    with open(directory / "manifest.json", "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return record
+
+
+def load_manifest(directory: str | Path) -> dict[str, Any]:
+    """Read a campaign's manifest back."""
+    path = Path(directory) / "manifest.json"
+    if not path.exists():
+        raise ConfigurationError(f"{directory} has no campaign manifest")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between two campaigns."""
+
+    experiment: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return (self.after - self.before) / abs(self.before)
+
+
+def compare_campaigns(
+    before_dir: str | Path,
+    after_dir: str | Path,
+    threshold: float = 0.10,
+) -> list[MetricDelta]:
+    """Metrics whose relative change exceeds ``threshold``.
+
+    Only metrics present in both manifests are compared; additions and
+    removals are structural changes the caller sees in the manifests.
+    """
+    if threshold < 0:
+        raise ConfigurationError("threshold must be non-negative")
+    before = load_manifest(before_dir)["metrics"]
+    after = load_manifest(after_dir)["metrics"]
+    deltas: list[MetricDelta] = []
+    for experiment in sorted(set(before) & set(after)):
+        before_metrics = before[experiment]
+        after_metrics = after[experiment]
+        for metric in sorted(set(before_metrics) & set(after_metrics)):
+            delta = MetricDelta(
+                experiment=experiment,
+                metric=metric,
+                before=before_metrics[metric],
+                after=after_metrics[metric],
+            )
+            if abs(delta.relative_change) > threshold:
+                deltas.append(delta)
+    return deltas
+
+
+def format_deltas(deltas: list[MetricDelta]) -> str:
+    from repro.experiments.reporting import format_table
+
+    if not deltas:
+        return "no metric moved beyond the threshold"
+    rows = [
+        [
+            d.experiment,
+            d.metric,
+            f"{d.before:.4g}",
+            f"{d.after:.4g}",
+            f"{d.relative_change:+.1%}",
+        ]
+        for d in deltas
+    ]
+    return format_table(
+        ["experiment", "metric", "before", "after", "change"],
+        rows,
+        title="campaign regressions",
+    )

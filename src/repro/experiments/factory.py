@@ -1,0 +1,128 @@
+"""Interconnect factories shared by the Fig. 6 / Fig. 7 experiments.
+
+Each factory builds one of the paper's six evaluated interconnects and
+configures it for a given per-client workload, reproducing Sec. 6's
+setup: BlueTree family with blocking factor 2, GSMTree-TDM with equal
+reservations, GSMTree-FBSP with workload-proportional reservations,
+AXI-IC^RT with workload-based bandwidth regulation, and BlueScale with
+interfaces from the composition of Sec. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.interface_selection import SelectionConfig
+from repro.core.interconnect import BlueScaleInterconnect
+from repro.errors import ConfigurationError
+from repro.interconnects.axi_icrt import AxiIcRtInterconnect
+from repro.interconnects.base import Interconnect
+from repro.interconnects.bluetree import (
+    BlueTreeInterconnect,
+    BlueTreeSmoothInterconnect,
+)
+from repro.interconnects.gsmtree import gsmtree_fbsp, gsmtree_tdm
+from repro.tasks.taskset import TaskSet
+
+#: the evaluation order used in the paper's figures
+INTERCONNECT_NAMES = (
+    "AXI-IC^RT",
+    "BlueTree",
+    "BlueTree-Smooth",
+    "GSMTree-TDM",
+    "GSMTree-FBSP",
+    "BlueScale",
+)
+
+
+@dataclass(frozen=True)
+class FactoryConfig:
+    """Shared experiment-level configuration of the baselines."""
+
+    #: BlueTree/-Smooth blocking factor (paper: default settings, α = 2)
+    bluetree_alpha: int = 2
+    #: AXI-IC^RT bandwidth-regulation window and over-provisioning margin
+    axi_window: int = 200
+    axi_margin: float = 1.5
+    #: arbitration slow-down of the centralized arbiter (1 = full speed;
+    #: >1 couples in the Fig. 5(c) frequency wall, used by ablations)
+    axi_arbitration_interval: int = 1
+    #: BlueScale port-buffer depth and interface-selection search width
+    bluescale_buffer_capacity: int = 2
+    selection_candidates: int = 64
+
+
+DEFAULT_FACTORY_CONFIG = FactoryConfig()
+
+Factory = Callable[[int, dict[int, TaskSet]], Interconnect]
+
+
+def _client_utilizations(
+    n_clients: int, tasksets: dict[int, TaskSet]
+) -> list[float]:
+    return [
+        tasksets.get(c, TaskSet()).utilization_float for c in range(n_clients)
+    ]
+
+
+def axi_budgets(
+    n_clients: int,
+    tasksets: dict[int, TaskSet],
+    window: int,
+    margin: float,
+) -> list[int]:
+    """Workload-based per-client budgets for AXI-IC^RT's regulation.
+
+    Proportional-to-utilization with head-room, but never below twice
+    the client's largest job burst — a client must be able to absorb a
+    synchronous release of its tasks within one regulation window, or
+    regulation itself induces deadline misses at low load.
+    """
+    budgets = []
+    for client in range(n_clients):
+        taskset = tasksets.get(client, TaskSet())
+        proportional = round(taskset.utilization_float * window * margin)
+        burst_floor = 2 * max((t.wcet for t in taskset), default=0)
+        budgets.append(min(window, max(1, proportional, burst_floor)))
+    return budgets
+
+
+def build_interconnect(
+    name: str,
+    n_clients: int,
+    tasksets: dict[int, TaskSet],
+    config: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+) -> Interconnect:
+    """Build and configure one of the paper's six interconnects."""
+    if name == "AXI-IC^RT":
+        interconnect = AxiIcRtInterconnect(
+            n_clients, arbitration_interval=config.axi_arbitration_interval
+        )
+        budgets = axi_budgets(
+            n_clients, tasksets, config.axi_window, config.axi_margin
+        )
+        interconnect.configure_regulation(budgets, config.axi_window)
+        return interconnect
+    if name == "BlueTree":
+        return BlueTreeInterconnect(n_clients, alpha=config.bluetree_alpha)
+    if name == "BlueTree-Smooth":
+        return BlueTreeSmoothInterconnect(n_clients, alpha=config.bluetree_alpha)
+    if name == "GSMTree-TDM":
+        return gsmtree_tdm(n_clients)
+    if name == "GSMTree-FBSP":
+        return gsmtree_fbsp(
+            n_clients, _client_utilizations(n_clients, tasksets)
+        )
+    if name == "BlueScale":
+        interconnect = BlueScaleInterconnect(
+            n_clients, buffer_capacity=config.bluescale_buffer_capacity
+        )
+        interconnect.configure(
+            tasksets,
+            SelectionConfig(max_period_candidates=config.selection_candidates),
+        )
+        return interconnect
+    raise ConfigurationError(
+        f"unknown interconnect {name!r}; expected one of {INTERCONNECT_NAMES}"
+    )

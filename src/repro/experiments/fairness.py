@@ -1,0 +1,125 @@
+"""Extension experiment — per-client fairness of the interconnects.
+
+Averages hide victims: an interconnect can post a decent mean while
+starving one client (BlueTree's deepest-path clients are the classic
+case).  This experiment measures, per design:
+
+* **Jain's fairness index** over per-client mean response times
+  (1.0 = perfectly even; 1/n = one client hogs everything);
+* **worst/best client ratio** of mean response;
+* **miss concentration** — the share of all deadline misses carried by
+  the single worst client.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.errors import ConfigurationError
+from repro.experiments.factory import (
+    DEFAULT_FACTORY_CONFIG,
+    INTERCONNECT_NAMES,
+    FactoryConfig,
+    build_interconnect,
+)
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 is perfectly fair."""
+    if not values:
+        raise ConfigurationError("Jain's index of an empty sample")
+    if all(v == 0 for v in values):
+        return 1.0
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+@dataclass(frozen=True)
+class FairnessOutcome:
+    """Fairness metrics of one interconnect."""
+
+    interconnect: str
+    jain_response: float
+    worst_best_ratio: float
+    miss_concentration: float
+
+
+def run_fairness(
+    n_clients: int = 16,
+    utilization: float = 0.8,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    horizon: int = 15_000,
+    interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
+    factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+) -> list[FairnessOutcome]:
+    """Measure fairness metrics per design over a seed batch."""
+    outcomes = []
+    for name in interconnects:
+        jain_values, ratios, concentrations = [], [], []
+        for seed in seeds:
+            rng = random.Random(f"fairness/{seed}")
+            tasksets = generate_client_tasksets(rng, n_clients, 3, utilization)
+            interconnect = build_interconnect(name, n_clients, tasksets, factory)
+            clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
+            SoCSimulation(clients, interconnect).run(horizon, drain=6_000)
+            responses: dict[int, list[int]] = defaultdict(list)
+            misses: dict[int, int] = defaultdict(int)
+            total_misses = 0
+            for client in clients:
+                for job in client.jobs:
+                    if job.finished and job.dropped == 0:
+                        responses[client.client_id].append(
+                            job.last_completion - job.release
+                        )
+                    if job.deadline <= horizon and not job.met_deadline:
+                        misses[client.client_id] += 1
+                        total_misses += 1
+            means = [
+                statistics.fmean(values)
+                for values in responses.values()
+                if values
+            ]
+            if len(means) < 2:
+                continue
+            jain_values.append(jain_index(means))
+            ratios.append(max(means) / min(means))
+            concentrations.append(
+                max(misses.values()) / total_misses if total_misses else 0.0
+            )
+        outcomes.append(
+            FairnessOutcome(
+                interconnect=name,
+                jain_response=statistics.fmean(jain_values),
+                worst_best_ratio=statistics.fmean(ratios),
+                miss_concentration=statistics.fmean(concentrations),
+            )
+        )
+    return outcomes
+
+
+def format_fairness(outcomes: list[FairnessOutcome]) -> str:
+    """Render the fairness comparison table."""
+    from repro.experiments.reporting import format_table
+
+    rows = [
+        [
+            o.interconnect,
+            f"{o.jain_response:.3f}",
+            f"{o.worst_best_ratio:.1f}x",
+            f"{100 * o.miss_concentration:.0f}%",
+        ]
+        for o in outcomes
+    ]
+    return format_table(
+        ["interconnect", "Jain index (response)", "worst/best client",
+         "miss share of worst client"],
+        rows,
+        title="Per-client fairness (higher Jain = fairer)",
+    )

@@ -1,0 +1,181 @@
+"""Experiment F6 — Fig. 6: interconnect-level real-time performance.
+
+Reproduces Sec. 6.3: 16/64 traffic generators replay synthetic periodic
+workloads (interconnect utilization drawn from 70–90% per trial,
+request priorities assigned by GEDF), against all six interconnects.
+Two metrics per design, each with its cross-trial variance:
+
+* **blocking latency** — time a request spends blocked by
+  lower-priority requests (reported in time units = transaction slots);
+* **deadline miss ratio** — fraction of requests not completed by
+  their deadline.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.errors import ConfigurationError
+from repro.experiments.factory import (
+    DEFAULT_FACTORY_CONFIG,
+    INTERCONNECT_NAMES,
+    FactoryConfig,
+    build_interconnect,
+)
+from repro.experiments.reporting import format_table
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Scale of the Fig. 6 experiment.
+
+    The paper uses 200 trials of 300-second executions on hardware; the
+    default here is sized for a laptop-scale run — raise ``trials`` and
+    ``horizon`` toward the paper's scale when time permits (results are
+    stable well before that).
+    """
+
+    n_clients: int = 16
+    trials: int = 20
+    horizon: int = 20_000
+    drain: int = 5_000
+    utilization_low: float = 0.70
+    utilization_high: float = 0.90
+    tasks_per_client: int = 3
+    period_min: int = 100
+    period_max: int = 4_000
+    seed: int = 2022
+    factory: FactoryConfig = DEFAULT_FACTORY_CONFIG
+
+    @classmethod
+    def paper_scale(cls, n_clients: int = 16) -> "Fig6Config":
+        """The paper's scale: 200 trials of 300 s executions.
+
+        At 1 µs per transaction slot a 300 s execution is 3·10⁸ slots;
+        that is CI-hostile in pure Python, so this preset keeps the 200
+        trials and uses a 200k-slot horizon — two orders of magnitude
+        beyond the point where the reported means stabilize.  Expect
+        hours of runtime.
+        """
+        return cls(n_clients=n_clients, trials=200, horizon=200_000, drain=20_000)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization_low <= self.utilization_high:
+            raise ConfigurationError("invalid utilization range")
+        if self.trials < 1 or self.horizon < 1:
+            raise ConfigurationError("trials and horizon must be positive")
+
+
+@dataclass
+class InterconnectMetrics:
+    """Per-design Fig. 6 measurements across trials."""
+
+    name: str
+    blocking_means: list[float] = field(default_factory=list)
+    miss_ratios: list[float] = field(default_factory=list)
+
+    @property
+    def mean_blocking(self) -> float:
+        return statistics.fmean(self.blocking_means) if self.blocking_means else 0.0
+
+    @property
+    def blocking_std(self) -> float:
+        if len(self.blocking_means) < 2:
+            return 0.0
+        return statistics.pstdev(self.blocking_means)
+
+    @property
+    def mean_miss_ratio(self) -> float:
+        return statistics.fmean(self.miss_ratios) if self.miss_ratios else 0.0
+
+    @property
+    def miss_ratio_std(self) -> float:
+        if len(self.miss_ratios) < 2:
+            return 0.0
+        return statistics.pstdev(self.miss_ratios)
+
+
+@dataclass
+class Fig6Result:
+    config: Fig6Config
+    metrics: dict[str, InterconnectMetrics]
+
+    def best_blocking(self) -> str:
+        """Design with the shortest mean blocking latency."""
+        return min(self.metrics.values(), key=lambda m: m.mean_blocking).name
+
+    def best_miss_ratio(self) -> str:
+        return min(self.metrics.values(), key=lambda m: m.mean_miss_ratio).name
+
+
+def run_fig6(
+    config: Fig6Config = Fig6Config(),
+    interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
+) -> Fig6Result:
+    """Run the Fig. 6 experiment for one client count."""
+    metrics = {name: InterconnectMetrics(name) for name in interconnects}
+    for trial in range(config.trials):
+        trial_rng = random.Random(f"{config.seed}/{config.n_clients}/{trial}")
+        utilization = trial_rng.uniform(
+            config.utilization_low, config.utilization_high
+        )
+        tasksets = generate_client_tasksets(
+            trial_rng,
+            config.n_clients,
+            config.tasks_per_client,
+            utilization,
+            period_min=config.period_min,
+            period_max=config.period_max,
+        )
+        for name in interconnects:
+            interconnect = build_interconnect(
+                name, config.n_clients, tasksets, config.factory
+            )
+            clients = [
+                TrafficGenerator(client_id, taskset)
+                for client_id, taskset in tasksets.items()
+            ]
+            simulation = SoCSimulation(clients, interconnect)
+            result = simulation.run(config.horizon, drain=config.drain)
+            metrics[name].blocking_means.append(result.mean_blocking)
+            metrics[name].miss_ratios.append(result.deadline_miss_ratio)
+    return Fig6Result(config=config, metrics=metrics)
+
+
+def format_fig6(result: Fig6Result) -> str:
+    """Render the Fig. 6 bars: blocking latency and miss ratio ± std."""
+    rows = []
+    for name in result.metrics:
+        m = result.metrics[name]
+        rows.append(
+            [
+                name,
+                f"{m.mean_blocking:.2f} ± {m.blocking_std:.2f}",
+                f"{100 * m.mean_miss_ratio:.2f} ± {100 * m.miss_ratio_std:.2f}",
+            ]
+        )
+    return format_table(
+        ["Interconnect", "Blocking latency (slots)", "Deadline miss ratio (%)"],
+        rows,
+        title=(
+            f"Fig 6 — {result.config.n_clients} traffic generators, "
+            f"{result.config.trials} trials, utilization "
+            f"{result.config.utilization_low:.0%}-{result.config.utilization_high:.0%}"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for n_clients in (16, 64):
+        result = run_fig6(Fig6Config(n_clients=n_clients, trials=5))
+        print(format_fig6(result))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

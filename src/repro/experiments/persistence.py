@@ -1,0 +1,96 @@
+"""Result persistence: experiment outputs as JSON and CSV files.
+
+Every experiment result object in :mod:`repro.experiments` can be
+serialized for archival or plotting.  JSON preserves the full nested
+structure; CSV flattens to rows for spreadsheet/pandas use.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert experiment objects to JSON-safe values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Fraction):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # objects with a dict-like payload (e.g. result classes)
+    if hasattr(value, "__dict__"):
+        return {
+            key: _jsonable(item)
+            for key, item in vars(value).items()
+            if not key.startswith("_")
+        }
+    return str(value)
+
+
+def save_json(result: Any, path: str | Path, label: str = "") -> Path:
+    """Serialize any experiment result to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"label": label, "result": _jsonable(result)}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a result file back as plain dictionaries."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "result" not in payload:
+        raise ConfigurationError(f"{path} is not a repro result file")
+    return payload
+
+
+def save_csv(
+    rows: list[dict[str, Any]], path: str | Path
+) -> Path:
+    """Write homogeneous row dictionaries as CSV."""
+    if not rows:
+        raise ConfigurationError("no rows to write")
+    fieldnames = list(rows[0])
+    for row in rows:
+        if list(row) != fieldnames:
+            raise ConfigurationError(
+                "all CSV rows must share the same columns"
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def series_rows(
+    x_label: str, x_values: list, series: dict[str, list]
+) -> list[dict[str, Any]]:
+    """Flatten figure series into CSV rows (one row per x, one column
+    per curve)."""
+    rows = []
+    for index, x in enumerate(x_values):
+        row: dict[str, Any] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index]
+        rows.append(row)
+    return rows

@@ -1,0 +1,162 @@
+"""Plain-text rendering of experiment results (the "figures").
+
+Every experiment module returns structured result objects; this module
+turns them into the aligned text tables the harness prints — the same
+rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure series (one column per x, one row per curve)."""
+    headers = [x_label] + [_fmt(x) for x in x_values]
+    rows = [[name] + list(values) for name, values in series.items()]
+    return format_table(headers, rows, title=title)
+
+
+def format_bar_chart(
+    values: dict[str, float],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (terminal 'figure').
+
+    Bars are scaled to the largest value; zero/negative values render
+    as empty bars.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(label)) for label in values)
+    peak = max(max(values.values()), 0.0)
+    for label, value in values.items():
+        if peak > 0 and value > 0:
+            filled = max(1, round(width * value / peak))
+        else:
+            filled = 0
+        bar = "#" * filled
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar.ljust(width)}  "
+            f"{_fmt(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_supply_demand(
+    taskset,  # noqa: ANN001 - TaskSet (kept loose to avoid import cycle)
+    interface,  # noqa: ANN001 - ResourceInterface
+    horizon: int | None = None,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """ASCII plot of dbf(t) vs sbf(t) — the Sec. 5 schedulability
+    picture.  Demand must stay at or below supply everywhere."""
+    from repro.analysis.prm import dbf, sbf
+
+    if horizon is None:
+        horizon = 3 * max(task.period for task in taskset)
+    xs = list(range(0, horizon + 1, max(1, horizon // width)))
+    demand = [float(dbf(t, taskset)) for t in xs]
+    supply = [float(sbf(t, interface)) for t in xs]
+    chart = format_curves(
+        [float(x) for x in xs],
+        {"dbf (demand)": demand, "sbf (supply)": supply},
+        title=(
+            f"dbf vs sbf — interface (Π={interface.period}, "
+            f"Θ={interface.budget})"
+        ),
+        height=height,
+        width=width,
+    )
+    violation = next(
+        (t for t, d, s in zip(xs, demand, supply) if d > s), None
+    )
+    verdict = (
+        "demand ≤ supply at every sampled t"
+        if violation is None
+        else f"VIOLATION: dbf > sbf at t = {violation}"
+    )
+    return chart + "\n" + verdict
+
+
+def format_curves(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    height: int = 10,
+    width: int = 60,
+) -> str:
+    """Render line series as a coarse ASCII scatter plot.
+
+    Each curve gets a distinct marker; points are binned onto a
+    ``width x height`` character grid.  Useful for eyeballing the
+    Fig. 7 success-ratio curves in a terminal.
+    """
+    if height < 2 or width < 2:
+        raise ValueError("chart must be at least 2x2")
+    markers = "ox+*#@%&"
+    all_y = [y for values in series.values() for y in values]
+    if not all_y or not x_values:
+        return (title or "") + "\n(no data)"
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(x_values), max(x_values)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(x_values, values):
+            column = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{_fmt(y_min)}, {_fmt(y_max)}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{_fmt(x_min)}, {_fmt(x_max)}]   " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Extension experiment — interconnect-level scalability sweep.
+
+Fig. 6 compares designs at two sizes (16 and 64 clients).  This sweep
+fills in the curve: the same fixed per-system utilization simulated
+from 4 to 256 clients, reporting each design's deadline-miss ratio and
+mean response as the tree deepens.  It also records the analysis-side
+*admission ceiling* (breakdown utilization) per size, showing the
+composition-overhead trend the docs discuss.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from repro.analysis.sensitivity import breakdown_utilization
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.errors import ConfigurationError
+from repro.experiments.factory import (
+    DEFAULT_FACTORY_CONFIG,
+    FactoryConfig,
+    build_interconnect,
+)
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+from repro.topology import quadtree
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Measurements at one system size for one interconnect."""
+
+    n_clients: int
+    interconnect: str
+    miss_ratio: float
+    mean_response: float
+
+
+@dataclass
+class ScalabilityResult:
+    utilization: float
+    points: list[SweepPoint] = field(default_factory=list)
+    #: analysis admission ceiling per size (BlueScale composition)
+    admission_ceiling: dict[int, float] = field(default_factory=dict)
+
+    def series(self, metric: str) -> dict[str, list[float]]:
+        names = sorted({p.interconnect for p in self.points})
+        sizes = sorted({p.n_clients for p in self.points})
+        result: dict[str, list[float]] = {name: [] for name in names}
+        for name in names:
+            for size in sizes:
+                point = next(
+                    p
+                    for p in self.points
+                    if p.interconnect == name and p.n_clients == size
+                )
+                result[name].append(getattr(point, metric))
+        return result
+
+    def sizes(self) -> list[int]:
+        return sorted({p.n_clients for p in self.points})
+
+
+def run_scalability_sweep(
+    client_counts: tuple[int, ...] = (4, 16, 64, 256),
+    utilization: float = 0.45,
+    seeds: tuple[int, ...] = (1, 2),
+    interconnects: tuple[str, ...] = ("BlueScale", "BlueTree", "AXI-IC^RT"),
+    factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+    with_admission_ceiling: bool = True,
+) -> ScalabilityResult:
+    """Sweep the system size at a fixed utilization."""
+    if not client_counts:
+        raise ConfigurationError("need at least one system size")
+    result = ScalabilityResult(utilization=utilization)
+    for n_clients in client_counts:
+        # keep total simulated work comparable across sizes
+        horizon = max(4_000, 64_000 // n_clients)
+        for name in interconnects:
+            misses, responses = [], []
+            for seed in seeds:
+                rng = random.Random(f"sweep/{seed}/{n_clients}")
+                tasksets = generate_client_tasksets(
+                    rng, n_clients, 2, utilization
+                )
+                interconnect = build_interconnect(
+                    name, n_clients, tasksets, factory
+                )
+                clients = [
+                    TrafficGenerator(c, ts) for c, ts in tasksets.items()
+                ]
+                trial = SoCSimulation(clients, interconnect).run(
+                    horizon, drain=4_000
+                )
+                misses.append(trial.deadline_miss_ratio)
+                responses.append(trial.response_summary().mean)
+            result.points.append(
+                SweepPoint(
+                    n_clients=n_clients,
+                    interconnect=name,
+                    miss_ratio=statistics.fmean(misses),
+                    mean_response=statistics.fmean(responses),
+                )
+            )
+        if with_admission_ceiling:
+            rng = random.Random(f"sweep/ceiling/{n_clients}")
+            tasksets = generate_client_tasksets(rng, n_clients, 2, 0.2)
+            try:
+                result.admission_ceiling[n_clients] = breakdown_utilization(
+                    quadtree(n_clients), tasksets, precision=0.1
+                )
+            except ConfigurationError:
+                result.admission_ceiling[n_clients] = 0.0
+    return result
+
+
+def format_scalability(result: ScalabilityResult) -> str:
+    """Render the sweep's miss/response series and admission ceilings."""
+    from repro.experiments.reporting import format_series, format_table
+
+    sizes = result.sizes()
+    parts = [
+        format_series(
+            "clients",
+            sizes,
+            result.series("miss_ratio"),
+            title=(
+                f"Scalability sweep — miss ratio at utilization "
+                f"{result.utilization:.0%}"
+            ),
+        ),
+        format_series(
+            "clients",
+            sizes,
+            result.series("mean_response"),
+            title="Scalability sweep — mean response (slots)",
+        ),
+    ]
+    if result.admission_ceiling:
+        parts.append(
+            format_table(
+                ["clients", "admission ceiling (U)"],
+                [
+                    [n, f"{u:.2f}"]
+                    for n, u in sorted(result.admission_ceiling.items())
+                ],
+                title="BlueScale composition admission ceiling vs size",
+            )
+        )
+    return "\n\n".join(parts)

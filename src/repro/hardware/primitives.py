@@ -1,0 +1,81 @@
+"""FPGA primitive cost constants.
+
+The hardware overhead model (Table 1, Fig. 5) is *structural*: each
+interconnect is decomposed into the primitives its micro-architecture
+actually instantiates (FIFO entries, comparators, muxes, counters,
+ALUs, …) and their LUT/register costs are summed.  The per-primitive
+constants below are calibrated against the paper's Vivado 2021.1
+synthesis results on the VC707 (Table 1) so that the 16-client
+configurations land on the published numbers; the *scaling* behaviour
+(Fig. 5) then follows from the structure alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrimitiveCosts:
+    """LUT/register cost of the building blocks (6-input-LUT fabric)."""
+
+    #: request-path record width: address + deadline tag + routing meta
+    request_width_bits: int = 45
+    #: deadline-comparator operand width
+    deadline_bits: int = 24
+    #: LUTs per bit of a 2:1 mux
+    lut_per_mux2_bit: float = 0.5
+    #: LUTs per bit of a magnitude comparator
+    lut_per_cmp_bit: float = 0.5
+    #: 32-bit countdown counter (P-/B-counter): registers and LUTs
+    counter32_registers: int = 32
+    counter32_luts: int = 16
+    #: FIFO control (pointers, full/empty flags) per port
+    fifo_control_luts: int = 20
+    fifo_control_registers: int = 13
+    #: small FSM (interface-selector control path)
+    fsm_luts: int = 40
+    fsm_registers: int = 42
+    #: 32-bit ALU of the interface-selector data path
+    alu32_luts: int = 150
+
+    def mux2_luts(self, width_bits: int) -> float:
+        return self.lut_per_mux2_bit * width_bits
+
+    def comparator_luts(self, width_bits: int) -> float:
+        return self.lut_per_cmp_bit * width_bits
+
+    def request_register_bits(self, entries: int) -> int:
+        return entries * self.request_width_bits
+
+
+DEFAULT_PRIMITIVES = PrimitiveCosts()
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """One design's synthesis-style resource report (Table 1 row)."""
+
+    luts: int
+    registers: int
+    dsps: int
+    ram_kb: int
+    power_mw: float
+
+    def __add__(self, other: "HardwareReport") -> "HardwareReport":
+        return HardwareReport(
+            luts=self.luts + other.luts,
+            registers=self.registers + other.registers,
+            dsps=self.dsps + other.dsps,
+            ram_kb=self.ram_kb + other.ram_kb,
+            power_mw=self.power_mw + other.power_mw,
+        )
+
+    def scaled(self, factor: int) -> "HardwareReport":
+        return HardwareReport(
+            luts=self.luts * factor,
+            registers=self.registers * factor,
+            dsps=self.dsps * factor,
+            ram_kb=self.ram_kb * factor,
+            power_mw=self.power_mw * factor,
+        )

@@ -1,0 +1,156 @@
+"""Synthesis-style utilization reports for configured systems.
+
+Turns the hardware cost models into the kind of per-component
+utilization report an FPGA flow emits: component tree, resource
+columns, platform utilization percentages, timing summary.  Used by
+examples and the design-space tooling; everything derives from
+:mod:`repro.hardware.cost_model` and :mod:`repro.hardware.frequency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hardware.cost_model import (
+    PLATFORM_LUTS,
+    bluescale_cost,
+    legacy_system_cost,
+    scale_element_cost,
+)
+from repro.hardware.frequency import (
+    bluescale_fmax_mhz,
+    legacy_fmax_mhz,
+    system_fmax_mhz,
+)
+from repro.hardware.primitives import HardwareReport
+from repro.topology import TreeTopology
+
+
+@dataclass(frozen=True)
+class ComponentLine:
+    """One row of the utilization report."""
+
+    name: str
+    instances: int
+    report: HardwareReport
+
+
+@dataclass
+class SynthesisReport:
+    """A platform-level report for one BlueScale configuration."""
+
+    n_clients: int
+    fanout: int
+    components: list[ComponentLine] = field(default_factory=list)
+
+    @property
+    def totals(self) -> HardwareReport:
+        total = HardwareReport(0, 0, 0, 0, 0.0)
+        for line in self.components:
+            total = total + line.report.scaled(line.instances)
+        return total
+
+    @property
+    def lut_utilization(self) -> float:
+        return self.totals.luts / PLATFORM_LUTS
+
+    def fmax_mhz(self) -> float:
+        return system_fmax_mhz(
+            bluescale_fmax_mhz(self.n_clients), self.n_clients
+        )
+
+    def timing_limited_by(self) -> str:
+        if bluescale_fmax_mhz(self.n_clients) < legacy_fmax_mhz(self.n_clients):
+            return "interconnect"
+        return "cores"
+
+
+def synthesize_bluescale_system(
+    n_clients: int,
+    buffer_depth: int = 2,
+    fanout: int = 4,
+    include_legacy: bool = True,
+) -> SynthesisReport:
+    """Build the utilization report of a BlueScale-equipped platform."""
+    if n_clients < 2:
+        raise ConfigurationError(
+            f"a system needs at least 2 clients, got {n_clients}"
+        )
+    topology = TreeTopology(n_clients=n_clients, fanout=fanout)
+    report = SynthesisReport(n_clients=n_clients, fanout=fanout)
+    per_se = scale_element_cost(buffer_depth, fanout=fanout)
+    levels: dict[int, int] = {}
+    for level, order in topology.all_nodes():
+        levels[level] = levels.get(level, 0) + 1
+    for level in sorted(levels):
+        role = "root" if level == 0 else (
+            "leaf" if level == topology.depth else "interior"
+        )
+        report.components.append(
+            ComponentLine(
+                name=f"scale_element[level {level}, {role}]",
+                instances=levels[level],
+                report=per_se,
+            )
+        )
+    if include_legacy:
+        report.components.append(
+            ComponentLine(
+                name="legacy platform (cores + NoC share)",
+                instances=1,
+                report=legacy_system_cost(n_clients),
+            )
+        )
+    return report
+
+
+def format_synthesis_report(report: SynthesisReport) -> str:
+    """Render the report the way a synthesis log reads."""
+    from repro.experiments.reporting import format_table
+
+    rows = []
+    for line in report.components:
+        scaled = line.report.scaled(line.instances)
+        rows.append(
+            [
+                line.name,
+                line.instances,
+                scaled.luts,
+                scaled.registers,
+                scaled.ram_kb,
+                f"{scaled.power_mw:.0f}",
+            ]
+        )
+    totals = report.totals
+    rows.append(
+        [
+            "TOTAL",
+            "",
+            totals.luts,
+            totals.registers,
+            totals.ram_kb,
+            f"{totals.power_mw:.0f}",
+        ]
+    )
+    table = format_table(
+        ["component", "inst", "LUTs", "regs", "RAM(KB)", "power(mW)"],
+        rows,
+        title=(
+            f"Utilization report — BlueScale {report.n_clients} clients, "
+            f"{report.fanout}-to-1 SEs"
+        ),
+    )
+    footer = (
+        f"\nplatform LUT utilization: {report.lut_utilization:.1%}"
+        f"\nachievable system clock: {report.fmax_mhz():.0f} MHz "
+        f"(limited by {report.timing_limited_by()})"
+    )
+    cross_check = bluescale_cost(report.n_clients, fanout=report.fanout)
+    interconnect_total = sum(
+        line.report.scaled(line.instances).luts
+        for line in report.components
+        if line.name.startswith("scale_element")
+    )
+    assert interconnect_total == cross_check.luts
+    return table + footer

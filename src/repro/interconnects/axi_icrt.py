@@ -1,0 +1,168 @@
+"""AXI-Interconnect^RT — the centralized real-time baseline (Jiang et
+al., RTAS 2021; paper Sec. 1 and 6).
+
+A monolithic switch box buffers every client's requests in a per-client
+ingress FIFO; one central arbiter with a global view picks a winner
+each arbitration round and pushes it down a fixed-depth pipeline to the
+memory controller.  Two properties of the real design are modelled:
+
+* **Bandwidth regulation** — AXI-IC^RT allocates memory bandwidth to
+  each client based on its workload: a token-bucket regulator per
+  client (budget ``B_c`` per replenishment window ``W``) gates
+  eligibility, and the arbiter applies EDF among eligible clients.
+  Regulation is what bounds clients' interference — and what causes
+  the residual priority inversions Fig. 6 shows for this design.
+* **Frequency scaling** — the monolithic arbiter's critical path grows
+  with the client count, lowering the achievable clock (Fig. 5(c)).
+  ``arbitration_interval`` expresses the resulting slowdown in
+  transaction slots: the arbiter only picks a winner every that many
+  cycles (1 = full speed).  Experiments derive it from the hardware
+  frequency model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.interconnects.base import Interconnect
+from repro.memory.request import MemoryRequest
+
+
+class AxiIcRtInterconnect(Interconnect):
+    """Centralized interconnect: regulated clients + global-EDF arbiter."""
+
+    name = "AXI-IC^RT"
+
+    def __init__(
+        self,
+        n_clients: int,
+        fifo_capacity: int = 8,
+        pipeline_latency: int = 2,
+        arbitration_interval: int = 1,
+    ) -> None:
+        super().__init__(n_clients)
+        if fifo_capacity <= 0:
+            raise ConfigurationError("fifo capacity must be positive")
+        if pipeline_latency < 1:
+            raise ConfigurationError("pipeline latency must be >= 1")
+        if arbitration_interval < 1:
+            raise ConfigurationError("arbitration interval must be >= 1")
+        self.fifo_capacity = fifo_capacity
+        self.pipeline_latency = pipeline_latency
+        self.arbitration_interval = arbitration_interval
+        self._fifos: list[deque[MemoryRequest]] = [
+            deque() for _ in range(n_clients)
+        ]
+        # The switch-box pipeline: (exit_cycle, request), FIFO order.
+        self._pipeline: deque[tuple[int, MemoryRequest]] = deque()
+        # Bandwidth regulation state (None = unregulated, pure EDF).
+        self._window: int | None = None
+        self._budgets: list[int] = []
+        self._tokens: list[int] = []
+
+    # -- configuration -----------------------------------------------------------
+    def configure_regulation(
+        self, budgets: Sequence[int], window: int
+    ) -> None:
+        """Assign per-client bandwidth: ``budgets[c]`` slots per ``window``.
+
+        The centralized design's scheduling-scalability weakness shows
+        here: *all* budgets must be recomputed whenever any client's
+        workload changes (the paper contrasts this with BlueScale's
+        path-local updates).
+        """
+        if len(budgets) != self.n_clients:
+            raise ConfigurationError(
+                f"{len(budgets)} budgets for {self.n_clients} clients"
+            )
+        if window < 1:
+            raise ConfigurationError("regulation window must be >= 1")
+        if any(b < 0 for b in budgets):
+            raise ConfigurationError("budgets must be non-negative")
+        if any(b > window for b in budgets):
+            raise ConfigurationError("a budget cannot exceed the window")
+        self._window = window
+        self._budgets = list(budgets)
+        self._tokens = list(budgets)
+
+    @staticmethod
+    def budgets_from_utilizations(
+        utilizations: Sequence[float], window: int, margin: float = 1.2
+    ) -> list[int]:
+        """Workload-proportional budgets with head-room ``margin``."""
+        budgets = []
+        for u in utilizations:
+            if u < 0:
+                raise ConfigurationError(f"negative utilization {u}")
+            budgets.append(min(window, max(1, round(u * window * margin))))
+        return budgets
+
+    # -- ingress ------------------------------------------------------------
+    def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
+        fifo = self._fifos[request.client_id]
+        if len(fifo) >= self.fifo_capacity:
+            return False
+        if request.inject_cycle < 0:
+            request.inject_cycle = cycle
+        fifo.append(request)
+        return True
+
+    # -- request path ------------------------------------------------------------
+    def _eligible(self, client_id: int) -> bool:
+        if self._window is None:
+            return True
+        return self._tokens[client_id] > 0
+
+    def tick_request_path(self, cycle: int) -> None:
+        # Token replenishment at window boundaries.
+        if self._window is not None and cycle % self._window == 0:
+            self._tokens = list(self._budgets)
+        # Pipeline exit first: oldest entry reaches the controller.
+        if self._pipeline and self._pipeline[0][0] <= cycle:
+            if self._provider_can_accept():
+                _, request = self._pipeline.popleft()
+                self._forward_to_provider(request, cycle)
+        # The arbiter only decides on its own (slower) clock.
+        if cycle % self.arbitration_interval != 0:
+            return
+        best_client = -1
+        best_key: tuple[int, int] | None = None
+        for client_id, fifo in enumerate(self._fifos):
+            if not fifo or not self._eligible(client_id):
+                continue
+            key = fifo[0].priority_key
+            if best_key is None or key < best_key:
+                best_key = key
+                best_client = client_id
+        if best_client < 0:
+            return
+        winner = self._fifos[best_client].popleft()
+        if self._window is not None:
+            self._tokens[best_client] -= 1
+        self._pipeline.append((cycle + self.pipeline_latency, winner))
+        self._charge_blocking(winner)
+
+    def _charge_blocking(self, forwarded: MemoryRequest) -> None:
+        """Charge inversion to eligible (token-holding) waiting requests.
+
+        A client throttled by its own bandwidth regulation is being
+        shaped, not blocked by lower-priority traffic; only waiters the
+        arbiter *could* have picked are charged.
+        """
+        key = forwarded.priority_key
+        for client_id, fifo in enumerate(self._fifos):
+            if not self._eligible(client_id):
+                continue
+            for request in fifo:
+                if request.priority_key < key:
+                    request.charge_blocking()
+
+    # -- response path -----------------------------------------------------
+    def response_latency(self, client_id: int) -> int:
+        return self.pipeline_latency
+
+    # -- accounting --------------------------------------------------------
+    def requests_in_flight(self) -> int:
+        return sum(len(f) for f in self._fifos) + len(self._pipeline)

@@ -1,0 +1,122 @@
+"""Common machinery for all interconnect models.
+
+Every interconnect in the paper's evaluation (BlueScale, AXI-IC^RT,
+BlueTree, BlueTree-Smooth, GSMTree-TDM/-FBSP) implements the same
+contract so the SoC simulator and the experiment harness can swap them
+freely:
+
+* ``try_inject(request, cycle)`` — a client offers a request at its
+  ingress port; returns False when the port buffer is full (the client
+  retries next cycle).
+* ``tick_request_path(cycle)`` — advance the request pipeline one
+  cycle; requests reaching the provider are pushed into the attached
+  :class:`~repro.memory.controller.MemoryController` (respecting its
+  backpressure).
+* ``begin_response(request, cycle)`` — the controller finished a
+  request; the interconnect routes the response back to the client.
+* ``tick_response_path(cycle)`` — advance responses; returns requests
+  delivered to their clients this cycle.
+
+**Time base.** Simulations run in *transaction slots*: one cycle is the
+time the provider needs to service one transaction (the paper's
+"transaction time unit" from the compositional scheduling model).  All
+periods, budgets and deadlines share this unit, which keeps the
+schedulability analysis and the simulator commensurable.
+
+**Response routing.** Response paths in all six designs are demux
+chains without arbitration, so they are modelled as a fixed per-client
+hop latency (one cycle per tree level, or the pipeline depth for the
+centralized design).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.memory.controller import MemoryController
+from repro.memory.request import MemoryRequest
+
+
+class Interconnect(ABC):
+    """Abstract interconnect between ``n_clients`` and one provider."""
+
+    #: short identifier used in experiment reports (override per design)
+    name: str = "abstract"
+
+    def __init__(self, n_clients: int) -> None:
+        if n_clients < 1:
+            raise ConfigurationError(f"need at least one client, got {n_clients}")
+        self.n_clients = n_clients
+        self.controller: MemoryController | None = None
+        self._responses: list[tuple[int, int, MemoryRequest]] = []
+        self._response_seq = 0
+        self.forwarded_to_provider = 0
+
+    # -- wiring ----------------------------------------------------------------
+    def attach_controller(self, controller: MemoryController) -> None:
+        """Connect the provider and register for its responses."""
+        self.controller = controller
+        controller.on_response = self.begin_response
+
+    # -- client-side ingress -----------------------------------------------
+    @abstractmethod
+    def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
+        """Offer a request at the client's ingress; False if port full."""
+
+    # -- request path ----------------------------------------------------------
+    @abstractmethod
+    def tick_request_path(self, cycle: int) -> None:
+        """Advance the request pipeline by one cycle."""
+
+    # -- response path -----------------------------------------------------
+    @abstractmethod
+    def response_latency(self, client_id: int) -> int:
+        """Response-path latency (cycles) back to ``client_id``."""
+
+    def begin_response(self, request: MemoryRequest, cycle: int) -> None:
+        """Route a completed request back toward its client."""
+        deliver_at = cycle + self.response_latency(request.client_id)
+        heapq.heappush(
+            self._responses, (deliver_at, self._response_seq, request)
+        )
+        self._response_seq += 1
+
+    def tick_response_path(self, cycle: int) -> list[MemoryRequest]:
+        """Responses that reach their client this cycle."""
+        delivered: list[MemoryRequest] = []
+        responses = self._responses
+        while responses and responses[0][0] <= cycle:
+            _, _, request = heapq.heappop(responses)
+            request.mark_complete(cycle)
+            delivered.append(request)
+        return delivered
+
+    # -- provider-side helpers --------------------------------------------------
+    def _provider_can_accept(self) -> bool:
+        return self.controller is not None and self.controller.can_accept()
+
+    def _forward_to_provider(self, request: MemoryRequest, cycle: int) -> None:
+        assert self.controller is not None
+        self.controller.enqueue(request, cycle)
+        self.forwarded_to_provider += 1
+
+    # -- accounting --------------------------------------------------------
+    @abstractmethod
+    def requests_in_flight(self) -> int:
+        """Requests currently buffered inside the request path."""
+
+    def responses_in_flight(self) -> int:
+        return len(self._responses)
+
+
+def charge_blocking_against(
+    forwarded: MemoryRequest, waiting: list[MemoryRequest]
+) -> None:
+    """Charge one blocking cycle to every waiting request whose deadline
+    is earlier than the one being forwarded (priority inversion)."""
+    key = forwarded.priority_key
+    for request in waiting:
+        if request.priority_key < key:
+            request.charge_blocking()

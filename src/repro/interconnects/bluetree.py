@@ -1,0 +1,77 @@
+"""BlueTree and BlueTree-Smooth (paper Sec. 2; Audsley 2013, Wang 2020).
+
+Each 2-to-1 multiplexer carries a local arbiter with a *blocking
+factor* α: the left-hand input (port 0) is the local high-priority
+path, and every α requests forwarded from it allow at most one request
+from the right-hand input (port 1) to slip through.  With α = 1 the
+node degenerates to round-robin.  The arbitration is a pure hardware
+heuristic — it never looks at the software's deadlines, which is
+exactly the scheduling-scalability weakness the paper attacks.
+
+BlueTree-Smooth (Wang et al., RTAS 2020) adds deeper smoothing buffers
+on the access paths, absorbing bursts and reducing (but not
+eliminating) the timing variance.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.interconnects.mux_tree import MuxNode, MuxTreeInterconnect
+from repro.topology import NodeId
+
+
+class BlueTreeNode(MuxNode):
+    """2-to-1 mux with the blocking-factor-α local arbiter."""
+
+    def __init__(self, node: NodeId, fifo_capacity: int, alpha: int) -> None:
+        super().__init__(node, fifo_capacity)
+        if alpha < 1:
+            raise ConfigurationError(f"blocking factor must be >= 1, got {alpha}")
+        self.alpha = alpha
+        self._left_streak = 0
+
+    def choose_port(self, cycle: int) -> int | None:
+        left, right = self.fifos
+        if left and right:
+            # Right slips through once every α consecutive left forwards.
+            if self._left_streak >= self.alpha:
+                return 1
+            return 0
+        if left:
+            return 0
+        if right:
+            return 1
+        return None
+
+    def on_forwarded(self, port: int, request) -> None:  # noqa: ANN001
+        if port == 0:
+            self._left_streak += 1
+        else:
+            self._left_streak = 0
+        super().on_forwarded(port, request)
+
+
+class BlueTreeInterconnect(MuxTreeInterconnect):
+    """The original distributed BlueTree (shallow FIFOs, factor-α arbiters)."""
+
+    name = "BlueTree"
+
+    def __init__(
+        self, n_clients: int, fifo_capacity: int = 2, alpha: int = 2
+    ) -> None:
+        self.alpha = alpha
+        super().__init__(n_clients, fifo_capacity)
+
+    def make_node(self, node_id: NodeId) -> MuxNode:
+        return BlueTreeNode(node_id, self.fifo_capacity, self.alpha)
+
+
+class BlueTreeSmoothInterconnect(BlueTreeInterconnect):
+    """BlueTree with smoothing buffers (deeper FIFOs on the access paths)."""
+
+    name = "BlueTree-Smooth"
+
+    def __init__(
+        self, n_clients: int, fifo_capacity: int = 8, alpha: int = 2
+    ) -> None:
+        super().__init__(n_clients, fifo_capacity=fifo_capacity, alpha=alpha)

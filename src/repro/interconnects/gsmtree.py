@@ -1,0 +1,226 @@
+"""GSMTree — the globally arbitrated memory tree (Gomony et al., DATE
+2015 / IEEE TC 2016; paper Sec. 2 and 6).
+
+GSMTree keeps the distributed binary-tree datapath but arbitrates
+*globally* with Time Division Multiplexing: memory-service slots are
+assigned to clients by a fixed frame, and a request may only reach the
+memory when its owner's slot is current.  Tree nodes themselves
+forward first-come-first-served (work-conserving inside the tree); the
+TDM gate at the root enforces the reservation.
+
+Two reservation strategies from the paper's setup:
+
+* **GSMTree-TDM** — equal bandwidth for all clients (one slot each per
+  frame).
+* **GSMTree-FBSP** — frame-based static priority with slots
+  proportional to each client's maximum workload (utilization).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.interconnects.mux_tree import MuxNode, MuxTreeInterconnect
+from repro.memory.request import MemoryRequest
+from repro.topology import NodeId
+
+
+class FcfsNode(MuxNode):
+    """2-to-1 mux forwarding the oldest head (FCFS; ties favour port 0)."""
+
+    def choose_port(self, cycle: int) -> int | None:
+        left, right = self.fifos
+        if left and right:
+            return 0 if left[0].rid <= right[0].rid else 1
+        if left:
+            return 0
+        if right:
+            return 1
+        return None
+
+
+def build_tdm_frame(n_clients: int) -> list[int]:
+    """Equal-share frame: one slot per client, round-robin."""
+    if n_clients <= 0:
+        raise ConfigurationError("need at least one client")
+    return list(range(n_clients))
+
+
+def build_fbsp_frame(
+    weights: Sequence[float | Fraction], min_frame: int | None = None
+) -> list[int]:
+    """Workload-proportional frame via largest-remainder apportionment.
+
+    ``weights[c]`` is client ``c``'s workload (e.g. utilization).  Every
+    client receives at least one slot; the frame length defaults to
+    ``max(n_clients, min_frame)``.  Slots are spread round-robin-style
+    (clients with more slots appear multiple times, interleaved) to
+    avoid long droughts.
+    """
+    n = len(weights)
+    if n == 0:
+        raise ConfigurationError("need at least one weight")
+    if any(w < 0 for w in weights):
+        raise ConfigurationError("weights must be non-negative")
+    frame_len = max(n, min_frame or 0)
+    total = sum(weights)
+    if total == 0:
+        return build_tdm_frame(n)[:frame_len] or list(range(n))
+    # Largest remainder with a one-slot floor per client.
+    exact = [float(w) / float(total) * frame_len for w in weights]
+    counts = [max(1, int(e)) for e in exact]
+    while sum(counts) > frame_len:
+        # Shrink the most over-allocated client (but keep the floor).
+        candidates = [i for i in range(n) if counts[i] > 1]
+        if not candidates:
+            break
+        victim = max(candidates, key=lambda i: counts[i] - exact[i])
+        counts[victim] -= 1
+    remainders = sorted(
+        range(n), key=lambda i: exact[i] - int(exact[i]), reverse=True
+    )
+    index = 0
+    while sum(counts) < frame_len:
+        counts[remainders[index % n]] += 1
+        index += 1
+    # Interleave: repeatedly emit one slot per client that still owes slots.
+    frame: list[int] = []
+    pending = list(counts)
+    while len(frame) < sum(counts):
+        for client in range(n):
+            if pending[client] > 0:
+                frame.append(client)
+                pending[client] -= 1
+    return frame
+
+
+class TdmRootNode(FcfsNode):
+    """The root stage owning the global TDM schedule.
+
+    Each slot, the root's schedule buffer looks for a request of the
+    slot's owner anywhere in its input buffers and forwards it;
+    when the owner has nothing pending, the slot is reclaimed
+    work-conservingly for the oldest request (Gomony et al.'s slack
+    reclamation), so reserved-but-idle bandwidth is not wasted.
+    """
+
+    def __init__(self, node: NodeId, fifo_capacity: int, owner_of):  # noqa: ANN001
+        super().__init__(node, fifo_capacity)
+        self._owner_of = owner_of
+
+    def tick(self, cycle: int) -> None:
+        owner = self._owner_of(cycle)
+        # Prefer the slot owner's oldest request, wherever it is queued.
+        chosen_fifo = None
+        chosen = None
+        for fifo in self.fifos:
+            for request in fifo:
+                if request.client_id == owner and (
+                    chosen is None or request.rid < chosen.rid
+                ):
+                    chosen_fifo, chosen = fifo, request
+        if chosen is None:
+            # Slack reclamation: fall back to plain FCFS.
+            super().tick(cycle)
+            return
+        if self.forward is not None and self.forward(chosen, cycle):
+            chosen_fifo.remove(chosen)
+            self.forwarded += 1
+            self.on_forwarded(0, chosen)
+
+
+class GsmTreeInterconnect(MuxTreeInterconnect):
+    """Binary tree, globally arbitrated by a TDM frame at the root."""
+
+    name = "GSMTree-TDM"
+
+    #: max injection credits a client can bank (bounds burst admission)
+    CREDIT_CAP = 4
+
+    def __init__(
+        self,
+        n_clients: int,
+        fifo_capacity: int = 4,
+        frame: Sequence[int] | None = None,
+        slot_cycles: int = 1,
+    ) -> None:
+        super().__init__(n_clients, fifo_capacity)
+        if slot_cycles < 1:
+            raise ConfigurationError("slot length must be >= 1 cycle")
+        self.slot_cycles = slot_cycles
+        self.frame: list[int] = (
+            list(frame) if frame is not None else build_tdm_frame(n_clients)
+        )
+        if not self.frame:
+            raise ConfigurationError("TDM frame cannot be empty")
+        for owner in self.frame:
+            if not 0 <= owner < n_clients:
+                raise ConfigurationError(f"frame slot owner {owner} out of range")
+        # The global schedule admits traffic at the leaves: a client may
+        # inject one request per owned slot (banked up to CREDIT_CAP).
+        # This is the bandwidth reservation that decouples clients —
+        # and that wastes capacity when reservations mismatch demand.
+        self._credits = [float(self.CREDIT_CAP)] * n_clients
+        self._last_credit_cycle = -1
+
+    def make_node(self, node_id: NodeId) -> MuxNode:
+        if node_id == (0, 0):
+            return TdmRootNode(node_id, self.fifo_capacity, self.slot_owner)
+        return FcfsNode(node_id, self.fifo_capacity)
+
+    def slot_owner(self, cycle: int) -> int:
+        return self.frame[(cycle // self.slot_cycles) % len(self.frame)]
+
+    def _refresh_credits(self, cycle: int) -> None:
+        """Grant each slot owner one injection credit (idempotent per cycle)."""
+        if cycle == self._last_credit_cycle:
+            return
+        start = self._last_credit_cycle + 1
+        for c in range(start, cycle + 1):
+            if c % self.slot_cycles == 0:
+                owner = self.slot_owner(c)
+                if self._credits[owner] < self.CREDIT_CAP:
+                    self._credits[owner] += 1
+        self._last_credit_cycle = cycle
+
+    def try_inject(self, request, cycle: int) -> bool:  # noqa: ANN001
+        self._refresh_credits(cycle)
+        client = request.client_id
+        if self._credits[client] < 1:
+            return False
+        if super().try_inject(request, cycle):
+            self._credits[client] -= 1
+            return True
+        return False
+
+
+def gsmtree_tdm(n_clients: int, fifo_capacity: int = 4) -> GsmTreeInterconnect:
+    """GSMTree with equal bandwidth reservation (paper's GSMTree-TDM)."""
+    interconnect = GsmTreeInterconnect(n_clients, fifo_capacity)
+    interconnect.name = "GSMTree-TDM"
+    return interconnect
+
+
+def gsmtree_fbsp(
+    n_clients: int,
+    workloads: Sequence[float | Fraction],
+    fifo_capacity: int = 4,
+    min_frame: int | None = None,
+) -> GsmTreeInterconnect:
+    """GSMTree with workload-proportional reservation (GSMTree-FBSP).
+
+    The frame must be longer than one slot per client or proportional
+    apportionment degenerates to equal shares; default is 4 slots per
+    client."""
+    if len(workloads) != n_clients:
+        raise ConfigurationError(
+            f"{len(workloads)} workloads for {n_clients} clients"
+        )
+    if min_frame is None:
+        min_frame = 4 * n_clients
+    frame = build_fbsp_frame(workloads, min_frame=min_frame)
+    interconnect = GsmTreeInterconnect(n_clients, fifo_capacity, frame=frame)
+    interconnect.name = "GSMTree-FBSP"
+    return interconnect

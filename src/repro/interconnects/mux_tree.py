@@ -1,0 +1,137 @@
+"""Shared binary-multiplexer-tree substrate for BlueTree and GSMTree.
+
+Both baselines restructure the request path as a staged pipeline of
+2-to-1 multiplexers (paper Sec. 2, Fig. 1(b)).  This module provides
+the tree plumbing — FIFO port buffers, one-forward-per-cycle nodes,
+backpressure, response routing — parameterized by the per-node
+arbitration policy and an optional root admission gate (used by
+GSMTree's global TDM arbitration).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.interconnects.base import Interconnect
+from repro.memory.request import MemoryRequest
+from repro.topology import NodeId, TreeTopology, binary_tree
+
+#: hook consuming a request at a node's provider side; True = consumed
+_ForwardHook = Callable[[MemoryRequest, int], bool]
+
+
+class MuxNode:
+    """One 2-to-1 multiplexer stage with FIFO input buffers."""
+
+    FANOUT = 2
+
+    def __init__(self, node: NodeId, fifo_capacity: int) -> None:
+        if fifo_capacity <= 0:
+            raise ConfigurationError("fifo capacity must be positive")
+        self.node = node
+        self.fifo_capacity = fifo_capacity
+        self.fifos: list[deque[MemoryRequest]] = [deque(), deque()]
+        self.forward: _ForwardHook | None = None
+        self.forwarded = 0
+
+    def try_accept(self, port: int, request: MemoryRequest) -> bool:
+        fifo = self.fifos[port]
+        if len(fifo) >= self.fifo_capacity:
+            return False
+        fifo.append(request)
+        return True
+
+    def occupancy(self) -> int:
+        return len(self.fifos[0]) + len(self.fifos[1])
+
+    # -- arbitration (overridden by concrete trees) ---------------------------
+    def choose_port(self, cycle: int) -> int | None:
+        """Pick the input port to forward from (None = nothing ready)."""
+        raise NotImplementedError
+
+    def tick(self, cycle: int) -> None:
+        port = self.choose_port(cycle)
+        if port is None:
+            return
+        fifo = self.fifos[port]
+        head = fifo[0]
+        if self.forward is not None and self.forward(head, cycle):
+            fifo.popleft()
+            self.forwarded += 1
+            self.on_forwarded(port, head)
+
+    def on_forwarded(self, port: int, request: MemoryRequest) -> None:
+        """Post-forward bookkeeping; default charges priority inversion."""
+        key = request.priority_key
+        for fifo in self.fifos:
+            for waiting in fifo:
+                if waiting.priority_key < key:
+                    waiting.charge_blocking()
+
+
+class MuxTreeInterconnect(Interconnect):
+    """A binary tree of :class:`MuxNode` stages (abstract: node factory)."""
+
+    name = "mux-tree"
+
+    def __init__(self, n_clients: int, fifo_capacity: int = 2) -> None:
+        super().__init__(n_clients)
+        self.topology: TreeTopology = binary_tree(n_clients)
+        self.fifo_capacity = fifo_capacity
+        self.nodes: dict[NodeId, MuxNode] = {}
+        for node_id in self.topology.all_nodes():
+            self.nodes[node_id] = self.make_node(node_id)
+        self._wire()
+        self._tick_order = [self.nodes[n] for n in self.topology.all_nodes()]
+
+    def make_node(self, node_id: NodeId) -> MuxNode:
+        raise NotImplementedError
+
+    def _wire(self) -> None:
+        for node_id, node in self.nodes.items():
+            parent_id = self.topology.parent(node_id)
+            if parent_id is None:
+                node.forward = self._root_forward
+            else:
+                port = node_id[1] % 2
+                parent = self.nodes[parent_id]
+                node.forward = self._make_hop(parent, port)
+
+    @staticmethod
+    def _make_hop(parent: MuxNode, port: int) -> _ForwardHook:
+        def hop(request: MemoryRequest, cycle: int) -> bool:
+            return parent.try_accept(port, request)
+
+        return hop
+
+    def _root_forward(self, request: MemoryRequest, cycle: int) -> bool:
+        if not self.admit_at_root(request, cycle):
+            return False
+        if not self._provider_can_accept():
+            return False
+        self._forward_to_provider(request, cycle)
+        return True
+
+    def admit_at_root(self, request: MemoryRequest, cycle: int) -> bool:
+        """Root admission gate; default admits everything."""
+        return True
+
+    # -- Interconnect contract -----------------------------------------------
+    def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
+        leaf, port = self.topology.leaf_of_client(request.client_id)
+        accepted = self.nodes[leaf].try_accept(port, request)
+        if accepted and request.inject_cycle < 0:
+            request.inject_cycle = cycle
+        return accepted
+
+    def tick_request_path(self, cycle: int) -> None:
+        for node in self._tick_order:
+            node.tick(cycle)
+
+    def response_latency(self, client_id: int) -> int:
+        return self.topology.hops_to_memory(client_id) + 1
+
+    def requests_in_flight(self) -> int:
+        return sum(node.occupancy() for node in self.nodes.values())

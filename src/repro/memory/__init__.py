@@ -1,0 +1,16 @@
+"""Shared memory subsystem: transactions, DRAM device, controller."""
+
+from repro.memory.request import MemoryRequest, RequestKind, reset_request_ids
+from repro.memory.dram import DramDevice, DramTiming, FixedLatencyDevice
+from repro.memory.controller import ArbitrationPolicy, MemoryController
+
+__all__ = [
+    "MemoryRequest",
+    "RequestKind",
+    "reset_request_ids",
+    "DramDevice",
+    "DramTiming",
+    "FixedLatencyDevice",
+    "ArbitrationPolicy",
+    "MemoryController",
+]

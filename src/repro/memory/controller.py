@@ -1,0 +1,158 @@
+"""Memory controller servicing one request at a time.
+
+The controller is the shared provider at the root of every interconnect
+in the paper's platform.  It owns a bounded request queue (providing
+backpressure to the interconnect root), an arbitration policy (FCFS or
+FR-FCFS), and the DRAM device model that determines per-access cost.
+
+Blocking accounting: while the controller services request ``r``, every
+queued request with an earlier absolute deadline than ``r`` is being
+*blocked by a lower-priority request* and is charged one blocking cycle
+per cycle — the definition Fig. 6 measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Protocol
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory.request import MemoryRequest
+
+
+class ArbitrationPolicy(enum.Enum):
+    """Controller-level request arbitration."""
+
+    FCFS = "fcfs"
+    FR_FCFS = "fr-fcfs"  # row hits first, then oldest
+
+
+class _Device(Protocol):
+    def access(self, request: MemoryRequest) -> int: ...  # pragma: no cover
+    def access_cost(self, request: MemoryRequest) -> int: ...  # pragma: no cover
+
+
+ResponseCallback = Callable[[MemoryRequest, int], None]
+
+
+class MemoryController:
+    """Cycle-level controller front-end.
+
+    Drive it with :meth:`enqueue` (from the interconnect root) and
+    :meth:`tick` (once per cycle).  Completed requests are handed to the
+    ``on_response`` callback, which the SoC simulator wires to the
+    interconnect's response path.
+    """
+
+    def __init__(
+        self,
+        device: _Device,
+        queue_capacity: int = 16,
+        policy: ArbitrationPolicy = ArbitrationPolicy.FCFS,
+        on_response: ResponseCallback | None = None,
+        refresh_interval: int = 0,
+        refresh_duration: int = 0,
+    ) -> None:
+        """``refresh_interval``/``refresh_duration`` model DRAM refresh
+        (tREFI/tRFC): every ``refresh_interval`` cycles the controller
+        stalls for ``refresh_duration`` cycles — in-flight service
+        pauses, nothing is picked up.  Refresh is the classic source of
+        unavoidable jitter in real-time DRAM analysis; 0 (default)
+        disables it, matching the unit-slot abstraction."""
+        if queue_capacity <= 0:
+            raise ConfigurationError(
+                f"queue capacity must be positive, got {queue_capacity}"
+            )
+        if refresh_interval < 0 or refresh_duration < 0:
+            raise ConfigurationError("refresh parameters cannot be negative")
+        if refresh_interval and refresh_duration >= refresh_interval:
+            raise ConfigurationError(
+                "refresh duration must be shorter than the interval"
+            )
+        self.device = device
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.on_response = on_response
+        self.refresh_interval = refresh_interval
+        self.refresh_duration = refresh_duration
+        self._refresh_remaining = 0
+        self.refresh_stall_cycles = 0
+        self._queue: deque[MemoryRequest] = deque()
+        self._in_service: MemoryRequest | None = None
+        self._service_remaining = 0
+        self.serviced = 0
+        self.busy_cycles = 0
+
+    # -- ingress ------------------------------------------------------------
+    def can_accept(self) -> bool:
+        return len(self._queue) < self.queue_capacity
+
+    def enqueue(self, request: MemoryRequest, cycle: int) -> None:
+        """Accept a request from the interconnect root."""
+        if not self.can_accept():
+            raise CapacityError(
+                f"controller queue full ({self.queue_capacity}); the "
+                "interconnect must respect can_accept()"
+            )
+        request.arrive_controller_cycle = cycle
+        self._queue.append(request)
+
+    # -- arbitration --------------------------------------------------------
+    def _pick_next(self) -> MemoryRequest:
+        if self.policy is ArbitrationPolicy.FCFS:
+            return self._queue.popleft()
+        # FR-FCFS: oldest row hit, else oldest.
+        hit_checker = getattr(self.device, "is_row_hit", None)
+        if hit_checker is not None:
+            for index, request in enumerate(self._queue):
+                if hit_checker(request):
+                    del self._queue[index]
+                    return request
+        return self._queue.popleft()
+
+    # -- per-cycle ------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        # DRAM refresh: a periodic all-banks stall (tREFI / tRFC).
+        if self.refresh_interval:
+            if cycle > 0 and cycle % self.refresh_interval == 0:
+                self._refresh_remaining = self.refresh_duration
+            if self._refresh_remaining > 0:
+                self._refresh_remaining -= 1
+                self.refresh_stall_cycles += 1
+                return
+        if self._in_service is None and self._queue:
+            request = self._pick_next()
+            request.service_start_cycle = cycle
+            self._in_service = request
+            self._service_remaining = self.device.access(request)
+        if self._in_service is None:
+            return
+        self.busy_cycles += 1
+        # Priority-inversion accounting at the provider.
+        in_service_key = self._in_service.priority_key
+        for queued in self._queue:
+            if queued.priority_key < in_service_key:
+                queued.charge_blocking()
+        self._service_remaining -= 1
+        if self._service_remaining == 0:
+            done = self._in_service
+            done.service_end_cycle = cycle + 1
+            self._in_service = None
+            self.serviced += 1
+            if self.on_response is not None:
+                self.on_response(done, cycle + 1)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._in_service is not None
+
+    @property
+    def in_flight(self) -> int:
+        """Requests inside the controller (queued + in service)."""
+        return len(self._queue) + (1 if self._in_service is not None else 0)

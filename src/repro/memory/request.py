@@ -1,0 +1,105 @@
+"""Memory transactions.
+
+A :class:`MemoryRequest` carries everything the interconnects and the
+memory controller need, plus the lifecycle timestamps the evaluation
+metrics are computed from:
+
+* *response time* — completion minus release;
+* *blocking latency* (Fig. 6) — cycles the request spent queued behind
+  a lower-priority (later-deadline) request being serviced or forwarded
+  at some shared arbiter.  Every arbiter in every interconnect model
+  charges blocking through :meth:`MemoryRequest.charge_blocking`, so the
+  metric is comparable across designs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+
+class RequestKind(enum.Enum):
+    """Transaction direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+_request_ids = itertools.count()
+
+
+def reset_request_ids() -> None:
+    """Restart the global request-id counter (between trials, for
+    reproducible ids in logs and tests)."""
+    global _request_ids
+    _request_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class MemoryRequest:
+    """One memory transaction travelling through an interconnect."""
+
+    client_id: int
+    release_cycle: int
+    absolute_deadline: int
+    kind: RequestKind = RequestKind.READ
+    address: int = 0
+    size_bytes: int = 64
+    task_name: str = ""
+    rid: int = field(default=-1)
+
+    # lifecycle timestamps (cycle numbers; -1 = not reached yet)
+    inject_cycle: int = -1
+    arrive_controller_cycle: int = -1
+    service_start_cycle: int = -1
+    service_end_cycle: int = -1
+    complete_cycle: int = -1
+
+    # accumulated metrics
+    blocking_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rid < 0:
+            self.rid = next(_request_ids)
+        if self.absolute_deadline <= self.release_cycle:
+            raise ProtocolError(
+                f"request {self.rid}: deadline {self.absolute_deadline} not "
+                f"after release {self.release_cycle}"
+            )
+
+    # -- priority ------------------------------------------------------------
+    @property
+    def priority_key(self) -> tuple[int, int]:
+        """EDF priority: earlier absolute deadline wins; rid breaks ties."""
+        return (self.absolute_deadline, self.rid)
+
+    def higher_priority_than(self, other: "MemoryRequest") -> bool:
+        return self.priority_key < other.priority_key
+
+    # -- metric bookkeeping ----------------------------------------------------
+    def charge_blocking(self, cycles: int = 1) -> None:
+        """Charge priority-inversion blocking observed at an arbiter."""
+        self.blocking_cycles += cycles
+
+    def mark_complete(self, cycle: int) -> None:
+        if self.complete_cycle >= 0:
+            raise ProtocolError(f"request {self.rid} completed twice")
+        self.complete_cycle = cycle
+
+    # -- outcome --------------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        return self.complete_cycle >= 0
+
+    @property
+    def response_time(self) -> int:
+        if not self.completed:
+            raise ProtocolError(f"request {self.rid} has not completed")
+        return self.complete_cycle - self.release_cycle
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.completed and self.complete_cycle <= self.absolute_deadline

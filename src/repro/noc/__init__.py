@@ -1,0 +1,5 @@
+"""Mesh NoC substrate (inter-processor communication plane)."""
+
+from repro.noc.mesh import MeshNoC, Message, Router
+
+__all__ = ["MeshNoC", "Message", "Router"]

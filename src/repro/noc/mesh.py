@@ -1,0 +1,175 @@
+"""A dimension-ordered (XY) mesh NoC for inter-processor communication.
+
+The paper's platform connects its processors with a 9x9 open-source
+mesh NoC (Blueshell) *in addition to* the memory interconnect: memory
+traffic rides BlueScale; inter-processor messages ride the mesh.  The
+mesh therefore does not influence the memory-path experiments, but it
+is part of the platform, so a faithful message-level model is provided
+for system-level studies and examples.
+
+Routing is deterministic XY (x first, then y), which is deadlock-free
+on a mesh.  Each router forwards one flit per output port per cycle;
+links are one cycle long.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One NoC message (modelled as a single head flit + payload size)."""
+
+    source: tuple[int, int]
+    destination: tuple[int, int]
+    payload_flits: int = 1
+    inject_cycle: int = -1
+    deliver_cycle: int = -1
+    mid: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def delivered(self) -> bool:
+        return self.deliver_cycle >= 0
+
+    @property
+    def latency(self) -> int:
+        if not self.delivered:
+            raise ConfigurationError(f"message {self.mid} not delivered yet")
+        return self.deliver_cycle - self.inject_cycle
+
+
+class Router:
+    """One mesh router with per-output-port FIFO queues."""
+
+    #: output port indices
+    LOCAL, EAST, WEST, NORTH, SOUTH = range(5)
+
+    def __init__(self, position: tuple[int, int], queue_capacity: int = 8) -> None:
+        self.position = position
+        self.queue_capacity = queue_capacity
+        self.queues: list[deque[Message]] = [deque() for _ in range(5)]
+
+    def route(self, message: Message) -> int:
+        """XY routing: which output port the message leaves through."""
+        x, y = self.position
+        dx, dy = message.destination
+        if dx > x:
+            return self.EAST
+        if dx < x:
+            return self.WEST
+        if dy > y:
+            return self.NORTH
+        if dy < y:
+            return self.SOUTH
+        return self.LOCAL
+
+    def try_enqueue(self, message: Message) -> bool:
+        port = self.route(message)
+        queue = self.queues[port]
+        if len(queue) >= self.queue_capacity:
+            return False
+        queue.append(message)
+        return True
+
+    def occupancy(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+
+class MeshNoC:
+    """``width x height`` mesh of XY routers, message-level simulation."""
+
+    def __init__(self, width: int, height: int, queue_capacity: int = 8) -> None:
+        if width < 1 or height < 1:
+            raise ConfigurationError(f"invalid mesh {width}x{height}")
+        self.width = width
+        self.height = height
+        self.routers = {
+            (x, y): Router((x, y), queue_capacity)
+            for x in range(width)
+            for y in range(height)
+        }
+        self.delivered: list[Message] = []
+        self._in_flight = 0
+
+    def _check_position(self, position: tuple[int, int]) -> None:
+        if position not in self.routers:
+            raise ConfigurationError(f"position {position} outside the mesh")
+
+    def inject(self, message: Message, cycle: int) -> bool:
+        """Offer a message at its source router; False when full."""
+        self._check_position(message.source)
+        self._check_position(message.destination)
+        if self.routers[message.source].try_enqueue(message):
+            message.inject_cycle = cycle
+            self._in_flight += 1
+            return True
+        return False
+
+    def _neighbor(self, position: tuple[int, int], port: int) -> tuple[int, int]:
+        x, y = position
+        if port == Router.EAST:
+            return (x + 1, y)
+        if port == Router.WEST:
+            return (x - 1, y)
+        if port == Router.NORTH:
+            return (x, y + 1)
+        if port == Router.SOUTH:
+            return (x, y - 1)
+        raise ConfigurationError(f"port {port} has no neighbor")
+
+    def tick(self, cycle: int) -> list[Message]:
+        """Advance one cycle; returns messages delivered this cycle."""
+        arrivals: list[Message] = []
+        moves: list[tuple[Router, int, Message, Router | None]] = []
+        # Phase 1: pick at most one departing message per (router, port).
+        for router in self.routers.values():
+            for port, queue in enumerate(router.queues):
+                if not queue:
+                    continue
+                message = queue[0]
+                if port == Router.LOCAL:
+                    moves.append((router, port, message, None))
+                else:
+                    target = self.routers[self._neighbor(router.position, port)]
+                    moves.append((router, port, message, target))
+        # Phase 2: apply moves (simultaneous across routers).
+        for router, port, message, target in moves:
+            if target is None:
+                router.queues[port].popleft()
+                # Serialization of the payload at the destination NI.
+                message.deliver_cycle = cycle + max(0, message.payload_flits - 1)
+                arrivals.append(message)
+                self.delivered.append(message)
+                self._in_flight -= 1
+            elif target.try_enqueue(message):
+                router.queues[port].popleft()
+        return arrivals
+
+    def run_until_drained(self, start_cycle: int = 0, max_cycles: int = 100_000) -> int:
+        """Tick until every injected message is delivered; returns cycles used."""
+        cycle = start_cycle
+        while self._in_flight > 0:
+            if cycle - start_cycle > max_cycles:
+                raise ConfigurationError(
+                    f"mesh did not drain within {max_cycles} cycles"
+                )
+            self.tick(cycle)
+            cycle += 1
+        return cycle - start_cycle
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def hop_distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Manhattan distance: the zero-load hop count of XY routing."""
+        self._check_position(a)
+        self._check_position(b)
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])

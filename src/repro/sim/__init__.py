@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate (clock, engine, statistics)."""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, TickComponent
+from repro.sim.stats import LatencyRecorder, SummaryStatistics, mean
+from repro.sim.invariants import (
+    InterconnectMonitor,
+    SbfComplianceMonitor,
+    StructuralMonitor,
+    monitor_interconnect,
+)
+from repro.sim.timeline import RequestTimeline, Timeline, format_timeline
+from repro.sim.trace import (
+    TraceRecord,
+    TraceReplayClient,
+    load_trace,
+    save_trace,
+    split_by_client,
+    trace_from_clients,
+)
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "TickComponent",
+    "LatencyRecorder",
+    "SummaryStatistics",
+    "mean",
+    "InterconnectMonitor",
+    "SbfComplianceMonitor",
+    "StructuralMonitor",
+    "monitor_interconnect",
+    "RequestTimeline",
+    "Timeline",
+    "format_timeline",
+    "TraceRecord",
+    "TraceReplayClient",
+    "load_trace",
+    "save_trace",
+    "split_by_client",
+    "trace_from_clients",
+]

@@ -1,0 +1,64 @@
+"""Simulation clock.
+
+All repro simulations advance in integer *cycles*.  The clock owns the
+mapping from cycles to wall-clock time so results can be reported in
+microseconds, matching the units used by the paper's figures (Fig. 6
+reports blocking latency in microseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Clock:
+    """Integer cycle counter with a physical frequency attached.
+
+    Parameters
+    ----------
+    frequency_mhz:
+        Clock frequency used to convert cycles to time.  The paper's
+        platform runs the interconnects at (up to) a few hundred MHz;
+        the default of 100 MHz makes one cycle == 10 ns, so 100 cycles
+        == 1 microsecond.
+    """
+
+    frequency_mhz: float = 100.0
+    now: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError(
+                f"clock frequency must be positive, got {self.frequency_mhz}"
+            )
+
+    @property
+    def cycle_time_us(self) -> float:
+        """Duration of one cycle in microseconds."""
+        return 1.0 / self.frequency_mhz
+
+    def cycles_to_us(self, cycles: int | float) -> float:
+        """Convert a cycle count to microseconds."""
+        return cycles / self.frequency_mhz
+
+    def us_to_cycles(self, us: float) -> int:
+        """Convert microseconds to a whole number of cycles (rounded up)."""
+        cycles = us * self.frequency_mhz
+        whole = int(cycles)
+        if cycles > whole:
+            whole += 1
+        return whole
+
+    def tick(self, cycles: int = 1) -> int:
+        """Advance the clock and return the new cycle number."""
+        if cycles < 0:
+            raise ConfigurationError("clock cannot run backwards")
+        self.now += cycles
+        return self.now
+
+    def reset(self) -> None:
+        """Rewind to cycle zero (used between simulation trials)."""
+        self.now = 0

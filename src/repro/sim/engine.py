@@ -1,0 +1,128 @@
+"""A small deterministic discrete-event simulation kernel.
+
+The kernel supports two styles of components:
+
+* **Event processes** — callbacks scheduled at absolute cycles via
+  :meth:`Engine.schedule` / :meth:`Engine.schedule_in`.  Used for sparse
+  activity such as periodic job releases.
+* **Tick components** — objects with a ``tick(cycle)`` method invoked on
+  every simulated cycle, in registration order.  Used for pipelined
+  hardware (interconnect stages, the memory controller) whose behaviour
+  is easiest to express cycle-by-cycle.
+
+Determinism: events scheduled for the same cycle fire in insertion
+order (a monotonically increasing sequence number breaks ties), and
+tick components run in registration order, so a simulation is a pure
+function of its inputs and seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Protocol
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.clock import Clock
+
+EventCallback = Callable[[int], None]
+
+
+class TickComponent(Protocol):
+    """Anything advanced once per cycle by the engine."""
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Engine:
+    """Deterministic cycle/event hybrid simulation engine."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._event_queue: list[tuple[int, int, EventCallback]] = []
+        self._sequence = 0
+        self._tick_components: list[TickComponent] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # registration / scheduling
+    # ------------------------------------------------------------------
+    def register(self, component: TickComponent) -> None:
+        """Register a component ticked every cycle, in registration order."""
+        if not hasattr(component, "tick"):
+            raise ConfigurationError(
+                f"{component!r} has no tick() method; cannot register"
+            )
+        self._tick_components.append(component)
+
+    def schedule(self, cycle: int, callback: EventCallback) -> None:
+        """Schedule ``callback(cycle)`` at an absolute cycle."""
+        if cycle < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at cycle {cycle}, now is {self.clock.now}"
+            )
+        heapq.heappush(self._event_queue, (cycle, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_in(self, delay: int, callback: EventCallback) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self.clock.now + delay, callback)
+
+    def stop(self) -> None:
+        """Request the run loop to halt at the end of the current cycle."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _fire_due_events(self, cycle: int) -> None:
+        queue = self._event_queue
+        while queue and queue[0][0] <= cycle:
+            _, _, callback = heapq.heappop(queue)
+            callback(cycle)
+
+    def run(self, until_cycle: int) -> int:
+        """Run until ``until_cycle`` (exclusive) or :meth:`stop` is called.
+
+        Returns the cycle at which the run stopped.
+        """
+        if until_cycle < self.clock.now:
+            raise SimulationError(
+                f"until_cycle {until_cycle} precedes current cycle {self.clock.now}"
+            )
+        self._stopped = False
+        components = self._tick_components
+        while self.clock.now < until_cycle and not self._stopped:
+            cycle = self.clock.now
+            self._fire_due_events(cycle)
+            for component in components:
+                component.tick(cycle)
+            self.clock.tick()
+        return self.clock.now
+
+    def run_events_only(self, until_cycle: int) -> int:
+        """Event-driven run that skips idle cycles (no tick components).
+
+        Useful for pure analytical simulations (e.g. NoC message-level
+        models) where per-cycle ticking would waste time.
+        """
+        if self._tick_components:
+            raise SimulationError(
+                "run_events_only() is only valid without tick components"
+            )
+        self._stopped = False
+        while self._event_queue and not self._stopped:
+            cycle = self._event_queue[0][0]
+            if cycle >= until_cycle:
+                break
+            self.clock.now = cycle
+            self._fire_due_events(cycle)
+        self.clock.now = max(self.clock.now, until_cycle)
+        return self.clock.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._event_queue)

@@ -1,0 +1,137 @@
+"""Per-request timelines: where did a transaction spend its life?
+
+Attaching a :class:`Timeline` to a :class:`BlueScaleInterconnect`
+wraps every Scale Element's forward hook and records, per request, the
+cycle it crossed each hop — injection, each SE, provider arrival,
+service, completion.  ``format_timeline`` renders the journey as an
+ASCII Gantt row, which is how you debug "why was request #4812 late".
+
+The wrapper is transparent: hooks still forward exactly as before, so
+a monitored simulation behaves identically to an unmonitored one
+(asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interconnect import BlueScaleInterconnect
+from repro.errors import ConfigurationError
+from repro.memory.request import MemoryRequest
+from repro.topology import NodeId
+
+
+@dataclass
+class RequestTimeline:
+    """Event log of one transaction."""
+
+    rid: int
+    client_id: int
+    release: int
+    #: (label, cycle) in occurrence order
+    events: list[tuple[str, int]] = field(default_factory=list)
+
+    def add(self, label: str, cycle: int) -> None:
+        self.events.append((label, cycle))
+
+    def span(self) -> tuple[int, int]:
+        if not self.events:
+            return (self.release, self.release)
+        cycles = [cycle for _, cycle in self.events]
+        return (min(self.release, *cycles), max(cycles))
+
+
+class Timeline:
+    """Records hop-level timelines for every request through a tree."""
+
+    def __init__(
+        self, interconnect: BlueScaleInterconnect, capacity: int = 100_000
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self.capacity = capacity
+        self._records: dict[int, RequestTimeline] = {}
+        self.dropped_records = 0
+        self._wrap(interconnect)
+
+    # -- wiring ----------------------------------------------------------------
+    def _wrap(self, interconnect: BlueScaleInterconnect) -> None:
+        for node, element in interconnect.elements.items():
+            element.forward_to_provider = self._make_wrapper(
+                node, element.forward_to_provider
+            )
+
+    def _make_wrapper(self, node: NodeId, inner):  # noqa: ANN001
+        def wrapper(request: MemoryRequest, cycle: int) -> bool:
+            accepted = inner(request, cycle) if inner is not None else False
+            if accepted:
+                self._record(request).add(f"SE{node}", cycle)
+            return accepted
+
+        return wrapper
+
+    def _record(self, request: MemoryRequest) -> RequestTimeline:
+        record = self._records.get(request.rid)
+        if record is None:
+            if len(self._records) >= self.capacity:
+                self.dropped_records += 1
+                # recycle a throwaway record (not stored)
+                return RequestTimeline(
+                    rid=request.rid,
+                    client_id=request.client_id,
+                    release=request.release_cycle,
+                )
+            record = RequestTimeline(
+                rid=request.rid,
+                client_id=request.client_id,
+                release=request.release_cycle,
+            )
+            self._records[request.rid] = record
+        return record
+
+    # -- completion enrichment ----------------------------------------------
+    def finalize(self, requests: list[MemoryRequest]) -> None:
+        """Fold completion timestamps of finished requests into the log."""
+        for request in requests:
+            record = self._records.get(request.rid)
+            if record is None:
+                continue
+            if request.service_start_cycle >= 0:
+                record.add("service", request.service_start_cycle)
+            if request.complete_cycle >= 0:
+                record.add("complete", request.complete_cycle)
+
+    # -- queries ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def of(self, rid: int) -> RequestTimeline:
+        if rid not in self._records:
+            raise ConfigurationError(f"no timeline recorded for request {rid}")
+        return self._records[rid]
+
+    def slowest(self, k: int = 5) -> list[RequestTimeline]:
+        """The k requests with the longest recorded spans."""
+        return sorted(
+            self._records.values(),
+            key=lambda r: r.span()[1] - r.span()[0],
+            reverse=True,
+        )[:k]
+
+
+def format_timeline(record: RequestTimeline, width: int = 60) -> str:
+    """Render one request's journey as an ASCII Gantt row."""
+    start, end = record.span()
+    span = max(end - start, 1)
+    lines = [
+        f"request #{record.rid} (client {record.client_id}), "
+        f"released at {record.release}, span {span} cycles"
+    ]
+    previous = start
+    for label, cycle in record.events:
+        offset = round((previous - start) / span * (width - 1))
+        length = max(1, round((cycle - previous) / span * (width - 1)))
+        bar = " " * offset + "#" * length
+        lines.append(f"  {bar.ljust(width)} {label} @ {cycle}")
+        previous = cycle
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""SoC-level simulation: clients + interconnect + memory controller.
+
+One :class:`SoCSimulation` is a single experimental *trial*: it wires a
+set of clients to an interconnect and the shared memory subsystem,
+advances everything cycle by cycle, and collects the metrics the
+paper's figures report (blocking latency, deadline-miss ratio, per-job
+success).
+
+Per-cycle ordering (fixed, so trials are deterministic):
+
+1. clients release due jobs and inject at most one transaction each;
+2. the interconnect advances its request path (root-first pipelining);
+3. the memory controller arbitrates/services;
+4. the interconnect advances its response path; completed transactions
+   are recorded and handed back to their client's job tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.errors import ConfigurationError, SimulationError
+from repro.interconnects.base import Interconnect
+from repro.memory.controller import ArbitrationPolicy, MemoryController
+from repro.memory.dram import FixedLatencyDevice
+from repro.memory.request import reset_request_ids
+from repro.sim.clock import Clock
+from repro.sim.stats import LatencyRecorder, SummaryStatistics
+
+
+@dataclass
+class TrialResult:
+    """Everything one simulation trial produced."""
+
+    horizon: int
+    recorder: LatencyRecorder
+    #: monitored job outcomes per client: (judged, missed)
+    job_outcomes: dict[int, tuple[int, int]] = field(default_factory=dict)
+    requests_released: int = 0
+    requests_completed: int = 0
+    requests_dropped: int = 0
+    requests_in_flight: int = 0
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        return self.recorder.deadline_miss_ratio
+
+    @property
+    def mean_blocking(self) -> float:
+        if not self.recorder.blocking_times:
+            return 0.0
+        return sum(self.recorder.blocking_times) / len(self.recorder.blocking_times)
+
+    @property
+    def success(self) -> bool:
+        """True when no monitored job missed its deadline (Fig. 7)."""
+        return all(missed == 0 for _, missed in self.job_outcomes.values())
+
+    @property
+    def jobs_judged(self) -> int:
+        return sum(judged for judged, _ in self.job_outcomes.values())
+
+    @property
+    def jobs_missed(self) -> int:
+        return sum(missed for _, missed in self.job_outcomes.values())
+
+    def blocking_summary(self) -> SummaryStatistics:
+        return self.recorder.blocking_summary()
+
+    def response_summary(self) -> SummaryStatistics:
+        return self.recorder.response_summary()
+
+
+class SoCSimulation:
+    """A complete system trial around one interconnect."""
+
+    def __init__(
+        self,
+        clients: list[TrafficGenerator],
+        interconnect: Interconnect,
+        controller: MemoryController | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if not clients:
+            raise ConfigurationError("need at least one client")
+        ids = [client.client_id for client in clients]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate client ids: {sorted(ids)}")
+        if max(ids) >= interconnect.n_clients:
+            raise ConfigurationError(
+                f"client id {max(ids)} exceeds interconnect size "
+                f"{interconnect.n_clients}"
+            )
+        self.clients = clients
+        self._client_by_id = {client.client_id: client for client in clients}
+        self.interconnect = interconnect
+        self.controller = (
+            controller
+            if controller is not None
+            # Unit-service provider: one transaction per cycle, the
+            # transaction-slot time base of the schedulability model.
+            else MemoryController(FixedLatencyDevice(1), queue_capacity=4)
+        )
+        self.interconnect.attach_controller(self.controller)
+        self.clock = clock if clock is not None else Clock()
+        self.recorder = LatencyRecorder()
+
+    def run(
+        self, horizon: int, drain: int | None = None, warmup: int = 0
+    ) -> TrialResult:
+        """Simulate ``horizon`` cycles of releases plus a drain window.
+
+        ``drain`` extra cycles (default: enough for queued work to
+        finish under light load) let in-flight transactions complete so
+        their latencies are recorded; no new jobs are released during
+        the drain.
+
+        ``warmup`` cycles at the start are simulated normally but their
+        completions are excluded from the latency/miss statistics —
+        steady-state measurement without the synchronous-start
+        transient.  Job-level outcomes (Fig. 7's success) always cover
+        the whole run.
+        """
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        if not 0 <= warmup < horizon:
+            raise ConfigurationError(
+                f"warmup must lie within [0, horizon), got {warmup}"
+            )
+        if drain is None:
+            drain = min(4 * horizon, 20_000)
+        reset_request_ids()
+        inject = self.interconnect.try_inject
+        completed_total = 0
+        for cycle in range(horizon + drain):
+            if cycle < horizon:
+                for client in self.clients:
+                    client.tick(cycle, inject)
+            self.interconnect.tick_request_path(cycle)
+            self.controller.tick(cycle)
+            for request in self.interconnect.tick_response_path(cycle):
+                completed_total += 1
+                if cycle >= warmup:
+                    self.recorder.record_completion(
+                        response_time=request.response_time,
+                        blocking_time=request.blocking_cycles,
+                        met_deadline=request.complete_cycle
+                        <= request.absolute_deadline,
+                    )
+                client = self._client_by_id.get(request.client_id)
+                if client is None:
+                    raise SimulationError(
+                        f"response for unknown client {request.client_id}"
+                    )
+                client.on_response(request)
+        self.clock.now = horizon + drain
+        return self._collect(horizon, completed_total)
+
+    def _collect(self, horizon: int, completed_total: int) -> TrialResult:
+        released = sum(client.released_requests for client in self.clients)
+        dropped = sum(client.dropped_requests for client in self.clients)
+        for _ in range(dropped):
+            self.recorder.record_drop()
+        in_flight = (
+            self.interconnect.requests_in_flight()
+            + self.interconnect.responses_in_flight()
+            + self.controller.in_flight
+            + sum(client.pending_count for client in self.clients)
+        )
+        completed = completed_total
+        if completed + dropped + in_flight != released:
+            raise SimulationError(
+                f"request conservation violated: released={released}, "
+                f"completed={completed}, dropped={dropped}, in_flight={in_flight}"
+            )
+        job_outcomes = {
+            client.client_id: (
+                client.monitored_jobs_judged(horizon),
+                client.monitored_job_misses(horizon),
+            )
+            for client in self.clients
+        }
+        return TrialResult(
+            horizon=horizon,
+            recorder=self.recorder,
+            job_outcomes=job_outcomes,
+            requests_released=released,
+            requests_completed=completed,
+            requests_dropped=dropped,
+            requests_in_flight=in_flight,
+        )
+
+
+def build_unit_service_controller(queue_capacity: int = 4) -> MemoryController:
+    """The provider used by the schedulability-aligned experiments."""
+    return MemoryController(
+        FixedLatencyDevice(1),
+        queue_capacity=queue_capacity,
+        policy=ArbitrationPolicy.FCFS,
+    )

@@ -1,0 +1,26 @@
+"""Periodic task model and synthetic workload generators."""
+
+from repro.tasks.task import Job, PeriodicTask
+from repro.tasks.taskset import TaskSet
+from repro.tasks.generators import (
+    assign_round_robin,
+    generate_client_tasksets,
+    generate_taskset,
+    generate_transaction_taskset,
+    log_uniform_periods,
+    uunifast,
+    uunifast_discard,
+)
+
+__all__ = [
+    "Job",
+    "PeriodicTask",
+    "TaskSet",
+    "assign_round_robin",
+    "generate_client_tasksets",
+    "generate_taskset",
+    "generate_transaction_taskset",
+    "log_uniform_periods",
+    "uunifast",
+    "uunifast_discard",
+]

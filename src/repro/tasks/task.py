@@ -1,0 +1,110 @@
+"""Periodic task model.
+
+The paper schedules *memory-transaction tasks*: each task is specified
+by a pair ``(T_i, C_i)`` where ``T_i`` is the period (equal to the
+relative deadline — implicit deadlines) and ``C_i`` is the worst-case
+execution (transaction) time.  Time is discrete: both parameters are
+positive integers (Sec. 5 of the paper assumes integer parameters).
+
+Server tasks used in the compositional scheduling are periodic tasks
+too, with ``T = Π`` (replenishment period) and ``C = Θ`` (budget), so a
+single class models both levels of the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """An implicit-deadline periodic task ``(T, C)``.
+
+    Attributes
+    ----------
+    period:
+        ``T_i`` — the minimum inter-arrival time and relative deadline.
+    wcet:
+        ``C_i`` — the worst-case execution time (for memory-transaction
+        tasks, the number of interconnect time units one job needs).
+    name:
+        Optional label used in reports.
+    client_id:
+        Index of the client (processor / accelerator) the task runs on,
+        or ``None`` when unassigned.
+    """
+
+    period: int
+    wcet: int
+    name: str = ""
+    client_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if self.wcet <= 0:
+            raise ConfigurationError(f"wcet must be positive, got {self.wcet}")
+        if self.wcet > self.period:
+            raise ConfigurationError(
+                f"wcet {self.wcet} exceeds period {self.period}: task is "
+                "infeasible on a unit-speed resource"
+            )
+
+    @property
+    def deadline(self) -> int:
+        """Relative deadline (implicit: equals the period)."""
+        return self.period
+
+    @property
+    def utilization(self) -> Fraction:
+        """Exact utilization ``C/T`` as a fraction (no float drift)."""
+        return Fraction(self.wcet, self.period)
+
+    def with_client(self, client_id: int) -> "PeriodicTask":
+        """Return a copy of this task assigned to ``client_id``."""
+        return PeriodicTask(
+            period=self.period, wcet=self.wcet, name=self.name, client_id=client_id
+        )
+
+    def scaled(self, factor: float) -> "PeriodicTask":
+        """Return a copy with the WCET scaled by ``factor`` (min 1)."""
+        new_wcet = max(1, round(self.wcet * factor))
+        new_wcet = min(new_wcet, self.period)
+        return PeriodicTask(
+            period=self.period, wcet=new_wcet, name=self.name, client_id=self.client_id
+        )
+
+
+@dataclass
+class Job:
+    """One release of a periodic task.
+
+    Jobs are what the simulator actually schedules; analysis modules work
+    on :class:`PeriodicTask` directly.
+    """
+
+    task: PeriodicTask
+    release: int
+    job_index: int
+    remaining: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.remaining < 0:
+            self.remaining = self.task.wcet
+
+    @property
+    def absolute_deadline(self) -> int:
+        return self.release + self.task.deadline
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining == 0
+
+    def execute(self, amount: int = 1) -> int:
+        """Consume up to ``amount`` units of work; return units consumed."""
+        consumed = min(amount, self.remaining)
+        self.remaining -= consumed
+        return consumed

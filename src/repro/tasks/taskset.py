@@ -1,0 +1,100 @@
+"""Task-set container with the aggregate quantities the analysis needs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+
+
+@dataclass
+class TaskSet:
+    """An ordered collection of periodic tasks.
+
+    Order is preserved (it determines tie-breaks in simulations) but has
+    no analytical meaning under EDF.
+    """
+
+    tasks: list[PeriodicTask] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.tasks = list(self.tasks)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[PeriodicTask]:
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> PeriodicTask:
+        return self.tasks[index]
+
+    def add(self, task: PeriodicTask) -> None:
+        self.tasks.append(task)
+
+    def extend(self, tasks: Iterable[PeriodicTask]) -> None:
+        self.tasks.extend(tasks)
+
+    # -- aggregates ----------------------------------------------------------
+    @property
+    def utilization(self) -> Fraction:
+        """Exact total utilization ``sum C_i / T_i``."""
+        total = Fraction(0)
+        for task in self.tasks:
+            total += task.utilization
+        return total
+
+    @property
+    def utilization_float(self) -> float:
+        return float(self.utilization)
+
+    @property
+    def min_period(self) -> int:
+        """``min T_i`` — appears in the paper's Theorem 2 period bound."""
+        if not self.tasks:
+            raise ConfigurationError("min_period of an empty task set is undefined")
+        return min(task.period for task in self.tasks)
+
+    @property
+    def max_period(self) -> int:
+        if not self.tasks:
+            raise ConfigurationError("max_period of an empty task set is undefined")
+        return max(task.period for task in self.tasks)
+
+    def hyperperiod(self) -> int:
+        """Least common multiple of all periods (1 for an empty set)."""
+        value = 1
+        for task in self.tasks:
+            value = math.lcm(value, task.period)
+        return value
+
+    # -- partitioning ----------------------------------------------------------
+    def by_client(self) -> dict[int, "TaskSet"]:
+        """Group tasks by ``client_id`` (tasks lacking one raise)."""
+        groups: dict[int, TaskSet] = {}
+        for task in self.tasks:
+            if task.client_id is None:
+                raise ConfigurationError(
+                    f"task {task.name or task} has no client assignment"
+                )
+            groups.setdefault(task.client_id, TaskSet()).add(task)
+        return groups
+
+    def for_client(self, client_id: int) -> "TaskSet":
+        """Tasks assigned to one client (possibly empty)."""
+        return TaskSet([t for t in self.tasks if t.client_id == client_id])
+
+    def merged_with(self, other: "TaskSet") -> "TaskSet":
+        return TaskSet(self.tasks + other.tasks)
+
+    def scaled(self, factor: float) -> "TaskSet":
+        """Scale all WCETs by ``factor`` (used by utilization sweeps)."""
+        return TaskSet([task.scaled(factor) for task in self.tasks])
+
+    def sorted_by_period(self) -> "TaskSet":
+        return TaskSet(sorted(self.tasks, key=lambda t: (t.period, t.wcet)))

@@ -1,0 +1,49 @@
+"""Case-study workloads: automotive tasks and interference generators."""
+
+from repro.workloads.automotive import (
+    ALL_PROFILES,
+    FUNCTION_PROFILES,
+    SAFETY_PROFILES,
+    WorkloadProfile,
+    assign_case_study,
+    case_study_taskset,
+    function_taskset,
+    profile_by_name,
+    safety_taskset,
+)
+from repro.workloads.avionics import (
+    ALL_AVIONICS,
+    DAL_LEVELS,
+    PARTITIONS,
+    AvionicsProfile,
+    assign_partitions,
+    partition_taskset,
+    tasks_at_or_above,
+)
+from repro.workloads.interference import (
+    DNN_STREAMS,
+    build_interference,
+    dnn_interference_taskset,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "FUNCTION_PROFILES",
+    "SAFETY_PROFILES",
+    "WorkloadProfile",
+    "assign_case_study",
+    "case_study_taskset",
+    "function_taskset",
+    "profile_by_name",
+    "safety_taskset",
+    "ALL_AVIONICS",
+    "DAL_LEVELS",
+    "PARTITIONS",
+    "AvionicsProfile",
+    "assign_partitions",
+    "partition_taskset",
+    "tasks_at_or_above",
+    "DNN_STREAMS",
+    "build_interference",
+    "dnn_interference_taskset",
+]

@@ -1,0 +1,113 @@
+"""Automotive case-study task sets (paper Sec. 6.4).
+
+The paper runs (i) ten *safety* tasks from the Renesas automotive use
+case database (CRC, RSA32, core self-test, …) and (ii) ten *function*
+tasks from the EEMBC AutoBench suite (FFT, speed calculation, …).  We
+cannot redistribute those suites; what the interconnect sees, however,
+is only each task's *memory-transaction profile*: how many transactions
+a job issues and how often.  Each catalogue entry below encodes a
+representative profile for the named kernel (period in transaction
+slots; demand in transactions per job), sized so the twenty application
+tasks together load the interconnect lightly (the paper's ~30%
+processor utilization maps to a much smaller memory utilization), with
+interference tasks supplying the swept load.
+
+Periods are harmonically diverse and co-prime-ish to avoid accidental
+synchronization artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Memory-transaction profile of one named benchmark kernel."""
+
+    name: str
+    category: str  # "safety" | "function"
+    period: int  # transaction slots between releases (= deadline)
+    transactions_per_job: int
+
+    def as_task(self, client_id: int | None = None) -> PeriodicTask:
+        return PeriodicTask(
+            period=self.period,
+            wcet=self.transactions_per_job,
+            name=self.name,
+            client_id=client_id,
+        )
+
+
+#: Renesas-style automotive safety tasks (10)
+SAFETY_PROFILES: tuple[WorkloadProfile, ...] = (
+    WorkloadProfile("crc32", "safety", period=500, transactions_per_job=6),
+    WorkloadProfile("rsa32", "safety", period=2100, transactions_per_job=18),
+    WorkloadProfile("core-self-test", "safety", period=4700, transactions_per_job=30),
+    WorkloadProfile("watchdog-refresh", "safety", period=250, transactions_per_job=2),
+    WorkloadProfile("can-gateway", "safety", period=640, transactions_per_job=5),
+    WorkloadProfile("airbag-monitor", "safety", period=330, transactions_per_job=3),
+    WorkloadProfile("abs-control", "safety", period=410, transactions_per_job=4),
+    WorkloadProfile("battery-monitor", "safety", period=1700, transactions_per_job=9),
+    WorkloadProfile("lane-keep-assist", "safety", period=820, transactions_per_job=10),
+    WorkloadProfile("e-steering-check", "safety", period=1150, transactions_per_job=8),
+)
+
+#: EEMBC AutoBench-style function tasks (10)
+FUNCTION_PROFILES: tuple[WorkloadProfile, ...] = (
+    WorkloadProfile("fft", "function", period=1300, transactions_per_job=16),
+    WorkloadProfile("speed-calc", "function", period=290, transactions_per_job=2),
+    WorkloadProfile("fir-filter", "function", period=530, transactions_per_job=5),
+    WorkloadProfile("matrix-arith", "function", period=1900, transactions_per_job=14),
+    WorkloadProfile("table-lookup", "function", period=710, transactions_per_job=6),
+    WorkloadProfile("angle-to-time", "function", period=370, transactions_per_job=3),
+    WorkloadProfile("can-remote-data", "function", period=930, transactions_per_job=7),
+    WorkloadProfile("pointer-chase", "function", period=2500, transactions_per_job=12),
+    WorkloadProfile("pwm-control", "function", period=430, transactions_per_job=3),
+    WorkloadProfile("idct", "function", period=1500, transactions_per_job=11),
+)
+
+ALL_PROFILES: tuple[WorkloadProfile, ...] = SAFETY_PROFILES + FUNCTION_PROFILES
+
+
+def safety_taskset() -> TaskSet:
+    """The ten automotive safety tasks."""
+    return TaskSet([p.as_task() for p in SAFETY_PROFILES])
+
+
+def function_taskset() -> TaskSet:
+    """The ten automotive function tasks."""
+    return TaskSet([p.as_task() for p in FUNCTION_PROFILES])
+
+
+def case_study_taskset() -> TaskSet:
+    """All twenty application tasks of the case study."""
+    return TaskSet([p.as_task() for p in ALL_PROFILES])
+
+
+def assign_case_study(n_processors: int) -> dict[int, TaskSet]:
+    """Distribute the twenty tasks over ``n_processors`` round-robin.
+
+    Matches the paper's configuration where the application tasks are
+    spread across the processor clients (with 64 cores most cores carry
+    only interference load).
+    """
+    if n_processors < 1:
+        raise ConfigurationError("need at least one processor")
+    assignment: dict[int, TaskSet] = {c: TaskSet() for c in range(n_processors)}
+    for index, profile in enumerate(ALL_PROFILES):
+        client = index % n_processors
+        assignment[client].add(profile.as_task(client_id=client))
+    return assignment
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look a profile up by its kernel name."""
+    for profile in ALL_PROFILES:
+        if profile.name == name:
+            return profile
+    raise ConfigurationError(f"unknown workload profile {name!r}")

@@ -1,0 +1,135 @@
+"""Avionics workload catalogue (extension beyond the paper's case study).
+
+The paper evaluates on automotive tasks; real-time memory interconnects
+target avionics just as much (the BlueTree lineage grew out of
+mixed-criticality avionics work).  This catalogue provides an
+IMA-flavored workload: partitioned flight-control, navigation and
+cabin functions with DAL (design-assurance-level) annotations, plus a
+builder that maps partitions onto clients — one partition per client,
+the way an ARINC-653 integrator would segregate them.
+
+Profiles follow the same memory-transaction model as the automotive
+catalogue: period (= deadline) in transaction slots, transactions per
+job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+#: design assurance levels, most critical first
+DAL_LEVELS = ("A", "B", "C", "D", "E")
+
+
+@dataclass(frozen=True)
+class AvionicsProfile:
+    """One avionics function's memory-transaction profile."""
+
+    name: str
+    partition: str
+    dal: str
+    period: int
+    transactions_per_job: int
+
+    def __post_init__(self) -> None:
+        if self.dal not in DAL_LEVELS:
+            raise ConfigurationError(
+                f"unknown DAL {self.dal!r}; expected one of {DAL_LEVELS}"
+            )
+
+    def as_task(self, client_id: int | None = None) -> PeriodicTask:
+        return PeriodicTask(
+            period=self.period,
+            wcet=self.transactions_per_job,
+            name=self.name,
+            client_id=client_id,
+        )
+
+
+#: flight-control partition: highest rates, highest criticality
+FLIGHT_CONTROL: tuple[AvionicsProfile, ...] = (
+    AvionicsProfile("attitude-control", "flight-control", "A", 125, 3),
+    AvionicsProfile("rate-gyro-fusion", "flight-control", "A", 250, 5),
+    AvionicsProfile("actuator-command", "flight-control", "A", 125, 2),
+    AvionicsProfile("air-data-computer", "flight-control", "A", 500, 6),
+)
+
+#: navigation partition
+NAVIGATION: tuple[AvionicsProfile, ...] = (
+    AvionicsProfile("gps-solution", "navigation", "B", 1000, 8),
+    AvionicsProfile("ins-integration", "navigation", "B", 500, 6),
+    AvionicsProfile("terrain-awareness", "navigation", "B", 2000, 14),
+    AvionicsProfile("flight-plan-update", "navigation", "C", 5000, 20),
+)
+
+#: surveillance / communication partition
+SURVEILLANCE: tuple[AvionicsProfile, ...] = (
+    AvionicsProfile("tcas-tracking", "surveillance", "B", 1000, 9),
+    AvionicsProfile("transponder-reply", "surveillance", "B", 500, 3),
+    AvionicsProfile("weather-radar", "surveillance", "C", 4000, 24),
+)
+
+#: cabin / utility partition: lowest criticality
+CABIN: tuple[AvionicsProfile, ...] = (
+    AvionicsProfile("cabin-pressure", "cabin", "C", 2000, 5),
+    AvionicsProfile("entertainment-feed", "cabin", "E", 800, 10),
+    AvionicsProfile("galley-management", "cabin", "D", 6000, 12),
+)
+
+ALL_AVIONICS: tuple[AvionicsProfile, ...] = (
+    FLIGHT_CONTROL + NAVIGATION + SURVEILLANCE + CABIN
+)
+
+PARTITIONS: tuple[str, ...] = (
+    "flight-control",
+    "navigation",
+    "surveillance",
+    "cabin",
+)
+
+
+def partition_taskset(partition: str, client_id: int | None = None) -> TaskSet:
+    """All functions of one partition as a task set."""
+    profiles = [p for p in ALL_AVIONICS if p.partition == partition]
+    if not profiles:
+        raise ConfigurationError(
+            f"unknown partition {partition!r}; expected one of {PARTITIONS}"
+        )
+    return TaskSet([p.as_task(client_id=client_id) for p in profiles])
+
+
+def assign_partitions(n_clients: int) -> dict[int, TaskSet]:
+    """Map one partition per client (spatial segregation).
+
+    With more clients than partitions the remaining clients idle (to be
+    loaded with interference or other applications); with fewer, it is
+    a configuration error — an IMA integrator never co-hosts
+    partitions of different DALs on one core without time partitioning.
+    """
+    if n_clients < len(PARTITIONS):
+        raise ConfigurationError(
+            f"need at least {len(PARTITIONS)} clients to segregate "
+            f"partitions, got {n_clients}"
+        )
+    return {
+        client: partition_taskset(partition, client_id=client)
+        for client, partition in enumerate(PARTITIONS)
+    }
+
+
+def tasks_at_or_above(dal: str) -> TaskSet:
+    """Every function at the given DAL or more critical."""
+    if dal not in DAL_LEVELS:
+        raise ConfigurationError(f"unknown DAL {dal!r}")
+    cutoff = DAL_LEVELS.index(dal)
+    return TaskSet(
+        [
+            p.as_task()
+            for p in ALL_AVIONICS
+            if DAL_LEVELS.index(p.dal) <= cutoff
+        ]
+    )

@@ -1,0 +1,116 @@
+"""Interference workloads for the case study (paper Sec. 6.4).
+
+Two categories, mirroring the paper:
+
+* **Processor interference** — EEMBC-style synthetic tasks added to the
+  processor clients to raise the system to a *target utilization*.
+  ``build_interference`` splits the missing utilization over clients
+  (UUniFast-discard) and synthesizes small-burst transaction tasks.
+* **HA interference** — DNN inference streams (SqueezeNet-style models
+  trained on MNIST / EMNIST / CIFAR-10), which are periodic large-burst
+  fetch tasks for the accelerator client.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.tasks.generators import generate_transaction_taskset, uunifast_discard
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+def build_interference(
+    rng: random.Random,
+    client_utilizations: dict[int, float],
+    target_system_utilization: float,
+    tasks_per_client: int = 2,
+    period_min: int = 100,
+    period_max: int = 4000,
+    wcet_max: int = 8,
+) -> dict[int, TaskSet]:
+    """Interference tasks bringing the system to a target utilization.
+
+    ``client_utilizations`` maps every client id to its application
+    utilization.  The gap to ``target_system_utilization`` is split over
+    all clients such that no client exceeds utilization 1.  Returns the
+    per-client interference task sets (possibly empty when the target is
+    already met).
+    """
+    if not client_utilizations:
+        raise ConfigurationError("need at least one client")
+    if not 0 < target_system_utilization <= len(client_utilizations):
+        raise ConfigurationError(
+            f"target utilization {target_system_utilization} out of range"
+        )
+    current = sum(client_utilizations.values())
+    gap = target_system_utilization - current
+    clients = sorted(client_utilizations)
+    empty = {c: TaskSet() for c in clients}
+    if gap <= 1e-9:
+        return empty
+    headrooms = {c: max(0.0, 0.98 - client_utilizations[c]) for c in clients}
+    capacity = sum(headrooms.values())
+    if capacity < gap:
+        raise ConfigurationError(
+            f"cannot add {gap:.3f} utilization: only {capacity:.3f} head-room"
+        )
+    # Split the gap with UUniFast, then clamp to head-room by rescaling.
+    shares = uunifast_discard(rng, len(clients), gap, cap=1.0)
+    result: dict[int, TaskSet] = {}
+    carry = 0.0
+    for client, share in zip(clients, shares):
+        share += carry
+        carry = 0.0
+        room = headrooms[client]
+        if share > room:
+            carry = share - room
+            share = room
+        if share < 1e-4:
+            result[client] = TaskSet()
+            continue
+        taskset = generate_transaction_taskset(
+            rng,
+            tasks_per_client,
+            share,
+            wcet_max=wcet_max,
+            period_min=period_min,
+            period_max=period_max,
+        )
+        result[client] = TaskSet(
+            [
+                PeriodicTask(
+                    period=t.period,
+                    wcet=t.wcet,
+                    name=f"intf{client}.{i}",
+                    client_id=client,
+                )
+                for i, t in enumerate(taskset)
+            ]
+        )
+    if carry > 1e-3:
+        raise ConfigurationError(
+            f"interference placement left {carry:.3f} utilization unassigned"
+        )
+    return result
+
+
+#: DNN inference streams for the hardware accelerators: (model, period,
+#: transactions per inference).  Periods/demands model SqueezeNet-scale
+#: weight+activation traffic for small-image classification.
+DNN_STREAMS: tuple[tuple[str, int, int], ...] = (
+    ("squeezenet-mnist", 3000, 60),
+    ("squeezenet-emnist", 4200, 80),
+    ("squeezenet-cifar10", 6500, 120),
+)
+
+
+def dnn_interference_taskset(client_id: int | None = None) -> TaskSet:
+    """The accelerator's inference streams as periodic burst tasks."""
+    return TaskSet(
+        [
+            PeriodicTask(period=period, wcet=demand, name=name, client_id=client_id)
+            for name, period, demand in DNN_STREAMS
+        ]
+    )

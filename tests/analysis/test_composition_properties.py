@@ -1,0 +1,118 @@
+"""Property-based tests of the hierarchical composition's internal
+consistency on randomized workloads."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.composition import (
+    compose,
+    default_deadline_margin,
+    tighten_deadlines,
+)
+from repro.analysis.schedulability import is_schedulable
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+from repro.topology import quadtree
+
+
+def random_tasksets(seed: int, n_clients: int, max_tasks: int = 2):
+    rng = random.Random(seed)
+    tasksets = {}
+    for client in range(n_clients):
+        if rng.random() < 0.2:
+            continue  # some idle clients
+        tasks = []
+        for index in range(rng.randint(1, max_tasks)):
+            period = rng.randint(60, 900)
+            wcet = rng.randint(1, 6)
+            tasks.append(
+                PeriodicTask(
+                    period=period, wcet=wcet, name=f"t{index}", client_id=client
+                )
+            )
+        tasksets[client] = TaskSet(tasks)
+    return tasksets
+
+
+class TestCompositionConsistency:
+    @given(
+        seed=st.integers(0, 100_000),
+        n_clients=st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_schedulable_composition_is_internally_consistent(
+        self, seed, n_clients
+    ):
+        """When compose() says schedulable:
+
+        * every leaf port's interface schedules its (tightened) client
+          task set;
+        * every interior port's interface schedules its child's server
+          tasks;
+        * no SE's selected bandwidths sum above 1;
+        * the root bandwidth equals the root SE's server sum.
+        """
+        topology = quadtree(n_clients)
+        tasksets = random_tasksets(seed, n_clients)
+        if not tasksets:
+            return
+        result = compose(topology, tasksets)
+        if not result.schedulable:
+            return
+        margin = default_deadline_margin(topology)
+        for client, taskset in tasksets.items():
+            leaf, port = topology.leaf_of_client(client)
+            interface = result.interfaces[leaf][port]
+            tightened = tighten_deadlines(taskset, margin)
+            assert is_schedulable(tightened, interface).schedulable, (
+                seed, client
+            )
+        for node in result.interfaces:
+            for port, child in enumerate(topology.children(node)):
+                if child not in result.interfaces:
+                    continue
+                child_servers = result.server_taskset(child)
+                if len(child_servers) == 0:
+                    continue
+                interface = result.interfaces[node][port]
+                assert is_schedulable(child_servers, interface).schedulable, (
+                    seed, node, port
+                )
+            assert result.node_bandwidth(node) <= 1, (seed, node)
+        assert result.root_bandwidth == result.node_bandwidth((0, 0))
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15, deadline=None)
+    def test_composition_is_deterministic(self, seed):
+        topology = quadtree(8)
+        tasksets = random_tasksets(seed, 8)
+        if not tasksets:
+            return
+        first = compose(topology, tasksets)
+        second = compose(topology, tasksets)
+        assert first.interfaces == second.interfaces
+        assert first.schedulable == second.schedulable
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15, deadline=None)
+    def test_interface_bandwidth_covers_demand(self, seed):
+        """Every selected (non-idle) interface's bandwidth strictly
+        exceeds the utilization of the (tightened) demand behind it."""
+        topology = quadtree(8)
+        tasksets = random_tasksets(seed, 8)
+        if not tasksets:
+            return
+        result = compose(topology, tasksets)
+        if not result.schedulable:
+            return
+        margin = default_deadline_margin(topology)
+        for client, taskset in tasksets.items():
+            leaf, port = topology.leaf_of_client(client)
+            interface = result.interfaces[leaf][port]
+            tightened = tighten_deadlines(taskset, margin)
+            assert interface.bandwidth > tightened.utilization - Fraction(
+                1, 10**9
+            )

@@ -1,0 +1,190 @@
+"""Tests for the WCRT analysis (supply inverse, Spuri-on-sbf, holistic)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.composition import compose
+from repro.analysis.prm import ResourceInterface, sbf
+from repro.analysis.response_time import (
+    busy_period_length,
+    end_to_end_bound,
+    holistic_response_bounds,
+    supply_inverse,
+    wcrt_on_interface,
+)
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.tasks.generators import generate_client_tasksets
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+from repro.topology import quadtree
+
+interfaces = st.builds(
+    lambda p, b: ResourceInterface(p, min(max(b, 1), p)),
+    st.integers(1, 40),
+    st.integers(1, 40),
+)
+
+
+class TestSupplyInverse:
+    def test_zero_demand_is_instant(self):
+        assert supply_inverse(0, ResourceInterface(10, 3)) == 0
+
+    def test_full_bandwidth_is_identity(self):
+        iface = ResourceInterface(5, 5)
+        for demand in (1, 4, 17):
+            assert supply_inverse(demand, iface) == demand
+
+    def test_single_unit_spans_blackout(self):
+        # (10, 3): blackout 2*(10-3)=14, then one unit at 15
+        assert supply_inverse(1, ResourceInterface(10, 3)) == 15
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(InfeasibleError):
+            supply_inverse(1, ResourceInterface(10, 0))
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            supply_inverse(-1, ResourceInterface(10, 3))
+
+    @given(iface=interfaces, demand=st.integers(1, 200))
+    @settings(max_examples=80)
+    def test_closed_form_matches_linear_scan(self, iface, demand):
+        """supply_inverse is the exact inverse of sbf."""
+        t = supply_inverse(demand, iface)
+        assert sbf(t, iface) >= demand
+        assert sbf(t - 1, iface) < demand
+
+
+class TestBusyPeriod:
+    def test_empty_taskset(self):
+        assert busy_period_length(TaskSet(), ResourceInterface(4, 2)) == 0
+
+    def test_light_load_short_busy_period(self):
+        taskset = TaskSet([PeriodicTask(period=100, wcet=1)])
+        length = busy_period_length(taskset, ResourceInterface(2, 1))
+        assert length == supply_inverse(1, ResourceInterface(2, 1))
+
+    def test_jitter_extends_busy_period(self):
+        taskset = TaskSet(
+            [PeriodicTask(period=10, wcet=3, name="a"),
+             PeriodicTask(period=15, wcet=4, name="b")]
+        )
+        iface = ResourceInterface(2, 2)
+        plain = busy_period_length(taskset, iface)
+        jittered = busy_period_length(taskset, iface, {"a": 30, "b": 30})
+        assert jittered >= plain
+
+    def test_overload_raises(self):
+        taskset = TaskSet([PeriodicTask(period=4, wcet=3)])  # U = 0.75
+        with pytest.raises(InfeasibleError):
+            busy_period_length(taskset, ResourceInterface(2, 1))  # bw 0.5
+
+
+class TestWcrtOnInterface:
+    def test_single_task_full_resource(self):
+        task = PeriodicTask(period=20, wcet=5, name="t")
+        wcrt = wcrt_on_interface(task, TaskSet([task]), ResourceInterface(1, 1))
+        assert wcrt == 5  # runs alone at full speed
+
+    def test_single_task_throttled(self):
+        task = PeriodicTask(period=40, wcet=4, name="t")
+        iface = ResourceInterface(10, 2)
+        wcrt = wcrt_on_interface(task, TaskSet([task]), iface)
+        assert wcrt == supply_inverse(4, iface)
+
+    def test_interference_raises_wcrt(self):
+        victim = PeriodicTask(period=50, wcet=2, name="v")
+        noisy = PeriodicTask(period=40, wcet=8, name="n")
+        alone = wcrt_on_interface(
+            victim, TaskSet([victim]), ResourceInterface(4, 2)
+        )
+        contended = wcrt_on_interface(
+            victim, TaskSet([victim, noisy]), ResourceInterface(4, 2)
+        )
+        assert contended > alone
+
+    def test_deadline_coincidence_offset_found(self):
+        """The asynchronous worst case (interferer due just before the
+        analyzed job) must be covered — a pure synchronous analysis
+        under-estimates this instance."""
+        light = PeriodicTask(period=311, wcet=1, name="light")
+        burst = PeriodicTask(period=357, wcet=8, name="burst")
+        iface = ResourceInterface(31, 1)
+        wcrt = wcrt_on_interface(light, TaskSet([light, burst]), iface)
+        # released just after the burst with a barely-later deadline, the
+        # light job waits for all 9 units: supply_inverse(9) - offset 47
+        assert wcrt >= supply_inverse(9, iface) - 47
+
+    def test_jitter_increases_wcrt(self):
+        victim = PeriodicTask(period=60, wcet=2, name="v")
+        other = PeriodicTask(period=50, wcet=5, name="n")
+        taskset = TaskSet([victim, other])
+        iface = ResourceInterface(5, 2)
+        plain = wcrt_on_interface(victim, taskset, iface)
+        jittered = wcrt_on_interface(victim, taskset, iface, {"n": 45})
+        assert jittered >= plain
+
+    def test_unschedulable_pair_rejected(self):
+        task = PeriodicTask(period=10, wcet=4, name="t")
+        with pytest.raises(InfeasibleError):
+            wcrt_on_interface(task, TaskSet([task]), ResourceInterface(10, 4))
+
+    def test_wcrt_at_most_deadline_when_schedulable(self):
+        rng = random.Random(8)
+        for _ in range(10):
+            period = rng.randint(20, 80)
+            wcet = rng.randint(1, 6)
+            task = PeriodicTask(period=period, wcet=wcet, name="t")
+            iface = ResourceInterface(8, 4)
+            try:
+                wcrt = wcrt_on_interface(task, TaskSet([task]), iface)
+            except InfeasibleError:
+                continue
+            assert wcrt <= task.deadline
+
+
+class TestHolisticBounds:
+    @pytest.fixture(scope="class")
+    def system(self):
+        rng = random.Random(5)
+        tasksets = generate_client_tasksets(rng, 16, 2, 0.5)
+        composition = compose(quadtree(16), tasksets)
+        assert composition.schedulable
+        return tasksets, composition
+
+    def test_bounds_for_every_client_task(self, system):
+        tasksets, composition = system
+        bounds = holistic_response_bounds(tasksets, composition)
+        assert sorted(bounds) == sorted(tasksets)
+        for client, bound in bounds.items():
+            for task in tasksets[client]:
+                assert bound.bound_for(task.name) > 0
+
+    def test_levels_match_tree_depth(self, system):
+        tasksets, composition = system
+        bounds = holistic_response_bounds(tasksets, composition)
+        depth = composition.topology.depth
+        for bound in bounds.values():
+            assert len(bound.level_wcrt) == depth + 1
+
+    def test_end_to_end_bound_single_client(self, system):
+        tasksets, composition = system
+        full = holistic_response_bounds(tasksets, composition)
+        single = end_to_end_bound(3, tasksets, composition)
+        for task in tasksets[3]:
+            assert single.bound_for(task.name) == full[3].bound_for(task.name)
+
+    def test_rejects_unknown_client(self, system):
+        tasksets, composition = system
+        with pytest.raises(ConfigurationError):
+            end_to_end_bound(999, tasksets, composition)
+
+    def test_bound_exceeds_path_latency(self, system):
+        tasksets, composition = system
+        bounds = holistic_response_bounds(tasksets, composition)
+        for client, bound in bounds.items():
+            for task in tasksets[client]:
+                assert bound.bound_for(task.name) > bound.path_latency

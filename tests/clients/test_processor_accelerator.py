@@ -1,0 +1,96 @@
+"""Unit tests for the processor and accelerator client models."""
+
+import pytest
+
+from repro.clients.accelerator import AcceleratorClient, dnn_inference_task
+from repro.clients.processor import ProcessorClient
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+class AcceptAll:
+    def __init__(self):
+        self.requests = []
+
+    def __call__(self, request, cycle):
+        self.requests.append((request, cycle))
+        return True
+
+
+class TestProcessorClient:
+    def app_and_interference(self):
+        app = TaskSet([PeriodicTask(period=100, wcet=2, name="app")])
+        noise = TaskSet([PeriodicTask(period=50, wcet=1, name="noise")])
+        return app, noise
+
+    def test_runs_both_task_classes(self):
+        app, noise = self.app_and_interference()
+        client = ProcessorClient(0, app, noise)
+        sink = AcceptAll()
+        for cycle in range(3):
+            client.tick(cycle, sink)
+        names = {r.task_name for r, _ in sink.requests}
+        assert names == {"app", "noise"}
+
+    def test_only_application_tasks_monitored(self):
+        app, noise = self.app_and_interference()
+        client = ProcessorClient(0, app, noise)
+        sink = AcceptAll()
+        for cycle in range(4):
+            client.tick(cycle, sink)
+        for request, _ in sink.requests:
+            request.mark_complete(500)  # everything late
+            client.on_response(request)
+        # only the app job's miss is counted
+        assert client.monitored_job_misses(horizon=400) == client.monitored_jobs_judged(
+            horizon=400
+        )
+        assert all(
+            job.monitored == (job.task_name == "app") for job in client.jobs
+        )
+
+    def test_utilization_properties(self):
+        app, noise = self.app_and_interference()
+        client = ProcessorClient(0, app, noise)
+        assert client.application_utilization == pytest.approx(0.02)
+        assert client.total_utilization == pytest.approx(0.04)
+
+    def test_no_interference_is_fine(self):
+        app, _ = self.app_and_interference()
+        client = ProcessorClient(0, app)
+        assert client.total_utilization == client.application_utilization
+
+
+class TestAcceleratorClient:
+    def streaming_tasks(self):
+        return TaskSet([dnn_inference_task("squeeze", period=100, requests_per_inference=10)])
+
+    def test_bandwidth_cap_paces_injection(self):
+        client = AcceleratorClient(0, self.streaming_tasks(), bandwidth_cap=0.25)
+        sink = AcceptAll()
+        for cycle in range(40):
+            client.tick(cycle, sink)
+        # one inject per ceil(1/0.25)=4 cycles
+        assert len(sink.requests) == 10
+        gaps = [b - a for (_, a), (_, b) in zip(sink.requests, sink.requests[1:])]
+        assert all(gap >= 4 for gap in gaps)
+
+    def test_full_bandwidth_injects_every_cycle(self):
+        client = AcceleratorClient(0, self.streaming_tasks(), bandwidth_cap=1.0)
+        sink = AcceptAll()
+        for cycle in range(10):
+            client.tick(cycle, sink)
+        assert len(sink.requests) == 10
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorClient(0, self.streaming_tasks(), bandwidth_cap=0.0)
+        with pytest.raises(ConfigurationError):
+            AcceleratorClient(0, self.streaming_tasks(), bandwidth_cap=1.5)
+
+    def test_inference_task_factory(self):
+        task = dnn_inference_task("m", period=500, requests_per_inference=60, client_id=3)
+        assert task.period == 500
+        assert task.wcet == 60
+        assert task.client_id == 3

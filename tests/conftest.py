@@ -1,0 +1,55 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(0xB1DE5CA1)
+
+
+@pytest.fixture
+def small_taskset() -> TaskSet:
+    """A comfortable task set (U = 0.2) used across analysis tests."""
+    return TaskSet(
+        [
+            PeriodicTask(period=40, wcet=4, name="a"),
+            PeriodicTask(period=100, wcet=10, name="b"),
+        ]
+    )
+
+
+@pytest.fixture
+def tight_taskset() -> TaskSet:
+    """A heavily loaded task set (U = 0.9)."""
+    return TaskSet(
+        [
+            PeriodicTask(period=10, wcet=5, name="hot"),
+            PeriodicTask(period=20, wcet=8, name="warm"),
+        ]
+    )
+
+
+def make_request(
+    client_id: int = 0,
+    release: int = 0,
+    deadline: int | None = None,
+    address: int = 0,
+):
+    """Convenience factory for MemoryRequest used across suites."""
+    from repro.memory.request import MemoryRequest
+
+    return MemoryRequest(
+        client_id=client_id,
+        release_cycle=release,
+        absolute_deadline=deadline if deadline is not None else release + 100,
+        address=address,
+    )

@@ -1,0 +1,108 @@
+"""Unit tests for the P-/B-counter hardware model (Sec. 4.2)."""
+
+import pytest
+
+from repro.core.counters import CountdownCounter, ServerCounterPair
+from repro.errors import ConfigurationError
+
+
+class TestCountdownCounter:
+    def test_reset_loads_value(self):
+        counter = CountdownCounter(5)
+        counter.reset()
+        assert counter.value == 5
+
+    def test_enable_decrements(self):
+        counter = CountdownCounter(3)
+        counter.reset()
+        assert counter.enable() == 2
+        assert counter.enable() == 1
+        assert counter.enable() == 0
+        assert counter.expired
+
+    def test_enable_saturates_at_zero(self):
+        counter = CountdownCounter(0)
+        assert counter.enable() == 0
+
+    def test_program_takes_effect_on_reset(self):
+        counter = CountdownCounter(5)
+        counter.reset()
+        counter.program(9)
+        assert counter.value == 5  # current value unchanged
+        counter.reset()
+        assert counter.value == 9
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(ConfigurationError):
+            CountdownCounter(-1)
+        with pytest.raises(ConfigurationError):
+            CountdownCounter(1 << 32)
+        with pytest.raises(ConfigurationError):
+            CountdownCounter(1).program(1 << 32)
+
+
+class TestServerCounterPair:
+    def test_initial_state(self):
+        pair = ServerCounterPair(period=10, budget=3)
+        assert pair.remaining_budget == 3
+        assert pair.cycles_to_replenish == 10
+        assert pair.has_budget
+
+    def test_consume_spends_budget(self):
+        pair = ServerCounterPair(period=10, budget=2)
+        pair.consume()
+        pair.consume()
+        assert not pair.has_budget
+
+    def test_consume_without_budget_rejected(self):
+        pair = ServerCounterPair(period=10, budget=0)
+        with pytest.raises(ConfigurationError):
+            pair.consume()
+
+    def test_period_boundary_replenishes_budget(self):
+        """The P-counter's zero-crossing resets both counters (Fig. 3(b))."""
+        pair = ServerCounterPair(period=4, budget=2)
+        pair.consume()
+        pair.consume()
+        assert not pair.has_budget
+        replenished = [pair.tick() for _ in range(4)]
+        assert replenished == [False, False, False, True]
+        assert pair.has_budget
+        assert pair.remaining_budget == 2
+        assert pair.cycles_to_replenish == 4
+
+    def test_unused_budget_does_not_accumulate(self):
+        pair = ServerCounterPair(period=3, budget=2)
+        for _ in range(6):  # two full periods, no consumption
+            pair.tick()
+        assert pair.remaining_budget == 2  # capped at Theta
+
+    def test_reprogram_applies_immediately(self):
+        pair = ServerCounterPair(period=10, budget=3)
+        pair.consume()
+        pair.reprogram(6, 4)
+        assert pair.period == 6
+        assert pair.budget == 4
+        assert pair.remaining_budget == 4
+        assert pair.cycles_to_replenish == 6
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ServerCounterPair(period=0, budget=0)
+        with pytest.raises(ConfigurationError):
+            ServerCounterPair(period=4, budget=5)
+        pair = ServerCounterPair(period=4, budget=2)
+        with pytest.raises(ConfigurationError):
+            pair.reprogram(4, 5)
+
+    def test_long_run_supply_rate(self):
+        """Over many periods the consumable budget equals Theta per Pi —
+        the bandwidth the periodic resource model promises."""
+        pair = ServerCounterPair(period=5, budget=2)
+        consumed = 0
+        for _ in range(50):
+            if pair.has_budget:
+                pair.consume()
+                consumed += 1
+            pair.tick()
+        assert consumed == 2 * (50 // 5)

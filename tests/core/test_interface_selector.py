@@ -1,0 +1,119 @@
+"""Unit tests for the interface selector component (Sec. 4.3)."""
+
+import pytest
+
+from repro.core.interface_selector import (
+    InterfaceSelector,
+    TableEntry,
+    TaskParameterTable,
+)
+from repro.errors import CapacityError, ConfigurationError
+from repro.analysis.schedulability import is_schedulable
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+class TestTableEntry:
+    def test_field_widths_enforced(self):
+        TableEntry(client_id=3, task_id=255, period=(1 << 32) - 1, wcet=1)
+        with pytest.raises(ConfigurationError):
+            TableEntry(client_id=4, task_id=0, period=10, wcet=1)  # 2-bit field
+        with pytest.raises(ConfigurationError):
+            TableEntry(client_id=0, task_id=256, period=10, wcet=1)  # 8-bit
+        with pytest.raises(ConfigurationError):
+            TableEntry(client_id=0, task_id=0, period=1 << 32, wcet=1)  # 32-bit
+        with pytest.raises(ConfigurationError):
+            TableEntry(client_id=0, task_id=0, period=10, wcet=0)
+
+    def test_as_task(self):
+        entry = TableEntry(client_id=1, task_id=7, period=100, wcet=10)
+        task = entry.as_task()
+        assert task.period == 100 and task.wcet == 10
+        assert task.client_id == 1
+
+
+class TestTaskParameterTable:
+    def test_bounded_depth(self):
+        table = TaskParameterTable(depth=2)
+        table.load(TableEntry(0, 0, 10, 1))
+        table.load(TableEntry(1, 0, 10, 1))
+        assert table.full
+        with pytest.raises(CapacityError):
+            table.load(TableEntry(2, 0, 10, 1))
+
+    def test_per_port_queries(self):
+        table = TaskParameterTable()
+        table.load(TableEntry(0, 0, 10, 1))
+        table.load(TableEntry(1, 0, 20, 2))
+        table.load(TableEntry(0, 1, 30, 3))
+        assert len(table.entries_for_port(0)) == 2
+        taskset = table.taskset_for_port(0)
+        assert {t.period for t in taskset} == {10, 30}
+
+    def test_clear_port(self):
+        table = TaskParameterTable()
+        table.load(TableEntry(0, 0, 10, 1))
+        table.load(TableEntry(1, 0, 20, 2))
+        table.clear_port(0)
+        assert len(table) == 1
+        assert not table.entries_for_port(0)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ConfigurationError):
+            TaskParameterTable(depth=0)
+
+
+class TestInterfaceSelector:
+    def test_selection_schedules_each_port(self):
+        selector = InterfaceSelector(table_depth=32)
+        port_sets = {
+            0: TaskSet([PeriodicTask(period=50, wcet=5)]),
+            1: TaskSet([PeriodicTask(period=80, wcet=8)]),
+            2: TaskSet([PeriodicTask(period=120, wcet=6)]),
+        }
+        for port, taskset in port_sets.items():
+            selector.load_taskset(port, taskset)
+        outputs = selector.run_selection()
+        assert len(outputs) == 4
+        for port, taskset in port_sets.items():
+            selection = outputs[port]
+            assert selection.schedulable
+            assert is_schedulable(taskset, selection.interface).schedulable
+
+    def test_empty_port_gets_idle_interface(self):
+        selector = InterfaceSelector()
+        outputs = selector.run_selection()
+        assert all(s.interface.budget == 0 for s in outputs)
+        assert all(s.schedulable for s in outputs)
+
+    def test_infeasible_port_flagged_with_fallback(self):
+        selector = InterfaceSelector(table_depth=32)
+        # Port 1 alone demands 2x the SE capacity: port 0's Theorem-2
+        # period range collapses to nothing and selection is infeasible.
+        selector.load_task(0, period=2, wcet=1)
+        selector.load_task(1, period=2, wcet=2)
+        selector.load_task(1, period=2, wcet=2)
+        outputs = selector.run_selection()
+        assert not outputs[0].schedulable
+        assert outputs[0].interface.budget > 0  # usable fallback
+
+    def test_task_ids_assigned_per_port(self):
+        selector = InterfaceSelector()
+        first = selector.load_task(0, 100, 1)
+        second = selector.load_task(0, 200, 2)
+        other_port = selector.load_task(1, 100, 1)
+        assert (first.task_id, second.task_id) == (0, 1)
+        assert other_port.task_id == 0
+
+    def test_clear_port_resets_ids(self):
+        selector = InterfaceSelector()
+        selector.load_task(2, 100, 1)
+        selector.clear_port(2)
+        entry = selector.load_task(2, 100, 1)
+        assert entry.task_id == 0
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ConfigurationError):
+            InterfaceSelector().load_task(7, 100, 1)
+        with pytest.raises(ConfigurationError):
+            InterfaceSelector(n_ports=0)

@@ -1,0 +1,128 @@
+"""Unit tests for the local scheduler (Algorithm 1's upper queue)."""
+
+import pytest
+
+from repro.analysis.prm import ResourceInterface
+from repro.core.local_scheduler import LocalScheduler, ServerTaskState
+from repro.core.random_access_buffer import RandomAccessBuffer
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_request
+
+
+def buffers_with(*deadline_lists):
+    """Build one buffer per list, loaded with requests at those deadlines."""
+    result = []
+    for deadlines in deadline_lists:
+        buffer = RandomAccessBuffer()
+        for deadline in deadlines:
+            buffer.load(make_request(deadline=deadline))
+        result.append(buffer)
+    return result
+
+
+def scheduler_with(interfaces):
+    return LocalScheduler([ResourceInterface(*i) for i in interfaces])
+
+
+class TestServerTaskState:
+    def test_create_sets_deadline_one_period_out(self):
+        server = ServerTaskState.create(ResourceInterface(10, 3), now=5)
+        assert server.deadline == 15
+
+    def test_tick_replenishes_and_moves_deadline(self):
+        server = ServerTaskState.create(ResourceInterface(3, 1), now=0)
+        server.consume()
+        assert not server.has_budget
+        for now in range(3):
+            server.tick(now)
+        assert server.has_budget
+        assert server.deadline == 6  # next period ends at cycle 6
+
+    def test_reprogram(self):
+        server = ServerTaskState.create(ResourceInterface(10, 2), now=0)
+        server.reprogram(ResourceInterface(5, 3), now=7)
+        assert server.interface.period == 5
+        assert server.deadline == 12
+        assert server.counters.remaining_budget == 3
+
+    def test_idle_interface_flag(self):
+        assert ServerTaskState.create(ResourceInterface(1, 0)).is_idle_interface
+        assert not ServerTaskState.create(ResourceInterface(1, 1)).is_idle_interface
+
+
+class TestSelectPort:
+    def test_earliest_server_deadline_wins(self):
+        # port 1's server has the shorter period => earlier deadline
+        scheduler = scheduler_with([(20, 5), (10, 5), (30, 5), (40, 5)])
+        buffers = buffers_with([100], [100], [100], [100])
+        assert scheduler.select_port(buffers) == 1
+
+    def test_empty_ports_skipped(self):
+        scheduler = scheduler_with([(10, 5), (20, 5), (30, 5), (40, 5)])
+        buffers = buffers_with([], [100], [], [])
+        assert scheduler.select_port(buffers) == 1
+
+    def test_exhausted_budget_skipped(self):
+        scheduler = scheduler_with([(10, 1), (20, 5), (30, 5), (40, 5)])
+        buffers = buffers_with([100], [100], [], [])
+        scheduler.account_forward(0)  # spend port 0's only unit
+        assert scheduler.select_port(buffers) == 1
+
+    def test_nothing_ready_returns_none(self):
+        scheduler = scheduler_with([(10, 5)] * 4)
+        assert scheduler.select_port(buffers_with([], [], [], [])) is None
+
+    def test_idle_interface_is_background_only(self):
+        """A zero-budget port forwards only when no budgeted server is
+        ready (unprovisioned-traffic fallback)."""
+        scheduler = scheduler_with([(1, 0), (10, 5), (30, 5), (40, 5)])
+        buffers = buffers_with([50], [100], [], [])
+        # budgeted port 1 ready: it wins despite port 0's earlier request
+        assert scheduler.select_port(buffers) == 1
+        # drain port 1: background port 0 now serves
+        buffers[1].fetch_highest_priority()
+        assert scheduler.select_port(buffers) == 0
+
+    def test_background_ports_compete_by_request_deadline(self):
+        scheduler = scheduler_with([(1, 0), (1, 0), (1, 0), (1, 0)])
+        buffers = buffers_with([300], [100], [200], [])
+        assert scheduler.select_port(buffers) == 1
+
+    def test_buffer_count_must_match(self):
+        scheduler = scheduler_with([(10, 5)] * 4)
+        with pytest.raises(ConfigurationError):
+            scheduler.select_port(buffers_with([], []))
+
+    def test_needs_at_least_one_server(self):
+        with pytest.raises(ConfigurationError):
+            LocalScheduler([])
+
+
+class TestBudgetEnforcement:
+    def test_port_throttled_to_its_bandwidth(self):
+        """A port with (Pi=4, Theta=1) forwards at most once per period
+        even with a backlog — the VE isolation property."""
+        scheduler = scheduler_with([(4, 1), (1000, 1), (1000, 1), (1000, 1)])
+        buffer = RandomAccessBuffer(capacity=64)
+        for _ in range(20):
+            buffer.load(make_request(deadline=50))
+        buffers = [buffer] + buffers_with([], [], [])
+        forwards = 0
+        for now in range(40):
+            port = scheduler.select_port(buffers)
+            if port == 0:
+                buffers[0].fetch_highest_priority()
+                scheduler.account_forward(0)
+                forwards += 1
+            scheduler.tick(now)
+        assert forwards == 10  # 1 per 4 cycles over 40 cycles
+
+    def test_account_forward_ignores_idle_interface(self):
+        scheduler = scheduler_with([(1, 0), (10, 5), (10, 5), (10, 5)])
+        scheduler.account_forward(0)  # must not raise (no budget to spend)
+
+    def test_reprogram_port(self):
+        scheduler = scheduler_with([(10, 5)] * 4)
+        scheduler.reprogram_port(2, ResourceInterface(3, 1), now=0)
+        assert scheduler.servers[2].interface.period == 3

@@ -1,0 +1,127 @@
+"""Unit and property tests for the random access buffer (Sec. 4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.random_access_buffer import RandomAccessBuffer
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory.request import MemoryRequest, reset_request_ids
+
+from tests.conftest import make_request
+
+
+class TestCapacity:
+    def test_load_until_full(self):
+        buffer = RandomAccessBuffer(capacity=2)
+        buffer.load(make_request())
+        assert not buffer.full
+        buffer.load(make_request())
+        assert buffer.full
+        with pytest.raises(CapacityError):
+            buffer.load(make_request())
+
+    def test_try_load_signals_rejection(self):
+        buffer = RandomAccessBuffer(capacity=1)
+        assert buffer.try_load(make_request())
+        assert not buffer.try_load(make_request())
+        assert len(buffer) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RandomAccessBuffer(capacity=0)
+
+    def test_fetch_from_empty_rejected(self):
+        with pytest.raises(CapacityError):
+            RandomAccessBuffer().fetch_highest_priority()
+
+    def test_peak_occupancy_tracked(self):
+        buffer = RandomAccessBuffer(capacity=4)
+        buffer.load(make_request())
+        buffer.load(make_request())
+        buffer.fetch_highest_priority()
+        buffer.load(make_request())
+        assert buffer.peak_occupancy == 2
+        assert buffer.total_loaded == 3
+
+
+class TestPriorityOrder:
+    def test_fetches_earliest_deadline_regardless_of_arrival(self):
+        """The random-access property: not FIFO."""
+        buffer = RandomAccessBuffer()
+        late = make_request(deadline=300)
+        early = make_request(deadline=100)
+        middle = make_request(deadline=200)
+        buffer.load(late)
+        buffer.load(early)
+        buffer.load(middle)
+        assert buffer.fetch_highest_priority() is early
+        assert buffer.fetch_highest_priority() is middle
+        assert buffer.fetch_highest_priority() is late
+
+    def test_peek_does_not_remove(self):
+        buffer = RandomAccessBuffer()
+        request = make_request()
+        buffer.load(request)
+        assert buffer.peek_highest_priority() is request
+        assert len(buffer) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert RandomAccessBuffer().peek_highest_priority() is None
+        assert RandomAccessBuffer().earliest_deadline() is None
+
+    def test_earliest_deadline(self):
+        buffer = RandomAccessBuffer()
+        buffer.load(make_request(deadline=500))
+        buffer.load(make_request(deadline=50))
+        assert buffer.earliest_deadline() == 50
+
+    def test_deadline_ties_fetch_in_arrival_order(self):
+        reset_request_ids()
+        buffer = RandomAccessBuffer()
+        first = make_request(deadline=100)
+        second = make_request(deadline=100)
+        buffer.load(second)
+        buffer.load(first)
+        assert buffer.fetch_highest_priority() is first
+
+
+class TestBufferProperties:
+    @given(deadlines=st.lists(st.integers(1, 10_000), min_size=1, max_size=16))
+    def test_drain_order_is_sorted_by_priority(self, deadlines):
+        reset_request_ids()
+        buffer = RandomAccessBuffer(capacity=len(deadlines))
+        requests = [
+            MemoryRequest(client_id=0, release_cycle=0, absolute_deadline=d)
+            for d in deadlines
+        ]
+        for request in requests:
+            buffer.load(request)
+        drained = [buffer.fetch_highest_priority() for _ in deadlines]
+        keys = [r.priority_key for r in drained]
+        assert keys == sorted(keys)
+
+    @given(
+        ops=st.lists(
+            st.one_of(st.integers(1, 1000), st.none()), min_size=1, max_size=40
+        )
+    )
+    def test_occupancy_invariant(self, ops):
+        """Interleaved loads (int = deadline) and fetches (None) keep
+        occupancy consistent and within capacity."""
+        buffer = RandomAccessBuffer(capacity=8)
+        expected = 0
+        for op in ops:
+            if op is None:
+                if expected:
+                    buffer.fetch_highest_priority()
+                    expected -= 1
+            else:
+                if buffer.try_load(
+                    MemoryRequest(
+                        client_id=0, release_cycle=0, absolute_deadline=op
+                    )
+                ):
+                    expected += 1
+            assert len(buffer) == expected
+            assert expected <= 8

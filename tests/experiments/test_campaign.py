@@ -1,0 +1,94 @@
+"""Tests for the campaign runner and regression comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import (
+    ExperimentSpec,
+    MetricDelta,
+    compare_campaigns,
+    default_specs,
+    format_deltas,
+    load_manifest,
+    run_campaign,
+)
+
+
+def toy_spec(name="toy", value=1.0):
+    return ExperimentSpec(
+        name=name,
+        runner=lambda: {"value": value},
+        metrics=lambda result: {"value": result["value"]},
+    )
+
+
+class TestRunCampaign:
+    def test_archives_results_and_manifest(self, tmp_path):
+        record = run_campaign([toy_spec()], tmp_path, label="run1")
+        assert (tmp_path / "run1" / "toy.json").exists()
+        manifest = load_manifest(tmp_path / "run1")
+        assert manifest["experiments"] == ["toy"]
+        assert manifest["metrics"]["toy"]["value"] == 1.0
+        assert record.seconds["toy"] >= 0
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            run_campaign([toy_spec(), toy_spec()], tmp_path)
+
+    def test_empty_campaign_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            run_campaign([], tmp_path)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_manifest(tmp_path)
+
+
+class TestCompareCampaigns:
+    def run_pair(self, tmp_path, before_value, after_value):
+        run_campaign([toy_spec(value=before_value)], tmp_path, label="before")
+        run_campaign([toy_spec(value=after_value)], tmp_path, label="after")
+        return tmp_path / "before", tmp_path / "after"
+
+    def test_regression_detected(self, tmp_path):
+        before, after = self.run_pair(tmp_path, 1.0, 2.0)
+        deltas = compare_campaigns(before, after, threshold=0.10)
+        assert len(deltas) == 1
+        assert deltas[0].relative_change == pytest.approx(1.0)
+
+    def test_small_change_below_threshold_ignored(self, tmp_path):
+        before, after = self.run_pair(tmp_path, 1.0, 1.05)
+        assert compare_campaigns(before, after, threshold=0.10) == []
+
+    def test_negative_threshold_rejected(self, tmp_path):
+        before, after = self.run_pair(tmp_path, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            compare_campaigns(before, after, threshold=-1)
+
+    def test_zero_before_handled(self):
+        delta = MetricDelta("e", "m", before=0.0, after=0.5)
+        assert delta.relative_change == float("inf")
+        assert MetricDelta("e", "m", 0.0, 0.0).relative_change == 0.0
+
+    def test_format_deltas(self, tmp_path):
+        before, after = self.run_pair(tmp_path, 1.0, 3.0)
+        text = format_deltas(compare_campaigns(before, after))
+        assert "toy" in text and "+200.0%" in text
+        assert "no metric moved" in format_deltas([])
+
+
+class TestDefaultCampaign:
+    def test_default_specs_runnable_quickly(self, tmp_path):
+        """The standard campaign runs end to end at quick scale and the
+        archived metrics carry the headline quantities."""
+        specs = default_specs(quick=True)
+        # keep the test fast: drop the simulation-heavy fig6 run but
+        # check it is part of the standard campaign
+        names = [spec.name for spec in specs]
+        assert "fig6-16" in names
+        fast = [spec for spec in specs if spec.name in ("table1", "fig5")]
+        record = run_campaign(fast, tmp_path, label="std")
+        assert record.metrics["table1"]["BlueScale/luts"] == pytest.approx(
+            2945, rel=0.05
+        )
+        assert record.metrics["fig5"]["crossover_eta"] == 6.0

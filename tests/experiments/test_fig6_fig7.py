@@ -1,0 +1,106 @@
+"""Smoke and shape tests for the Fig. 6 / Fig. 7 experiment harnesses.
+
+These run miniature configurations (few trials, short horizons, a
+subset of interconnects) so the whole suite stays fast; the benchmark
+harness runs the fuller versions.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig6 import Fig6Config, format_fig6, run_fig6
+from repro.experiments.fig7 import Fig7Config, format_fig7, run_fig7
+
+
+MICRO_FIG6 = Fig6Config(n_clients=16, trials=2, horizon=6_000, drain=2_000)
+
+
+class TestFig6Harness:
+    def test_micro_run_produces_metrics(self):
+        result = run_fig6(MICRO_FIG6, interconnects=("BlueScale", "BlueTree"))
+        assert set(result.metrics) == {"BlueScale", "BlueTree"}
+        for metrics in result.metrics.values():
+            assert len(metrics.miss_ratios) == 2
+            assert len(metrics.blocking_means) == 2
+            assert all(0 <= m <= 1 for m in metrics.miss_ratios)
+            assert all(b >= 0 for b in metrics.blocking_means)
+
+    def test_bluescale_beats_bluetree_on_misses(self):
+        result = run_fig6(MICRO_FIG6, interconnects=("BlueScale", "BlueTree"))
+        blue = result.metrics["BlueScale"].mean_miss_ratio
+        tree = result.metrics["BlueTree"].mean_miss_ratio
+        assert blue <= tree
+
+    def test_best_selectors(self):
+        result = run_fig6(MICRO_FIG6, interconnects=("BlueScale", "BlueTree"))
+        assert result.best_miss_ratio() in ("BlueScale", "BlueTree")
+
+    def test_deterministic(self):
+        a = run_fig6(MICRO_FIG6, interconnects=("BlueTree",))
+        b = run_fig6(MICRO_FIG6, interconnects=("BlueTree",))
+        assert a.metrics["BlueTree"].miss_ratios == b.metrics["BlueTree"].miss_ratios
+
+    def test_formatting(self):
+        result = run_fig6(MICRO_FIG6, interconnects=("BlueTree",))
+        text = format_fig6(result)
+        assert "BlueTree" in text
+        assert "16 traffic generators" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fig6Config(utilization_low=0.9, utilization_high=0.7)
+        with pytest.raises(ConfigurationError):
+            Fig6Config(trials=0)
+
+    def test_paper_scale_preset(self):
+        config = Fig6Config.paper_scale(64)
+        assert config.n_clients == 64
+        assert config.trials == 200
+        assert config.horizon >= 100_000
+
+
+MICRO_FIG7 = Fig7Config(
+    n_processors=16,
+    trials=2,
+    horizon=6_000,
+    drain=3_000,
+    utilizations=(0.4, 0.9),
+)
+
+
+class TestFig7Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(MICRO_FIG7, interconnects=("BlueScale", "GSMTree-TDM"))
+
+    def test_success_ratios_in_range(self, result):
+        for series in result.success_ratio.values():
+            assert len(series) == 2
+            assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_bluescale_dominates_tdm(self, result):
+        assert result.dominated_by_bluescale("GSMTree-TDM")
+
+    def test_bluescale_succeeds_at_low_utilization(self, result):
+        assert result.success_ratio["BlueScale"][0] == 1.0
+
+    def test_formatting(self, result):
+        text = format_fig7(result)
+        assert "success ratio" in text
+        assert "BlueScale" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fig7Config(n_processors=0)
+        with pytest.raises(ConfigurationError):
+            Fig7Config(utilizations=(0.5, 1.4))
+
+    def test_n_clients_includes_accelerator(self):
+        assert Fig7Config(n_processors=16).n_clients == 17
+
+    def test_paper_scale_preset(self):
+        config = Fig7Config.paper_scale()
+        assert config.trials == 200
+        assert len(config.utilizations) == 17
+        assert config.utilizations[0] == 0.10
+        assert config.utilizations[-1] == 0.90

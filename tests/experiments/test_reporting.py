@@ -1,0 +1,132 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) == {"-"}
+        # columns align: 'alpha' and 'b' rows put values in same column
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [1234.5678]])
+        assert "0.123" in text
+        assert "1234.6" in text
+
+    def test_no_title(self):
+        text = format_table(["a"], [["v"]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestFormatBarChart:
+    def test_bars_scale_to_peak(self):
+        from repro.experiments.reporting import format_bar_chart
+
+        text = format_bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values_render_empty(self):
+        from repro.experiments.reporting import format_bar_chart
+
+        text = format_bar_chart({"a": 0.0, "b": 2.0})
+        assert "#" not in text.splitlines()[0]
+
+    def test_empty_data(self):
+        from repro.experiments.reporting import format_bar_chart
+
+        assert "(no data)" in format_bar_chart({}, title="T")
+
+    def test_invalid_width(self):
+        from repro.experiments.reporting import format_bar_chart
+
+        with pytest.raises(ValueError):
+            format_bar_chart({"a": 1.0}, width=0)
+
+    def test_unit_suffix(self):
+        from repro.experiments.reporting import format_bar_chart
+
+        assert "ms" in format_bar_chart({"a": 3.0}, unit="ms")
+
+
+class TestFormatCurves:
+    def test_markers_and_legend(self):
+        from repro.experiments.reporting import format_curves
+
+        text = format_curves(
+            [0, 1, 2], {"up": [0.0, 0.5, 1.0], "down": [1.0, 0.5, 0.0]}
+        )
+        assert "o = up" in text
+        assert "x = down" in text
+        grid_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert any("o" in line for line in grid_lines)
+        assert any("x" in line for line in grid_lines)
+
+    def test_flat_series_does_not_crash(self):
+        from repro.experiments.reporting import format_curves
+
+        text = format_curves([0, 1], {"flat": [1.0, 1.0]})
+        assert "flat" in text
+
+    def test_empty_series(self):
+        from repro.experiments.reporting import format_curves
+
+        assert "(no data)" in format_curves([], {})
+
+    def test_too_small_grid_rejected(self):
+        from repro.experiments.reporting import format_curves
+
+        with pytest.raises(ValueError):
+            format_curves([0, 1], {"s": [0, 1]}, height=1)
+
+
+class TestFormatSupplyDemand:
+    def test_schedulable_pair_reports_ok(self):
+        from repro.analysis.prm import ResourceInterface
+        from repro.experiments.reporting import format_supply_demand
+        from repro.tasks.task import PeriodicTask
+        from repro.tasks.taskset import TaskSet
+
+        taskset = TaskSet([PeriodicTask(period=40, wcet=4)])
+        text = format_supply_demand(taskset, ResourceInterface(10, 3))
+        assert "dbf" in text and "sbf" in text
+        assert "demand ≤ supply" in text
+
+    def test_violation_reported_with_witness(self):
+        from repro.analysis.prm import ResourceInterface
+        from repro.experiments.reporting import format_supply_demand
+        from repro.tasks.task import PeriodicTask
+        from repro.tasks.taskset import TaskSet
+
+        # demand 4 by t=10 but blackout 2*(10-4)=12: infeasible
+        taskset = TaskSet([PeriodicTask(period=10, wcet=4)])
+        text = format_supply_demand(
+            taskset, ResourceInterface(10, 4), horizon=60
+        )
+        assert "VIOLATION" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_curve(self):
+        text = format_series(
+            "x", [1, 2, 3], {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]}
+        )
+        lines = text.splitlines()
+        assert any(line.startswith("up") for line in lines)
+        assert any(line.startswith("down") for line in lines)
+
+    def test_x_values_in_header(self):
+        text = format_series("η", [1, 2], {"s": [0.5, 0.6]})
+        header = text.splitlines()[0]
+        assert "η" in header and "1" in header and "2" in header

@@ -1,0 +1,56 @@
+"""Tests for the scalability-sweep extension experiment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scalability_sweep import (
+    format_scalability,
+    run_scalability_sweep,
+)
+
+
+class TestScalabilitySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scalability_sweep(
+            client_counts=(4, 16),
+            utilization=0.4,
+            seeds=(1,),
+            interconnects=("BlueScale", "BlueTree"),
+            with_admission_ceiling=False,
+        )
+
+    def test_point_per_size_and_design(self, result):
+        assert len(result.points) == 4
+        assert result.sizes() == [4, 16]
+
+    def test_series_extraction(self, result):
+        miss = result.series("miss_ratio")
+        assert set(miss) == {"BlueScale", "BlueTree"}
+        assert all(len(values) == 2 for values in miss.values())
+
+    def test_metrics_well_formed(self, result):
+        for point in result.points:
+            assert 0.0 <= point.miss_ratio <= 1.0
+            assert point.mean_response > 0
+
+    def test_formatting_without_ceiling(self, result):
+        text = format_scalability(result)
+        assert "miss ratio" in text
+        assert "admission ceiling" not in text
+
+    def test_admission_ceiling_recorded_when_requested(self):
+        result = run_scalability_sweep(
+            client_counts=(4,),
+            utilization=0.3,
+            seeds=(1,),
+            interconnects=("BlueScale",),
+            with_admission_ceiling=True,
+        )
+        assert 4 in result.admission_ceiling
+        assert result.admission_ceiling[4] > 0.3
+        assert "admission ceiling" in format_scalability(result)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scalability_sweep(client_counts=())

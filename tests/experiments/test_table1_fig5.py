@@ -1,0 +1,97 @@
+"""Tests for the Table 1 and Fig. 5 experiment harnesses."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    format_table1,
+    run_table1,
+)
+
+
+class TestTable1Experiment:
+    def test_all_seven_rows(self):
+        rows = run_table1()
+        assert [r.design for r in rows] == [
+            "AXI-IC^RT",
+            "BlueTree",
+            "BlueTree-Smooth",
+            "GSMTree",
+            "MicroBlaze",
+            "RISC-V",
+            "BlueScale",
+        ]
+
+    def test_rows_close_to_paper(self):
+        for row in run_table1():
+            paper_luts = row.paper[0]
+            assert row.report.luts == pytest.approx(paper_luts, rel=0.08), row.design
+
+    def test_paper_reference_complete(self):
+        assert set(PAPER_TABLE1) == {r.design for r in run_table1()}
+
+    def test_formatting_contains_all_designs(self):
+        text = format_table1(run_table1())
+        for design in PAPER_TABLE1:
+            assert design in text
+
+
+class TestFig5Experiment:
+    def test_series_cover_eta_range(self):
+        result = run_fig5(1, 7)
+        assert result.etas == list(range(1, 8))
+        for series in result.area.values():
+            assert len(series) == 7
+
+    def test_area_shapes(self):
+        """Fig 5(a): everything grows with eta; BlueScale adds less than
+        AXI-IC^RT; legacy dominates both interconnects."""
+        result = run_fig5()
+        for name, series in result.area.items():
+            assert series == sorted(series), f"{name} not monotone"
+        # from 8 clients up, BlueScale is the smaller interconnect (at
+        # eta <= 2 both are one-arbiter-sized and the comparison is noise)
+        for blue, axi in zip(
+            result.area["BlueScale"][2:], result.area["AXI-IC^RT"][2:]
+        ):
+            assert blue < axi
+        for blue, legacy in zip(result.area["BlueScale"], result.area["Legacy"]):
+            assert blue < legacy
+
+    def test_area_margin_small_through_64_clients(self):
+        """Obs 2: the added area stays a small margin (we verify < 5
+        percentage points through eta = 6)."""
+        result = run_fig5(1, 6)
+        for legacy, combined in zip(
+            result.area["Legacy"], result.area["Legacy+BlueScale"]
+        ):
+            assert combined - legacy < 0.05
+
+    def test_power_linear_in_eta(self):
+        """Fig 5(b): doubling the clients roughly doubles legacy power."""
+        result = run_fig5()
+        legacy = result.power_w["Legacy"]
+        for smaller, larger in zip(legacy, legacy[1:]):
+            assert larger == pytest.approx(2 * smaller, rel=0.01)
+
+    def test_fmax_crossover_at_eta_6(self):
+        """Obs 3: AXI-IC^RT limits the system past 32 clients."""
+        result = run_fig5()
+        assert result.crossover_eta() == 6
+        for blue, legacy in zip(
+            result.fmax_mhz["BlueScale"], result.fmax_mhz["Legacy"]
+        ):
+            assert blue > legacy
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            run_fig5(3, 2)
+        with pytest.raises(ConfigurationError):
+            run_fig5(0, 5)
+
+    def test_formatting_mentions_crossover(self):
+        text = format_fig5(run_fig5())
+        assert "Fig 5(a)" in text and "Fig 5(c)" in text
+        assert "η = 6" in text

@@ -1,0 +1,145 @@
+"""Tests for the hardware cost model — Table 1 calibration and scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cost_model import (
+    area_fraction,
+    axi_icrt_cost,
+    bluescale_cost,
+    bluetree_cost,
+    bluetree_smooth_cost,
+    gsmtree_cost,
+    legacy_system_cost,
+    microblaze_cost,
+    riscv_cost,
+    scale_element_cost,
+)
+from repro.hardware.primitives import HardwareReport
+
+PAPER = {
+    "axi": (3744, 3451, 0, 0, 46),
+    "bluetree": (1683, 2901, 0, 0, 27),
+    "smooth": (2349, 3455, 0, 0, 41),
+    "gsm": (2443, 3115, 0, 8, 59),
+    "bluescale": (2959, 3312, 0, 10, 67),
+}
+
+
+def assert_close(report: HardwareReport, paper, tol=0.08):
+    luts, registers, dsps, ram, power = paper
+    assert report.luts == pytest.approx(luts, rel=tol)
+    assert report.registers == pytest.approx(registers, rel=tol)
+    assert report.dsps == dsps
+    assert report.ram_kb == ram
+    assert report.power_mw == pytest.approx(power, rel=tol)
+
+
+class TestTable1Calibration:
+    """The 16-client configurations land on the paper's Table 1."""
+
+    def test_axi_icrt(self):
+        assert_close(axi_icrt_cost(16), PAPER["axi"])
+
+    def test_bluetree(self):
+        assert_close(bluetree_cost(16), PAPER["bluetree"])
+
+    def test_bluetree_smooth(self):
+        assert_close(bluetree_smooth_cost(16), PAPER["smooth"])
+
+    def test_gsmtree(self):
+        assert_close(gsmtree_cost(16), PAPER["gsm"])
+
+    def test_bluescale(self):
+        assert_close(bluescale_cost(16), PAPER["bluescale"])
+
+    def test_reference_processors_exact(self):
+        assert microblaze_cost() == HardwareReport(4993, 4295, 6, 256, 369.0)
+        assert riscv_cost() == HardwareReport(7433, 16544, 21, 512, 583.0)
+
+
+class TestTable1Relations:
+    """The qualitative claims of Obs 1."""
+
+    def test_bluescale_bigger_than_distributed_trees(self):
+        blue = bluescale_cost(16)
+        assert blue.luts > bluetree_cost(16).luts
+        assert blue.luts > bluetree_smooth_cost(16).luts
+        assert blue.luts > gsmtree_cost(16).luts
+        assert blue.power_mw > bluetree_cost(16).power_mw
+
+    def test_bluescale_smaller_than_centralized(self):
+        blue = bluescale_cost(16)
+        axi = axi_icrt_cost(16)
+        assert blue.luts < axi.luts
+        assert blue.registers < axi.registers
+
+    def test_bluescale_much_smaller_than_processors(self):
+        blue = bluescale_cost(16)
+        assert blue.luts < 0.65 * microblaze_cost().luts
+        assert blue.luts < 0.45 * riscv_cost().luts
+
+    def test_bluescale_uses_no_dsps(self):
+        assert bluescale_cost(16).dsps == 0
+
+    def test_bluescale_ram_is_scratchpads(self):
+        # 2 KB scratchpad per SE, 5 SEs at 16 clients
+        assert bluescale_cost(16).ram_kb == 10
+
+
+class TestScaling:
+    def test_bluescale_scales_with_se_count(self):
+        per_se = scale_element_cost()
+        assert bluescale_cost(16).luts == 5 * per_se.luts
+        assert bluescale_cost(64).luts == 21 * per_se.luts
+
+    def test_bluescale_roughly_linear(self):
+        small = bluescale_cost(16).luts
+        large = bluescale_cost(64).luts
+        assert large / small == pytest.approx(21 / 5, rel=0.01)
+
+    def test_axi_superlinear_per_client(self):
+        per_client_16 = axi_icrt_cost(16).luts / 16
+        per_client_128 = axi_icrt_cost(128).luts / 128
+        assert per_client_128 > per_client_16
+
+    def test_monotone_in_clients(self):
+        for cost in (axi_icrt_cost, bluescale_cost, bluetree_cost, gsmtree_cost):
+            values = [cost(n).luts for n in (4, 8, 16, 32, 64)]
+            assert values == sorted(values)
+            assert len(set(values)) == len(values)
+
+    def test_deeper_buffers_cost_more(self):
+        assert (
+            scale_element_cost(buffer_depth=8).registers
+            > scale_element_cost(buffer_depth=2).registers
+        )
+
+    def test_rejects_single_client(self):
+        with pytest.raises(ConfigurationError):
+            bluescale_cost(1)
+        with pytest.raises(ConfigurationError):
+            axi_icrt_cost(0)
+
+
+class TestLegacyAndReports:
+    def test_legacy_linear(self):
+        assert legacy_system_cost(32).luts == 2 * legacy_system_cost(16).luts
+
+    def test_legacy_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            legacy_system_cost(0)
+
+    def test_report_addition(self):
+        total = legacy_system_cost(16) + bluescale_cost(16)
+        assert total.luts == legacy_system_cost(16).luts + bluescale_cost(16).luts
+        assert total.power_mw == pytest.approx(
+            legacy_system_cost(16).power_mw + bluescale_cost(16).power_mw
+        )
+
+    def test_report_scaled(self):
+        report = HardwareReport(10, 20, 1, 2, 5.0)
+        assert report.scaled(3) == HardwareReport(30, 60, 3, 6, 15.0)
+
+    def test_area_fraction(self):
+        assert area_fraction(HardwareReport(303_600, 0, 0, 0, 0)) == pytest.approx(1.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the primitive cost table."""
+
+from repro.hardware.primitives import (
+    DEFAULT_PRIMITIVES,
+    HardwareReport,
+    PrimitiveCosts,
+)
+
+
+class TestPrimitiveCosts:
+    def test_mux_scales_with_width(self):
+        prim = DEFAULT_PRIMITIVES
+        assert prim.mux2_luts(64) == 2 * prim.mux2_luts(32)
+
+    def test_comparator_scales_with_width(self):
+        prim = DEFAULT_PRIMITIVES
+        assert prim.comparator_luts(48) == 2 * prim.comparator_luts(24)
+
+    def test_request_register_bits(self):
+        prim = DEFAULT_PRIMITIVES
+        assert prim.request_register_bits(4) == 4 * prim.request_width_bits
+
+    def test_custom_primitives_are_independent(self):
+        custom = PrimitiveCosts(request_width_bits=64)
+        assert custom.request_register_bits(1) == 64
+        assert DEFAULT_PRIMITIVES.request_register_bits(1) == 45
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            DEFAULT_PRIMITIVES.request_width_bits = 99
+
+
+class TestHardwareReport:
+    def test_addition_fieldwise(self):
+        a = HardwareReport(1, 2, 3, 4, 5.0)
+        b = HardwareReport(10, 20, 30, 40, 50.0)
+        total = a + b
+        assert total == HardwareReport(11, 22, 33, 44, 55.0)
+
+    def test_scaled(self):
+        assert HardwareReport(1, 2, 0, 1, 2.5).scaled(4) == HardwareReport(
+            4, 8, 0, 4, 10.0
+        )
+
+    def test_equality_semantics(self):
+        assert HardwareReport(1, 1, 0, 0, 1.0) == HardwareReport(1, 1, 0, 0, 1.0)
+        assert HardwareReport(1, 1, 0, 0, 1.0) != HardwareReport(2, 1, 0, 0, 1.0)

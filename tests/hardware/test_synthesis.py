@@ -1,0 +1,61 @@
+"""Tests for the synthesis-style utilization report."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cost_model import bluescale_cost, legacy_system_cost
+from repro.hardware.synthesis import (
+    format_synthesis_report,
+    synthesize_bluescale_system,
+)
+
+
+class TestSynthesisReport:
+    def test_component_instances_match_topology(self):
+        report = synthesize_bluescale_system(16)
+        se_lines = [
+            line for line in report.components
+            if line.name.startswith("scale_element")
+        ]
+        assert sum(line.instances for line in se_lines) == 5
+        roles = [line.name for line in se_lines]
+        assert any("root" in name for name in roles)
+        assert any("leaf" in name for name in roles)
+
+    def test_totals_are_sum_of_parts(self):
+        report = synthesize_bluescale_system(16, include_legacy=True)
+        expected = bluescale_cost(16) + legacy_system_cost(16)
+        assert report.totals.luts == expected.luts
+        assert report.totals.registers == expected.registers
+
+    def test_without_legacy(self):
+        report = synthesize_bluescale_system(16, include_legacy=False)
+        assert report.totals.luts == bluescale_cost(16).luts
+
+    def test_utilization_fraction(self):
+        report = synthesize_bluescale_system(64)
+        assert 0 < report.lut_utilization < 1
+
+    def test_timing_never_limited_by_bluescale(self):
+        for n in (16, 64, 128):
+            report = synthesize_bluescale_system(n)
+            assert report.timing_limited_by() == "cores"
+
+    def test_binary_fanout_costs_more(self):
+        quad = synthesize_bluescale_system(16, include_legacy=False)
+        binary = synthesize_bluescale_system(16, fanout=2, include_legacy=False)
+        assert binary.totals.luts > quad.totals.luts
+
+    def test_interior_level_appears_at_64_clients(self):
+        report = synthesize_bluescale_system(64)
+        assert any("interior" in line.name for line in report.components)
+
+    def test_rejects_single_client(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_bluescale_system(1)
+
+    def test_formatting_includes_total_and_timing(self):
+        text = format_synthesis_report(synthesize_bluescale_system(16))
+        assert "TOTAL" in text
+        assert "MHz" in text
+        assert "utilization" in text

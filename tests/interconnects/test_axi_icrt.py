@@ -1,0 +1,136 @@
+"""Unit tests for the centralized AXI-IC^RT baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnects.axi_icrt import AxiIcRtInterconnect
+from repro.memory.controller import MemoryController
+from repro.memory.dram import FixedLatencyDevice
+
+from tests.conftest import make_request
+
+
+def wired(n_clients=4, **kwargs):
+    interconnect = AxiIcRtInterconnect(n_clients, **kwargs)
+    controller = MemoryController(FixedLatencyDevice(1), queue_capacity=8)
+    interconnect.attach_controller(controller)
+    return interconnect, controller
+
+
+def drive(interconnect, controller, cycles):
+    delivered = []
+    for cycle in range(cycles):
+        interconnect.tick_request_path(cycle)
+        controller.tick(cycle)
+        delivered.extend(interconnect.tick_response_path(cycle))
+    return delivered
+
+
+class TestGlobalEdfArbitration:
+    def test_earliest_deadline_served_first(self):
+        interconnect, controller = wired()
+        relaxed = make_request(client_id=0, deadline=900)
+        urgent = make_request(client_id=3, deadline=100)
+        interconnect.try_inject(relaxed, 0)
+        interconnect.try_inject(urgent, 0)
+        delivered = drive(interconnect, controller, 12)
+        assert delivered.index(urgent) < delivered.index(relaxed)
+
+    def test_pipeline_latency_applied(self):
+        interconnect, controller = wired(pipeline_latency=3)
+        request = make_request(client_id=0, deadline=1000)
+        interconnect.try_inject(request, 0)
+        drive(interconnect, controller, 12)
+        # arbitration at cycle 0, pipeline exit at 3, service 1, response 3
+        assert request.arrive_controller_cycle >= 3
+
+    def test_fifo_backpressure(self):
+        interconnect, _ = wired(fifo_capacity=2)
+        assert interconnect.try_inject(make_request(client_id=1), 0)
+        assert interconnect.try_inject(make_request(client_id=1), 0)
+        assert not interconnect.try_inject(make_request(client_id=1), 0)
+
+    def test_all_requests_complete(self):
+        interconnect, controller = wired()
+        requests = [make_request(client_id=c % 4, deadline=1000) for c in range(12)]
+        injected = 0
+        delivered = []
+        for cycle in range(60):
+            while injected < len(requests) and interconnect.try_inject(
+                requests[injected], cycle
+            ):
+                injected += 1
+            interconnect.tick_request_path(cycle)
+            controller.tick(cycle)
+            delivered.extend(interconnect.tick_response_path(cycle))
+        assert len(delivered) == 12
+        assert interconnect.requests_in_flight() == 0
+
+
+class TestRegulation:
+    def test_exhausted_client_waits_for_window(self):
+        interconnect, controller = wired()
+        interconnect.configure_regulation(budgets=[1, 4, 4, 4], window=10)
+        first = make_request(client_id=0, deadline=500)
+        second = make_request(client_id=0, deadline=501)
+        interconnect.try_inject(first, 0)
+        interconnect.try_inject(second, 0)
+        drive(interconnect, controller, 30)
+        # one token per 10-cycle window: second waits for replenishment
+        assert first.arrive_controller_cycle < 10
+        assert second.arrive_controller_cycle >= 10
+
+    def test_regulated_inversion_charged_to_eligible_waiter(self):
+        interconnect, controller = wired()
+        interconnect.configure_regulation(budgets=[1, 4, 4, 4], window=100)
+        burner = make_request(client_id=0, deadline=400)
+        urgent = make_request(client_id=0, deadline=100)  # same client, later
+        relaxed = make_request(client_id=1, deadline=900)
+        interconnect.try_inject(burner, 0)  # consumes client 0's only token
+        interconnect.try_inject(urgent, 0)
+        interconnect.try_inject(relaxed, 0)
+        drive(interconnect, controller, 4)
+        # relaxed forwards while the ineligible urgent waits: urgent is NOT
+        # charged (shaped by its own regulation), per the metric definition
+        assert urgent.blocking_cycles == 0
+
+    def test_budget_validation(self):
+        interconnect, _ = wired()
+        with pytest.raises(ConfigurationError):
+            interconnect.configure_regulation([1, 2, 3], window=10)  # wrong n
+        with pytest.raises(ConfigurationError):
+            interconnect.configure_regulation([1, 2, 3, 11], window=10)  # > window
+        with pytest.raises(ConfigurationError):
+            interconnect.configure_regulation([1, 2, 3, -1], window=10)
+        with pytest.raises(ConfigurationError):
+            interconnect.configure_regulation([1, 1, 1, 1], window=0)
+
+    def test_budgets_from_utilizations(self):
+        budgets = AxiIcRtInterconnect.budgets_from_utilizations(
+            [0.5, 0.001, 0.9], window=100, margin=1.2
+        )
+        assert budgets[0] == 60
+        assert budgets[1] == 1  # floor of one slot
+        assert budgets[2] == 100  # capped at the window
+
+
+class TestArbitrationInterval:
+    def test_slow_arbiter_halves_decision_rate(self):
+        fast, fast_ctrl = wired()
+        slow, slow_ctrl = wired(arbitration_interval=2)
+        for interconnect in (fast, slow):
+            for i in range(6):
+                interconnect.try_inject(
+                    make_request(client_id=i % 4, deadline=1000), 0
+                )
+        fast_done = drive(fast, fast_ctrl, 10)
+        slow_done = drive(slow, slow_ctrl, 10)
+        assert len(fast_done) > len(slow_done)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AxiIcRtInterconnect(4, arbitration_interval=0)
+        with pytest.raises(ConfigurationError):
+            AxiIcRtInterconnect(4, pipeline_latency=0)
+        with pytest.raises(ConfigurationError):
+            AxiIcRtInterconnect(4, fifo_capacity=0)

@@ -1,0 +1,145 @@
+"""Cross-design tests of the blocking-latency metric's semantics.
+
+Fig. 6's metric — time blocked by lower-priority requests — must mean
+the same thing on every interconnect for the comparison to be fair.
+These scenarios pin the accounting rules:
+
+* a deadline-aware arbiter given conflict-free traffic charges nothing;
+* a heuristic arbiter forwarding against deadline order charges the
+  inverted waiter, every cycle it waits;
+* waiting caused by one's own reservation (budget, token, TDM credit)
+  is shaping, never blocking.
+"""
+
+from repro.analysis.prm import ResourceInterface
+from repro.core.interconnect import BlueScaleInterconnect
+from repro.interconnects.axi_icrt import AxiIcRtInterconnect
+from repro.interconnects.bluetree import BlueTreeInterconnect
+from repro.memory.controller import MemoryController
+from repro.memory.dram import FixedLatencyDevice
+
+from tests.conftest import make_request
+
+
+def wired(interconnect):
+    controller = MemoryController(FixedLatencyDevice(1), queue_capacity=8)
+    interconnect.attach_controller(controller)
+    return interconnect, controller
+
+
+def drive(interconnect, controller, cycles, start=0):
+    delivered = []
+    for cycle in range(start, start + cycles):
+        interconnect.tick_request_path(cycle)
+        controller.tick(cycle)
+        delivered.extend(interconnect.tick_response_path(cycle))
+    return delivered
+
+
+class TestEdfDesignsChargeNothingOnOrderedTraffic:
+    def test_bluescale_sequential_deadlines(self):
+        interconnect, controller = wired(BlueScaleInterconnect(16))
+        requests = [
+            make_request(client_id=c, deadline=100 + 10 * c) for c in range(4)
+        ]
+        for request in requests:
+            interconnect.try_inject(request, 0)
+        drive(interconnect, controller, 30)
+        # EDF serves exactly in deadline order: no inversions anywhere
+        assert all(r.blocking_cycles == 0 for r in requests)
+
+    def test_axi_sequential_deadlines(self):
+        interconnect, controller = wired(AxiIcRtInterconnect(4))
+        requests = [
+            make_request(client_id=c, deadline=100 + 10 * c) for c in range(4)
+        ]
+        for request in requests:
+            interconnect.try_inject(request, 0)
+        drive(interconnect, controller, 30)
+        assert all(r.blocking_cycles == 0 for r in requests)
+
+
+class TestHeuristicArbitrationCharges:
+    def test_bluetree_left_priority_inversion(self):
+        interconnect, controller = wired(BlueTreeInterconnect(4))
+        late = make_request(client_id=0, deadline=900)  # left path
+        urgent = make_request(client_id=1, deadline=50)  # right path
+        interconnect.try_inject(late, 0)
+        interconnect.try_inject(urgent, 0)
+        drive(interconnect, controller, 20)
+        assert urgent.blocking_cycles > 0
+        assert late.blocking_cycles == 0
+
+
+class TestShapingIsNotBlocking:
+    def test_budget_exhausted_port_not_charged(self):
+        """A BlueScale port waiting on its own replenishment accrues no
+        blocking even while later-deadline traffic flows past."""
+        interconnect, controller = wired(
+            BlueScaleInterconnect(16, buffer_capacity=4)
+        )
+        # Give client 0's leaf port a tiny budget; leave others generous.
+        leaf = interconnect.elements[(1, 0)]
+        leaf.program_port(0, ResourceInterface(50, 1), now=0)
+        for port in range(1, 4):
+            leaf.program_port(port, ResourceInterface(2, 1), now=0)
+        first = make_request(client_id=0, deadline=60)
+        second = make_request(client_id=0, deadline=70)
+        interconnect.try_inject(first, 0)
+        interconnect.try_inject(second, 0)
+        # later-deadline traffic from a sibling client flows meanwhile
+        for i in range(6):
+            interconnect.try_inject(
+                make_request(client_id=1, deadline=500 + i), 0
+            )
+        drive(interconnect, controller, 2)
+        # any charge so far happened while port 0 still had budget
+        # (sibling servers with shorter periods may win a cycle first)
+        early_charge = second.blocking_cycles
+        drive(interconnect, controller, 38, start=2)
+        # after port 0's single budget unit is spent on 'first', the
+        # long wait for replenishment accrues NO further blocking even
+        # though later-deadline sibling traffic keeps flowing past
+        assert second.blocking_cycles == early_charge
+
+    def test_axi_token_throttled_client_not_charged(self):
+        interconnect, controller = wired(AxiIcRtInterconnect(4))
+        interconnect.configure_regulation(budgets=[1, 8, 8, 8], window=50)
+        burner = make_request(client_id=0, deadline=400)
+        throttled = make_request(client_id=0, deadline=100)
+        relaxed = make_request(client_id=1, deadline=900)
+        interconnect.try_inject(burner, 0)
+        interconnect.try_inject(throttled, 0)
+        interconnect.try_inject(relaxed, 0)
+        drive(interconnect, controller, 10)
+        assert throttled.blocking_cycles == 0
+
+
+class TestRandomAccessBuffersReorderSameClientTraffic:
+    def test_bluescale_bypasses_fifo_head_of_line(self):
+        """The paper's Sec. 4.1 point, measured: a later-injected urgent
+        request overtakes its own client's earlier relaxed request in a
+        random-access buffer, but is stuck behind it in AXI-IC^RT's
+        ingress FIFO — where it accrues blocking."""
+
+        def run(make_interconnect):
+            interconnect = make_interconnect()
+            controller = MemoryController(
+                FixedLatencyDevice(6), queue_capacity=8
+            )
+            interconnect.attach_controller(controller)
+            late = make_request(client_id=0, deadline=900)
+            urgent = make_request(client_id=0, deadline=100)
+            interconnect.try_inject(late, 0)
+            interconnect.try_inject(urgent, 0)
+            for cycle in range(40):
+                interconnect.tick_request_path(cycle)
+                controller.tick(cycle)
+                interconnect.tick_response_path(cycle)
+            return urgent
+
+        reordered = run(lambda: BlueScaleInterconnect(16))
+        fifo_bound = run(lambda: AxiIcRtInterconnect(4))
+        assert reordered.blocking_cycles == 0  # EDF fetch overtook
+        assert fifo_bound.blocking_cycles > 0  # stuck behind FIFO head
+        assert reordered.complete_cycle < fifo_bound.complete_cycle

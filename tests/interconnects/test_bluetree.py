@@ -1,0 +1,142 @@
+"""Unit tests for BlueTree and BlueTree-Smooth."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnects.bluetree import (
+    BlueTreeInterconnect,
+    BlueTreeNode,
+    BlueTreeSmoothInterconnect,
+)
+from repro.memory.controller import MemoryController
+from repro.memory.dram import FixedLatencyDevice
+
+from tests.conftest import make_request
+
+
+def wired(n_clients=8, **kwargs):
+    interconnect = BlueTreeInterconnect(n_clients, **kwargs)
+    controller = MemoryController(FixedLatencyDevice(1), queue_capacity=8)
+    interconnect.attach_controller(controller)
+    return interconnect, controller
+
+
+def drive(interconnect, controller, cycles):
+    delivered = []
+    for cycle in range(cycles):
+        interconnect.tick_request_path(cycle)
+        controller.tick(cycle)
+        delivered.extend(interconnect.tick_response_path(cycle))
+    return delivered
+
+
+class TestTopology:
+    def test_binary_tree_node_count(self):
+        assert len(BlueTreeInterconnect(8).nodes) == 7
+        assert len(BlueTreeInterconnect(16).nodes) == 15
+
+    def test_deeper_than_bluescale(self):
+        # 16 clients: 4 mux stages vs BlueScale's 2 SE levels
+        assert BlueTreeInterconnect(16).topology.depth == 3
+
+
+class TestBlockingFactorArbitration:
+    def sink_node(self, alpha):
+        node = BlueTreeNode((0, 0), fifo_capacity=8, alpha=alpha)
+        forwarded = []
+        node.forward = lambda request, cycle: (forwarded.append(request), True)[1]
+        return node, forwarded
+
+    def test_left_priority(self):
+        node, forwarded = self.sink_node(alpha=2)
+        left = make_request(client_id=0)
+        right = make_request(client_id=1)
+        node.try_accept(0, left)
+        node.try_accept(1, right)
+        node.tick(0)
+        assert forwarded == [left]
+
+    def test_right_slips_after_alpha_left_forwards(self):
+        """With α=2, the right-hand path gets one slot per two left
+        forwards — the bounded-blocking heuristic of Sec. 2.2."""
+        node, forwarded = self.sink_node(alpha=2)
+        lefts = [make_request(client_id=0, deadline=1000 + i) for i in range(4)]
+        rights = [make_request(client_id=1, deadline=2000 + i) for i in range(2)]
+        for request in lefts:
+            node.try_accept(0, request)
+        for request in rights:
+            node.try_accept(1, request)
+        for cycle in range(6):
+            node.tick(cycle)
+        # pattern: L L R L L R
+        assert forwarded == [lefts[0], lefts[1], rights[0], lefts[2], lefts[3], rights[1]]
+
+    def test_alpha_one_is_round_robin(self):
+        node, forwarded = self.sink_node(alpha=1)
+        lefts = [make_request(client_id=0) for _ in range(2)]
+        rights = [make_request(client_id=1) for _ in range(2)]
+        for l, r in zip(lefts, rights):
+            node.try_accept(0, l)
+            node.try_accept(1, r)
+        for cycle in range(4):
+            node.tick(cycle)
+        assert forwarded == [lefts[0], rights[0], lefts[1], rights[1]]
+
+    def test_right_alone_forwards(self):
+        node, forwarded = self.sink_node(alpha=2)
+        right = make_request(client_id=1)
+        node.try_accept(1, right)
+        node.tick(0)
+        assert forwarded == [right]
+
+    def test_arbitration_ignores_deadlines(self):
+        """The heuristic forwards the left path even when the right holds
+        an earlier deadline — the design flaw BlueScale fixes."""
+        node, forwarded = self.sink_node(alpha=2)
+        late = make_request(client_id=0, deadline=900)
+        urgent = make_request(client_id=1, deadline=10)
+        node.try_accept(0, late)
+        node.try_accept(1, urgent)
+        node.tick(0)
+        assert forwarded == [late]
+        assert urgent.blocking_cycles == 1  # inversion charged
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            BlueTreeNode((0, 0), fifo_capacity=2, alpha=0)
+
+
+class TestEndToEnd:
+    def test_all_requests_complete(self):
+        interconnect, controller = wired(8)
+        requests = [make_request(client_id=c, deadline=1000) for c in range(8)]
+        for request in requests:
+            assert interconnect.try_inject(request, 0)
+        delivered = drive(interconnect, controller, 40)
+        assert sorted(r.rid for r in delivered) == sorted(r.rid for r in requests)
+        assert interconnect.requests_in_flight() == 0
+
+    def test_shallow_fifos_backpressure_quickly(self):
+        interconnect, _ = wired(8, fifo_capacity=2)
+        accepted = sum(
+            interconnect.try_inject(make_request(client_id=0), 0) for _ in range(5)
+        )
+        assert accepted == 2
+
+
+class TestSmoothVariant:
+    def test_deeper_buffers(self):
+        smooth = BlueTreeSmoothInterconnect(8)
+        plain = BlueTreeInterconnect(8)
+        assert smooth.fifo_capacity > plain.fifo_capacity
+
+    def test_absorbs_bigger_bursts_at_ingress(self):
+        smooth = BlueTreeSmoothInterconnect(8)
+        accepted = sum(
+            smooth.try_inject(make_request(client_id=0), 0) for _ in range(10)
+        )
+        assert accepted == smooth.fifo_capacity
+
+    def test_name_distinguishes_variants(self):
+        assert BlueTreeSmoothInterconnect(8).name == "BlueTree-Smooth"
+        assert BlueTreeInterconnect(8).name == "BlueTree"

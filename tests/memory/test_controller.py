@@ -1,0 +1,226 @@
+"""Unit tests for the memory controller."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory.controller import ArbitrationPolicy, MemoryController
+from repro.memory.dram import DramDevice, FixedLatencyDevice
+
+from tests.conftest import make_request
+
+
+def run_cycles(controller: MemoryController, start: int, count: int) -> int:
+    for cycle in range(start, start + count):
+        controller.tick(cycle)
+    return start + count
+
+
+class TestServiceBasics:
+    def test_services_one_request(self):
+        done = []
+        controller = MemoryController(
+            FixedLatencyDevice(3), on_response=lambda r, c: done.append((r, c))
+        )
+        request = make_request()
+        controller.enqueue(request, 0)
+        run_cycles(controller, 0, 5)
+        assert len(done) == 1
+        completed, at = done[0]
+        assert completed is request
+        assert at == 3  # enqueued at 0, 3 cycles of service
+        assert request.service_start_cycle == 0
+        assert request.service_end_cycle == 3
+
+    def test_services_back_to_back(self):
+        done = []
+        controller = MemoryController(
+            FixedLatencyDevice(2), on_response=lambda r, c: done.append(c)
+        )
+        controller.enqueue(make_request(), 0)
+        controller.enqueue(make_request(), 0)
+        run_cycles(controller, 0, 6)
+        assert done == [2, 4]
+
+    def test_unit_service_rate(self):
+        """With cost 1 the controller sustains one request per cycle —
+        the transaction-slot time base of the experiments."""
+        done = []
+        controller = MemoryController(
+            FixedLatencyDevice(1),
+            queue_capacity=16,
+            on_response=lambda r, c: done.append(c),
+        )
+        for i in range(10):
+            controller.enqueue(make_request(), 0)
+        run_cycles(controller, 0, 10)
+        assert done == list(range(1, 11))
+
+    def test_idle_controller_does_nothing(self):
+        controller = MemoryController(FixedLatencyDevice(1))
+        run_cycles(controller, 0, 5)
+        assert controller.serviced == 0
+        assert controller.busy_cycles == 0
+
+
+class TestBackpressure:
+    def test_capacity_respected(self):
+        controller = MemoryController(FixedLatencyDevice(5), queue_capacity=2)
+        controller.enqueue(make_request(), 0)
+        controller.enqueue(make_request(), 0)
+        assert not controller.can_accept()
+        with pytest.raises(CapacityError):
+            controller.enqueue(make_request(), 0)
+
+    def test_capacity_frees_as_serviced(self):
+        controller = MemoryController(FixedLatencyDevice(1), queue_capacity=1)
+        controller.enqueue(make_request(), 0)
+        controller.tick(0)  # pulled into service
+        assert controller.can_accept()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryController(FixedLatencyDevice(1), queue_capacity=0)
+
+
+class TestBlockingAccounting:
+    def test_queued_urgent_request_charged(self):
+        controller = MemoryController(FixedLatencyDevice(4), queue_capacity=4)
+        relaxed = make_request(deadline=1000)
+        urgent = make_request(deadline=50)
+        controller.enqueue(relaxed, 0)
+        controller.enqueue(urgent, 0)
+        run_cycles(controller, 0, 4)  # relaxed in service for 4 cycles
+        assert urgent.blocking_cycles == 4
+
+    def test_lower_priority_waiter_not_charged(self):
+        controller = MemoryController(FixedLatencyDevice(4), queue_capacity=4)
+        urgent = make_request(deadline=50)
+        relaxed = make_request(deadline=1000)
+        controller.enqueue(urgent, 0)
+        controller.enqueue(relaxed, 0)
+        run_cycles(controller, 0, 4)
+        assert relaxed.blocking_cycles == 0
+
+
+class TestFrFcfs:
+    def test_row_hit_first(self):
+        dram = DramDevice(n_banks=8, row_size_bytes=2048)
+        controller = MemoryController(
+            dram, queue_capacity=8, policy=ArbitrationPolicy.FR_FCFS
+        )
+        opener = make_request(address=0)
+        controller.enqueue(opener, 0)
+        controller.tick(0)  # opener starts: opens row 0 of bank 0
+        conflict = make_request(address=8 * 2048)  # same bank, other row
+        hit = make_request(address=64)  # open row
+        controller.enqueue(conflict, 1)
+        controller.enqueue(hit, 1)
+        # run until opener finishes and next is picked
+        for cycle in range(1, 2 + dram.timing.row_miss_cycles):
+            controller.tick(cycle)
+        assert hit.service_start_cycle >= 0
+        assert conflict.service_start_cycle == -1
+
+    def test_fcfs_ignores_row_state(self):
+        dram = DramDevice()
+        controller = MemoryController(
+            dram, queue_capacity=8, policy=ArbitrationPolicy.FCFS
+        )
+        opener = make_request(address=0)
+        controller.enqueue(opener, 0)
+        controller.tick(0)
+        conflict = make_request(address=8 * 2048)
+        hit = make_request(address=64)
+        controller.enqueue(conflict, 1)
+        controller.enqueue(hit, 1)
+        for cycle in range(1, 2 + dram.timing.row_miss_cycles):
+            controller.tick(cycle)
+        assert conflict.service_start_cycle >= 0  # arrival order preserved
+        assert hit.service_start_cycle == -1
+
+
+class TestRefresh:
+    def test_refresh_stalls_service(self):
+        """During the tRFC window nothing is serviced; requests resume
+        where they paused afterwards."""
+        done = []
+        controller = MemoryController(
+            FixedLatencyDevice(1),
+            queue_capacity=16,
+            on_response=lambda r, c: done.append(c),
+            refresh_interval=10,
+            refresh_duration=3,
+        )
+        for _ in range(12):
+            controller.enqueue(make_request(), 0)
+        run_cycles(controller, 0, 20)
+        # cycles 10, 11, 12 are refresh stalls: at most 17 completions
+        assert controller.refresh_stall_cycles == 3
+        assert len(done) == 12
+        assert all(c <= 10 or c > 13 for c in done)
+
+    def test_refresh_adds_jitter_to_latency(self):
+        def worst_response(refresh_interval):
+            controller = MemoryController(
+                FixedLatencyDevice(2),
+                queue_capacity=8,
+                refresh_interval=refresh_interval,
+                refresh_duration=4 if refresh_interval else 0,
+            )
+            responses = []
+            controller.on_response = lambda r, c: responses.append(
+                c - r.arrive_controller_cycle
+            )
+            for cycle in range(60):
+                if cycle % 6 == 0 and controller.can_accept():
+                    controller.enqueue(make_request(release=cycle, deadline=cycle + 500), cycle)
+                controller.tick(cycle)
+            return max(responses)
+
+        assert worst_response(10) > worst_response(0)
+
+    def test_throughput_reduced_by_refresh_share(self):
+        def throughput(refresh_interval, refresh_duration):
+            controller = MemoryController(
+                FixedLatencyDevice(1),
+                queue_capacity=4,
+                refresh_interval=refresh_interval,
+                refresh_duration=refresh_duration,
+            )
+            for cycle in range(200):
+                if controller.can_accept():
+                    controller.enqueue(
+                        make_request(release=cycle, deadline=cycle + 10_000),
+                        cycle,
+                    )
+                controller.tick(cycle)
+            return controller.serviced
+
+        full = throughput(0, 0)
+        refreshed = throughput(20, 4)  # 20% of time refreshing
+        assert refreshed <= 0.85 * full
+
+    def test_refresh_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryController(FixedLatencyDevice(1), refresh_interval=-1)
+        with pytest.raises(ConfigurationError):
+            MemoryController(
+                FixedLatencyDevice(1), refresh_interval=5, refresh_duration=5
+            )
+
+
+class TestIntrospection:
+    def test_in_flight_counts_queue_and_service(self):
+        controller = MemoryController(FixedLatencyDevice(5), queue_capacity=4)
+        controller.enqueue(make_request(), 0)
+        controller.enqueue(make_request(), 0)
+        controller.tick(0)
+        assert controller.busy
+        assert controller.queue_depth == 1
+        assert controller.in_flight == 2
+
+    def test_busy_cycles_counted(self):
+        controller = MemoryController(FixedLatencyDevice(3))
+        controller.enqueue(make_request(), 0)
+        run_cycles(controller, 0, 10)
+        assert controller.busy_cycles == 3

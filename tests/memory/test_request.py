@@ -1,0 +1,85 @@
+"""Unit tests for memory transactions."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memory.request import MemoryRequest, RequestKind, reset_request_ids
+
+from tests.conftest import make_request
+
+
+class TestConstruction:
+    def test_ids_are_unique_and_increasing(self):
+        reset_request_ids()
+        a = make_request()
+        b = make_request()
+        assert b.rid == a.rid + 1
+
+    def test_reset_request_ids(self):
+        reset_request_ids()
+        first = make_request()
+        assert first.rid == 0
+
+    def test_deadline_must_follow_release(self):
+        with pytest.raises(ProtocolError):
+            MemoryRequest(client_id=0, release_cycle=10, absolute_deadline=10)
+
+    def test_default_kind_is_read(self):
+        assert make_request().kind is RequestKind.READ
+
+
+class TestPriority:
+    def test_earlier_deadline_wins(self):
+        urgent = make_request(release=0, deadline=50)
+        relaxed = make_request(release=0, deadline=100)
+        assert urgent.higher_priority_than(relaxed)
+        assert not relaxed.higher_priority_than(urgent)
+
+    def test_ties_broken_by_id(self):
+        reset_request_ids()
+        first = make_request(deadline=100)
+        second = make_request(deadline=100)
+        assert first.higher_priority_than(second)
+
+    def test_priority_key_orders_like_comparison(self):
+        a = make_request(deadline=30)
+        b = make_request(deadline=60)
+        assert (a.priority_key < b.priority_key) == a.higher_priority_than(b)
+
+
+class TestLifecycle:
+    def test_blocking_accumulates(self):
+        request = make_request()
+        request.charge_blocking()
+        request.charge_blocking(3)
+        assert request.blocking_cycles == 4
+
+    def test_completion(self):
+        request = make_request(release=5, deadline=100)
+        request.mark_complete(42)
+        assert request.completed
+        assert request.response_time == 37
+        assert request.met_deadline
+
+    def test_late_completion_misses(self):
+        request = make_request(release=0, deadline=10)
+        request.mark_complete(11)
+        assert not request.met_deadline
+
+    def test_boundary_completion_meets(self):
+        request = make_request(release=0, deadline=10)
+        request.mark_complete(10)
+        assert request.met_deadline
+
+    def test_double_completion_rejected(self):
+        request = make_request()
+        request.mark_complete(5)
+        with pytest.raises(ProtocolError):
+            request.mark_complete(6)
+
+    def test_response_time_before_completion_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_request().response_time
+
+    def test_incomplete_request_never_meets_deadline(self):
+        assert not make_request().met_deadline

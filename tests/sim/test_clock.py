@@ -1,0 +1,52 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import Clock
+
+
+class TestClockBasics:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_tick_advances(self):
+        clock = Clock()
+        assert clock.tick() == 1
+        assert clock.tick(9) == 10
+        assert clock.now == 10
+
+    def test_tick_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Clock().tick(-1)
+
+    def test_reset(self):
+        clock = Clock()
+        clock.tick(42)
+        clock.reset()
+        assert clock.now == 0
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            Clock(frequency_mhz=0)
+        with pytest.raises(ConfigurationError):
+            Clock(frequency_mhz=-5)
+
+
+class TestUnitConversion:
+    def test_cycle_time_at_100mhz(self):
+        assert Clock(frequency_mhz=100).cycle_time_us == pytest.approx(0.01)
+
+    def test_cycles_to_us_roundtrip(self):
+        clock = Clock(frequency_mhz=100)
+        assert clock.cycles_to_us(100) == pytest.approx(1.0)
+        assert clock.us_to_cycles(1.0) == 100
+
+    def test_us_to_cycles_rounds_up(self):
+        clock = Clock(frequency_mhz=100)
+        # 0.015us = 1.5 cycles -> must not under-provision time
+        assert clock.us_to_cycles(0.015) == 2
+
+    def test_one_mhz_clock_has_us_cycles(self):
+        clock = Clock(frequency_mhz=1.0)
+        assert clock.cycles_to_us(7) == pytest.approx(7.0)

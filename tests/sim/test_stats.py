@@ -1,0 +1,92 @@
+"""Unit and property tests for statistics collection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import LatencyRecorder, SummaryStatistics, mean
+
+
+class TestSummaryStatistics:
+    def test_empty_sample(self):
+        summary = SummaryStatistics.from_sample([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.maximum == 0.0
+
+    def test_single_value(self):
+        summary = SummaryStatistics.from_sample([7.0])
+        assert summary.count == 1
+        assert summary.mean == 7.0
+        assert summary.minimum == summary.maximum == 7.0
+        assert summary.p50 == summary.p99 == 7.0
+
+    def test_known_sample(self):
+        summary = SummaryStatistics.from_sample([1, 2, 3, 4, 5])
+        assert summary.mean == 3.0
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.p50 == 3
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_percentiles_within_range(self, sample):
+        summary = SummaryStatistics.from_sample(sample)
+        assert summary.minimum <= summary.p50 <= summary.maximum
+        assert summary.p50 <= summary.p95 <= summary.maximum
+        assert summary.p95 <= summary.p99 <= summary.maximum
+        # float summation can put the mean an ulp outside [min, max]
+        slack = 1e-9 * max(1.0, abs(summary.maximum))
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=50))
+    def test_std_nonnegative(self, sample):
+        assert SummaryStatistics.from_sample(sample).std >= 0
+
+
+class TestLatencyRecorder:
+    def test_records_completion(self):
+        recorder = LatencyRecorder()
+        recorder.record_completion(10, 2, met_deadline=True)
+        recorder.record_completion(20, 5, met_deadline=False)
+        assert recorder.completed == 2
+        assert recorder.missed == 1
+        assert recorder.deadline_miss_ratio == 0.5
+
+    def test_drop_counts_as_miss(self):
+        recorder = LatencyRecorder()
+        recorder.record_completion(10, 0, met_deadline=True)
+        recorder.record_drop()
+        assert recorder.issued == 2
+        assert recorder.deadline_miss_ratio == 0.5
+
+    def test_empty_recorder_has_zero_ratio(self):
+        assert LatencyRecorder().deadline_miss_ratio == 0.0
+
+    def test_merge_accumulates(self):
+        a = LatencyRecorder()
+        a.record_completion(10, 1, True)
+        b = LatencyRecorder()
+        b.record_completion(20, 2, False)
+        b.record_drop()
+        a.merge(b)
+        assert a.completed == 2
+        assert a.missed == 2
+        assert a.dropped == 1
+        assert a.response_times == [10, 20]
+
+    def test_summaries_reflect_samples(self):
+        recorder = LatencyRecorder()
+        for latency in (5, 10, 15):
+            recorder.record_completion(latency, latency // 5, True)
+        assert recorder.response_summary().mean == 10
+        assert recorder.blocking_summary().maximum == 3
+
+
+class TestMeanHelper:
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+    def test_values(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_generator_input(self):
+        assert mean(x for x in (4, 6)) == 5.0

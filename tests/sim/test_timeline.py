@@ -1,0 +1,110 @@
+"""Tests for the request timeline inspector."""
+
+import random
+
+import pytest
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.core.interconnect import BlueScaleInterconnect
+from repro.errors import ConfigurationError
+from repro.sim.timeline import Timeline, format_timeline
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+
+
+def run_with_timeline(seed=4, horizon=2_000, capacity=100_000):
+    rng = random.Random(seed)
+    tasksets = generate_client_tasksets(rng, 8, 2, 0.5)
+    interconnect = BlueScaleInterconnect(8, buffer_capacity=2)
+    interconnect.configure(tasksets)
+    timeline = Timeline(interconnect, capacity=capacity)
+    clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
+    result = SoCSimulation(clients, interconnect).run(horizon, drain=1_000)
+    return timeline, result
+
+
+class TestRecording:
+    def test_every_completed_request_has_hop_events(self):
+        timeline, result = run_with_timeline()
+        assert len(timeline) == result.requests_completed
+        for record in timeline.slowest(10):
+            labels = [label for label, _ in record.events]
+            # one event per SE level on the path (leaf + root for 8 clients)
+            assert sum(1 for l in labels if l.startswith("SE")) == 2
+
+    def test_hop_cycles_monotone(self):
+        timeline, _ = run_with_timeline()
+        for record in timeline.slowest(20):
+            cycles = [cycle for _, cycle in record.events]
+            assert cycles == sorted(cycles)
+
+    def test_monitoring_does_not_change_behaviour(self):
+        """A wrapped interconnect produces bit-identical results."""
+        _, monitored = run_with_timeline(seed=9)
+
+        rng = random.Random(9)
+        tasksets = generate_client_tasksets(rng, 8, 2, 0.5)
+        interconnect = BlueScaleInterconnect(8, buffer_capacity=2)
+        interconnect.configure(tasksets)
+        clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
+        plain = SoCSimulation(clients, interconnect).run(2_000, drain=1_000)
+        assert plain.recorder.response_times == monitored.recorder.response_times
+
+    def test_capacity_bound_respected(self):
+        timeline, result = run_with_timeline(capacity=10)
+        assert len(timeline) == 10
+        assert timeline.dropped_records > 0
+
+    def test_unknown_rid_rejected(self):
+        timeline, _ = run_with_timeline()
+        with pytest.raises(ConfigurationError):
+            timeline.of(10**9)
+
+    def test_bad_capacity_rejected(self):
+        interconnect = BlueScaleInterconnect(4)
+        with pytest.raises(ConfigurationError):
+            Timeline(interconnect, capacity=0)
+
+
+class TestRendering:
+    def test_format_contains_hops_and_span(self):
+        timeline, _ = run_with_timeline()
+        record = timeline.slowest(1)[0]
+        text = format_timeline(record)
+        assert f"request #{record.rid}" in text
+        assert "SE(0, 0)" in text
+        assert "#" in text
+
+    def test_slowest_ordering(self):
+        timeline, _ = run_with_timeline()
+        spans = [
+            r.span()[1] - r.span()[0] for r in timeline.slowest(10)
+        ]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestFinalize:
+    def test_finalize_adds_completion_events(self):
+        rng = random.Random(2)
+        tasksets = generate_client_tasksets(rng, 4, 2, 0.4)
+        interconnect = BlueScaleInterconnect(4, buffer_capacity=2)
+        interconnect.configure(tasksets)
+        timeline = Timeline(interconnect)
+        clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
+
+        completed = []
+        inject = interconnect.try_inject
+        controller = SoCSimulation(clients, interconnect).controller
+        for cycle in range(800):
+            if cycle < 500:
+                for client in clients:
+                    client.tick(cycle, inject)
+            interconnect.tick_request_path(cycle)
+            controller.tick(cycle)
+            for request in interconnect.tick_response_path(cycle):
+                completed.append(request)
+                clients[request.client_id].on_response(request)
+        timeline.finalize(completed)
+        record = timeline.of(completed[0].rid)
+        labels = [label for label, _ in record.events]
+        assert "complete" in labels

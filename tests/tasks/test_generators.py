@@ -1,0 +1,158 @@
+"""Unit and property tests for the workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tasks.generators import (
+    assign_round_robin,
+    generate_client_tasksets,
+    generate_taskset,
+    generate_transaction_taskset,
+    log_uniform_periods,
+    uunifast,
+    uunifast_discard,
+)
+from repro.tasks.task import PeriodicTask
+
+
+class TestUUniFast:
+    def test_shares_sum_to_total(self, rng):
+        shares = uunifast(rng, 10, 0.8)
+        assert sum(shares) == pytest.approx(0.8)
+        assert len(shares) == 10
+
+    def test_all_shares_positive(self, rng):
+        assert all(s >= 0 for s in uunifast(rng, 50, 2.0))
+
+    def test_rejects_bad_input(self, rng):
+        with pytest.raises(ConfigurationError):
+            uunifast(rng, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            uunifast(rng, 5, 0.0)
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 40),
+        total=st.floats(min_value=0.05, max_value=4.0),
+    )
+    @settings(max_examples=50)
+    def test_sum_property(self, seed, n, total):
+        shares = uunifast(random.Random(seed), n, total)
+        assert sum(shares) == pytest.approx(total, rel=1e-9)
+
+
+class TestUUniFastDiscard:
+    def test_respects_cap(self, rng):
+        shares = uunifast_discard(rng, 8, 4.0, cap=1.0)
+        assert all(s <= 1.0 for s in shares)
+        assert sum(shares) == pytest.approx(4.0)
+
+    def test_impossible_cap_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uunifast_discard(rng, 2, 3.0, cap=1.0)
+
+    def test_nonpositive_cap_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uunifast_discard(rng, 2, 0.5, cap=0)
+
+
+class TestLogUniformPeriods:
+    def test_within_range(self, rng):
+        periods = log_uniform_periods(rng, 100, 50, 5000)
+        assert all(50 <= p <= 5000 for p in periods)
+
+    def test_granularity_snapping(self, rng):
+        periods = log_uniform_periods(rng, 50, 100, 1000, granularity=10)
+        assert all(p % 10 == 0 or p in (100, 1000) for p in periods)
+
+    def test_rejects_bad_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            log_uniform_periods(rng, 5, 100, 50)
+        with pytest.raises(ConfigurationError):
+            log_uniform_periods(rng, 5, 0, 50)
+        with pytest.raises(ConfigurationError):
+            log_uniform_periods(rng, 5, 10, 50, granularity=0)
+
+    def test_spans_decades(self, rng):
+        # Log-uniform draws should populate both ends of a wide range.
+        periods = log_uniform_periods(rng, 500, 10, 10_000)
+        assert min(periods) < 100
+        assert max(periods) > 1000
+
+
+class TestGenerateTaskset:
+    def test_utilization_near_target(self, rng):
+        taskset = generate_taskset(rng, 20, 0.5)
+        assert taskset.utilization_float == pytest.approx(0.5, abs=0.15)
+
+    def test_all_tasks_valid(self, rng):
+        taskset = generate_taskset(rng, 30, 0.7)
+        for task in taskset:
+            assert 1 <= task.wcet <= task.period
+
+
+class TestGenerateTransactionTaskset:
+    def test_wcets_within_range(self, rng):
+        taskset = generate_transaction_taskset(rng, 20, 0.4, wcet_min=1, wcet_max=8)
+        assert all(1 <= t.wcet <= 8 for t in taskset)
+
+    def test_periods_within_range(self, rng):
+        taskset = generate_transaction_taskset(
+            rng, 20, 0.4, period_min=50, period_max=9000
+        )
+        assert all(50 <= t.period <= 9000 for t in taskset)
+
+    def test_utilization_tracks_target(self, rng):
+        taskset = generate_transaction_taskset(rng, 25, 0.6)
+        # Integer rounding and period clamping change it a little.
+        assert taskset.utilization_float == pytest.approx(0.6, abs=0.2)
+
+    def test_rejects_bad_wcet_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_transaction_taskset(rng, 5, 0.5, wcet_min=4, wcet_max=2)
+
+
+class TestGenerateClientTasksets:
+    def test_every_client_present_and_assigned(self, rng):
+        tasksets = generate_client_tasksets(rng, 16, 3, 0.8)
+        assert sorted(tasksets) == list(range(16))
+        for client, taskset in tasksets.items():
+            assert len(taskset) == 3
+            assert all(t.client_id == client for t in taskset)
+
+    def test_system_utilization_near_target(self, rng):
+        tasksets = generate_client_tasksets(rng, 16, 3, 0.8)
+        total = sum(ts.utilization_float for ts in tasksets.values())
+        assert total == pytest.approx(0.8, abs=0.25)
+
+    def test_no_client_overloaded(self, rng):
+        tasksets = generate_client_tasksets(rng, 4, 4, 2.5)
+        for taskset in tasksets.values():
+            assert taskset.utilization_float <= 1.0 + 1e-6
+
+    def test_rejects_zero_clients(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_client_tasksets(rng, 0, 3, 0.5)
+
+    def test_deterministic_for_seed(self):
+        a = generate_client_tasksets(random.Random(5), 8, 2, 0.6)
+        b = generate_client_tasksets(random.Random(5), 8, 2, 0.6)
+        for client in a:
+            assert [(t.period, t.wcet) for t in a[client]] == [
+                (t.period, t.wcet) for t in b[client]
+            ]
+
+
+class TestAssignRoundRobin:
+    def test_cycles_over_clients(self):
+        tasks = [PeriodicTask(period=10 * (i + 1), wcet=1) for i in range(5)]
+        assigned = assign_round_robin(tasks, 2)
+        assert [t.client_id for t in assigned] == [0, 1, 0, 1, 0]
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ConfigurationError):
+            assign_round_robin([], 0)

@@ -1,0 +1,89 @@
+"""Unit tests for the periodic task model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import Job, PeriodicTask
+
+
+class TestPeriodicTask:
+    def test_basic_construction(self):
+        task = PeriodicTask(period=100, wcet=10, name="t")
+        assert task.deadline == 100  # implicit deadline
+        assert task.utilization == Fraction(1, 10)
+
+    def test_utilization_is_exact(self):
+        task = PeriodicTask(period=3, wcet=1)
+        assert task.utilization == Fraction(1, 3)
+        # no float drift: 3 * 1/3 == 1 exactly
+        assert 3 * task.utilization == 1
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask(period=0, wcet=1)
+
+    def test_rejects_nonpositive_wcet(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask(period=10, wcet=0)
+
+    def test_rejects_overutilizing_task(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask(period=5, wcet=6)
+
+    def test_full_utilization_allowed(self):
+        task = PeriodicTask(period=5, wcet=5)
+        assert task.utilization == 1
+
+    def test_with_client(self):
+        task = PeriodicTask(period=10, wcet=2, name="x")
+        assigned = task.with_client(3)
+        assert assigned.client_id == 3
+        assert assigned.period == 10 and assigned.wcet == 2
+        assert task.client_id is None  # original untouched (frozen)
+
+    def test_scaled_wcet(self):
+        task = PeriodicTask(period=100, wcet=10)
+        assert task.scaled(2.0).wcet == 20
+        assert task.scaled(0.5).wcet == 5
+
+    def test_scaled_clamps_to_period(self):
+        task = PeriodicTask(period=10, wcet=8)
+        assert task.scaled(5.0).wcet == 10
+
+    def test_scaled_never_below_one(self):
+        task = PeriodicTask(period=10, wcet=1)
+        assert task.scaled(0.01).wcet == 1
+
+    def test_frozen(self):
+        task = PeriodicTask(period=10, wcet=2)
+        with pytest.raises(AttributeError):
+            task.period = 20
+
+
+class TestJob:
+    def test_deadline_and_remaining(self):
+        task = PeriodicTask(period=50, wcet=5)
+        job = Job(task=task, release=100, job_index=2)
+        assert job.absolute_deadline == 150
+        assert job.remaining == 5
+        assert not job.finished
+
+    def test_execute_consumes_work(self):
+        job = Job(task=PeriodicTask(period=10, wcet=3), release=0, job_index=0)
+        assert job.execute(2) == 2
+        assert job.remaining == 1
+        assert job.execute(5) == 1  # only what's left
+        assert job.finished
+
+    def test_execute_on_finished_job_is_noop(self):
+        job = Job(task=PeriodicTask(period=10, wcet=1), release=0, job_index=0)
+        job.execute()
+        assert job.execute() == 0
+
+    def test_explicit_remaining(self):
+        job = Job(
+            task=PeriodicTask(period=10, wcet=5), release=0, job_index=0, remaining=2
+        )
+        assert job.remaining == 2

@@ -1,0 +1,104 @@
+"""Unit tests for TaskSet."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+
+def ts(*pairs):
+    return TaskSet([PeriodicTask(period=p, wcet=c) for p, c in pairs])
+
+
+class TestAggregates:
+    def test_utilization_sums(self):
+        taskset = ts((10, 1), (20, 5))
+        assert taskset.utilization == Fraction(1, 10) + Fraction(1, 4)
+
+    def test_empty_utilization_zero(self):
+        assert TaskSet().utilization == 0
+
+    def test_min_max_period(self):
+        taskset = ts((30, 1), (10, 1), (20, 1))
+        assert taskset.min_period == 10
+        assert taskset.max_period == 30
+
+    def test_min_period_of_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            TaskSet().min_period
+        with pytest.raises(ConfigurationError):
+            TaskSet().max_period
+
+    def test_hyperperiod(self):
+        assert ts((4, 1), (6, 1)).hyperperiod() == 12
+        assert TaskSet().hyperperiod() == 1
+
+
+class TestContainerProtocol:
+    def test_len_iter_getitem(self):
+        taskset = ts((10, 1), (20, 2))
+        assert len(taskset) == 2
+        assert [t.period for t in taskset] == [10, 20]
+        assert taskset[1].wcet == 2
+
+    def test_add_and_extend(self):
+        taskset = TaskSet()
+        taskset.add(PeriodicTask(period=5, wcet=1))
+        taskset.extend([PeriodicTask(period=7, wcet=1)])
+        assert len(taskset) == 2
+
+    def test_constructor_copies_input_list(self):
+        source = [PeriodicTask(period=5, wcet=1)]
+        taskset = TaskSet(source)
+        source.append(PeriodicTask(period=9, wcet=1))
+        assert len(taskset) == 1
+
+
+class TestPartitioning:
+    def test_by_client_groups(self):
+        tasks = [
+            PeriodicTask(period=10, wcet=1, client_id=0),
+            PeriodicTask(period=20, wcet=1, client_id=1),
+            PeriodicTask(period=30, wcet=1, client_id=0),
+        ]
+        groups = TaskSet(tasks).by_client()
+        assert sorted(groups) == [0, 1]
+        assert len(groups[0]) == 2
+
+    def test_by_client_requires_assignment(self):
+        with pytest.raises(ConfigurationError):
+            ts((10, 1)).by_client()
+
+    def test_for_client_filters(self):
+        tasks = [
+            PeriodicTask(period=10, wcet=1, client_id=0),
+            PeriodicTask(period=20, wcet=1, client_id=1),
+        ]
+        subset = TaskSet(tasks).for_client(1)
+        assert len(subset) == 1
+        assert subset[0].period == 20
+
+    def test_for_client_missing_gives_empty(self):
+        assert len(ts((10, 1)).for_client(9)) == 0
+
+    def test_merged_with(self):
+        merged = ts((10, 1)).merged_with(ts((20, 2)))
+        assert len(merged) == 2
+
+
+class TestTransforms:
+    def test_scaled(self):
+        scaled = ts((100, 10)).scaled(1.5)
+        assert scaled[0].wcet == 15
+
+    def test_sorted_by_period(self):
+        ordered = ts((30, 1), (10, 1), (20, 1)).sorted_by_period()
+        assert [t.period for t in ordered] == [10, 20, 30]
+
+    def test_sorted_does_not_mutate_original(self):
+        original = ts((30, 1), (10, 1))
+        original.sorted_by_period()
+        assert [t.period for t in original] == [30, 10]

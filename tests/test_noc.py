@@ -1,0 +1,163 @@
+"""Unit tests for the mesh NoC substrate."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.mesh import MeshNoC, Message, Router
+
+
+class TestRouting:
+    def test_xy_routes_x_first(self):
+        router = Router((2, 2))
+        assert router.route(Message(source=(2, 2), destination=(5, 0))) == Router.EAST
+        assert router.route(Message(source=(2, 2), destination=(0, 5))) == Router.WEST
+        # x aligned: then y
+        assert router.route(Message(source=(2, 2), destination=(2, 5))) == Router.NORTH
+        assert router.route(Message(source=(2, 2), destination=(2, 0))) == Router.SOUTH
+
+    def test_local_delivery(self):
+        router = Router((1, 1))
+        assert router.route(Message(source=(0, 0), destination=(1, 1))) == Router.LOCAL
+
+    def test_hop_distance_is_manhattan(self):
+        mesh = MeshNoC(4, 4)
+        assert mesh.hop_distance((0, 0), (3, 2)) == 5
+        assert mesh.hop_distance((2, 2), (2, 2)) == 0
+
+
+class TestDelivery:
+    def test_single_message_latency_is_hop_count(self):
+        mesh = MeshNoC(4, 4)
+        message = Message(source=(0, 0), destination=(3, 3))
+        assert mesh.inject(message, 0)
+        mesh.run_until_drained()
+        assert message.delivered
+        # one cycle per link traversal; local ejection is same-cycle
+        assert message.latency == mesh.hop_distance((0, 0), (3, 3))
+
+    def test_payload_serialization_adds_latency(self):
+        mesh = MeshNoC(3, 3)
+        small = Message(source=(0, 0), destination=(2, 2), payload_flits=1)
+        mesh.inject(small, 0)
+        mesh.run_until_drained()
+        mesh2 = MeshNoC(3, 3)
+        big = Message(source=(0, 0), destination=(2, 2), payload_flits=8)
+        mesh2.inject(big, 0)
+        mesh2.run_until_drained()
+        assert big.latency == small.latency + 7
+
+    def test_all_messages_delivered_under_load(self):
+        rng = random.Random(1)
+        mesh = MeshNoC(4, 4)
+        messages = []
+        for i in range(100):
+            src = (rng.randrange(4), rng.randrange(4))
+            dst = (rng.randrange(4), rng.randrange(4))
+            if src == dst:
+                continue
+            messages.append(Message(source=src, destination=dst))
+        cycle = 0
+        pending = list(messages)
+        while pending or mesh.in_flight:
+            pending = [m for m in pending if not mesh.inject(m, cycle)]
+            mesh.tick(cycle)
+            cycle += 1
+            assert cycle < 10_000
+        assert len(mesh.delivered) == len(messages)
+        assert all(m.delivered for m in messages)
+
+    def test_latency_before_delivery_rejected(self):
+        message = Message(source=(0, 0), destination=(1, 1))
+        with pytest.raises(ConfigurationError):
+            message.latency
+
+
+class TestMeshProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        seed=st.integers(0, 10_000),
+        width=st.integers(2, 6),
+        height=st.integers(2, 6),
+        n_messages=st.integers(1, 30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_message_lost_and_latency_bounded_below(
+        self, seed, width, height, n_messages
+    ):
+        """Any random traffic drains completely, and no message beats
+        the zero-load Manhattan bound."""
+        rng = random.Random(seed)
+        mesh = MeshNoC(width, height)
+        messages = []
+        for _ in range(n_messages):
+            src = (rng.randrange(width), rng.randrange(height))
+            dst = (rng.randrange(width), rng.randrange(height))
+            if src != dst:
+                messages.append(Message(source=src, destination=dst))
+        cycle = 0
+        pending = list(messages)
+        while pending or mesh.in_flight:
+            pending = [m for m in pending if not mesh.inject(m, cycle)]
+            mesh.tick(cycle)
+            cycle += 1
+            assert cycle < 50_000
+        for message in messages:
+            assert message.delivered
+            assert message.latency >= mesh.hop_distance(
+                message.source, message.destination
+            )
+
+    @given(
+        width=st.integers(2, 8),
+        height=st.integers(2, 8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_xy_route_always_progresses(self, width, height, seed):
+        """XY routing strictly decreases the Manhattan distance at each
+        router, so it can never loop."""
+        rng = random.Random(seed)
+        mesh = MeshNoC(width, height)
+        src = (rng.randrange(width), rng.randrange(height))
+        dst = (rng.randrange(width), rng.randrange(height))
+        position = src
+        hops = 0
+        while position != dst:
+            router = mesh.routers[position]
+            port = router.route(Message(source=src, destination=dst))
+            assert port != Router.LOCAL
+            position = mesh._neighbor(position, port)
+            hops += 1
+            assert hops <= width + height
+        assert hops == mesh.hop_distance(src, dst)
+
+
+class TestValidation:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MeshNoC(0, 3)
+
+    def test_rejects_out_of_mesh_positions(self):
+        mesh = MeshNoC(3, 3)
+        with pytest.raises(ConfigurationError):
+            mesh.inject(Message(source=(5, 5), destination=(0, 0)), 0)
+        with pytest.raises(ConfigurationError):
+            mesh.inject(Message(source=(0, 0), destination=(9, 0)), 0)
+
+    def test_injection_backpressure(self):
+        mesh = MeshNoC(2, 2, queue_capacity=1)
+        first = Message(source=(0, 0), destination=(1, 1))
+        second = Message(source=(0, 0), destination=(1, 1))
+        assert mesh.inject(first, 0)
+        assert not mesh.inject(second, 0)  # same output queue full
+
+    def test_run_until_drained_reports_stall(self):
+        mesh = MeshNoC(2, 2)
+        mesh.inject(Message(source=(0, 0), destination=(1, 1)), 0)
+        cycles = mesh.run_until_drained()
+        assert cycles > 0
+        assert mesh.in_flight == 0

@@ -1,0 +1,94 @@
+"""Public-API smoke tests: the documented entry points exist and the
+error hierarchy behaves."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.clients
+        import repro.core
+        import repro.experiments
+        import repro.hardware
+        import repro.interconnects
+        import repro.memory
+        import repro.noc
+        import repro.sim
+        import repro.tasks
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.clients,
+            repro.core,
+            repro.experiments,
+            repro.hardware,
+            repro.interconnects,
+            repro.memory,
+            repro.noc,
+            repro.sim,
+            repro.tasks,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module.__name__, name)
+
+    def test_readme_quickstart_snippet_runs(self):
+        """The code block in README.md works as written."""
+        import random
+
+        from repro import BlueScaleInterconnect, SoCSimulation
+        from repro.clients import TrafficGenerator
+        from repro.tasks import generate_client_tasksets
+
+        tasksets = generate_client_tasksets(
+            random.Random(0), n_clients=16, tasks_per_client=3,
+            system_utilization=0.8,
+        )
+        interconnect = BlueScaleInterconnect(16, buffer_capacity=2)
+        composition = interconnect.configure(tasksets)
+        assert composition is not None
+        clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
+        result = SoCSimulation(clients, interconnect).run(horizon=2_000)
+        assert 0.0 <= result.deadline_miss_ratio <= 1.0
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "CapacityError",
+            "InfeasibleError",
+            "SimulationError",
+            "ProtocolError",
+        ):
+            klass = getattr(errors, name)
+            assert issubclass(klass, errors.ReproError)
+
+    def test_single_except_clause_catches_everything(self):
+        caught = []
+        for klass in (
+            errors.ConfigurationError,
+            errors.CapacityError,
+            errors.InfeasibleError,
+        ):
+            try:
+                raise klass("boom")
+            except errors.ReproError as exc:
+                caught.append(type(exc))
+        assert len(caught) == 3
+
+    def test_repro_error_is_an_exception(self):
+        with pytest.raises(Exception):
+            raise errors.ReproError("base")

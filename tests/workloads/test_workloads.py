@@ -1,0 +1,148 @@
+"""Unit tests for the automotive workloads and interference builders."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.automotive import (
+    ALL_PROFILES,
+    FUNCTION_PROFILES,
+    SAFETY_PROFILES,
+    assign_case_study,
+    case_study_taskset,
+    function_taskset,
+    profile_by_name,
+    safety_taskset,
+)
+from repro.workloads.interference import (
+    DNN_STREAMS,
+    build_interference,
+    dnn_interference_taskset,
+)
+
+
+class TestAutomotiveCatalogue:
+    def test_ten_plus_ten_tasks(self):
+        """The paper's case study uses 10 safety + 10 function tasks."""
+        assert len(SAFETY_PROFILES) == 10
+        assert len(FUNCTION_PROFILES) == 10
+        assert len(case_study_taskset()) == 20
+
+    def test_categories_consistent(self):
+        assert all(p.category == "safety" for p in SAFETY_PROFILES)
+        assert all(p.category == "function" for p in FUNCTION_PROFILES)
+
+    def test_names_unique(self):
+        names = [p.name for p in ALL_PROFILES]
+        assert len(set(names)) == len(names)
+
+    def test_named_kernels_present(self):
+        # kernels the paper names explicitly
+        for name in ("crc32", "rsa32", "core-self-test", "fft", "speed-calc"):
+            assert profile_by_name(name) is not None
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_by_name("quake3")
+
+    def test_profiles_are_valid_tasks(self):
+        for profile in ALL_PROFILES:
+            task = profile.as_task()
+            assert 1 <= task.wcet <= task.period
+
+    def test_application_load_is_light(self):
+        """The 20 tasks alone load the interconnect lightly, leaving the
+        utilization sweep to interference tasks."""
+        utilization = case_study_taskset().utilization_float
+        assert 0.05 < utilization < 0.35
+
+    def test_safety_function_split(self):
+        assert len(safety_taskset()) == 10
+        assert len(function_taskset()) == 10
+
+
+class TestAssignment:
+    def test_round_robin_over_16(self):
+        assignment = assign_case_study(16)
+        assert sorted(assignment) == list(range(16))
+        sizes = [len(assignment[c]) for c in range(16)]
+        assert sizes[:4] == [2, 2, 2, 2]  # 20 tasks over 16 clients
+        assert sum(sizes) == 20
+
+    def test_64_cores_leaves_most_idle(self):
+        assignment = assign_case_study(64)
+        loaded = [c for c in assignment if len(assignment[c]) > 0]
+        assert len(loaded) == 20
+
+    def test_tasks_carry_client_ids(self):
+        assignment = assign_case_study(8)
+        for client, taskset in assignment.items():
+            assert all(task.client_id == client for task in taskset)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ConfigurationError):
+            assign_case_study(0)
+
+
+class TestInterference:
+    def app_utils(self, n=8):
+        assignment = assign_case_study(n)
+        return {c: ts.utilization_float for c, ts in assignment.items()}
+
+    def test_reaches_target_utilization(self):
+        rng = random.Random(4)
+        utils = self.app_utils()
+        interference = build_interference(rng, utils, 0.7)
+        total = sum(utils.values()) + sum(
+            ts.utilization_float for ts in interference.values()
+        )
+        assert total == pytest.approx(0.7, abs=0.1)
+
+    def test_no_client_overloaded(self):
+        rng = random.Random(4)
+        utils = self.app_utils(4)
+        interference = build_interference(rng, utils, 0.9 * 4 * 0.9)
+        for client, taskset in interference.items():
+            assert utils[client] + taskset.utilization_float <= 1.0
+
+    def test_target_already_met_adds_nothing(self):
+        rng = random.Random(4)
+        utils = self.app_utils()
+        current = sum(utils.values())
+        interference = build_interference(rng, utils, current * 0.5)
+        assert all(len(ts) == 0 for ts in interference.values())
+
+    def test_impossible_target_rejected(self):
+        rng = random.Random(4)
+        with pytest.raises(ConfigurationError):
+            build_interference(rng, {0: 0.5, 1: 0.5}, 2.5)
+
+    def test_empty_clients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_interference(random.Random(0), {}, 0.5)
+
+    def test_tasks_carry_owner_client(self):
+        rng = random.Random(4)
+        utils = self.app_utils()
+        interference = build_interference(rng, utils, 0.8)
+        for client, taskset in interference.items():
+            assert all(task.client_id == client for task in taskset)
+
+
+class TestDnnStreams:
+    def test_three_models(self):
+        """SqueezeNet on MNIST, EMNIST and CIFAR-10 (paper Sec. 6.4)."""
+        assert len(DNN_STREAMS) == 3
+        names = [name for name, _, _ in DNN_STREAMS]
+        assert any("mnist" in n for n in names)
+        assert any("cifar" in n for n in names)
+
+    def test_taskset_carries_client(self):
+        taskset = dnn_interference_taskset(client_id=9)
+        assert len(taskset) == 3
+        assert all(task.client_id == 9 for task in taskset)
+
+    def test_streams_are_heavy_bursts(self):
+        taskset = dnn_interference_taskset()
+        assert all(task.wcet >= 50 for task in taskset)
