@@ -14,6 +14,8 @@ see the subpackages for the full API:
   :mod:`repro.soc` — the simulation substrate.
 * :mod:`repro.hardware` — area/power/frequency models (Table 1, Fig. 5).
 * :mod:`repro.workloads` — automotive case-study task sets (Fig. 7).
+* :mod:`repro.runtime` — the trial-execution runtime (specs,
+  serial/parallel executors, the shared metrics schema).
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 

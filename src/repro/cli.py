@@ -4,12 +4,16 @@ Runs any of the paper's experiments (or the extensions) from the shell,
 prints the same rows/series the paper reports, and optionally saves the
 structured result as JSON.
 
+Every simulation-driven experiment accepts ``--workers N`` to fan its
+trials out over ``N`` processes through the trial-execution runtime
+(:mod:`repro.runtime`); results are bit-identical to a serial run.
+
 Examples::
 
     python -m repro table1
     python -m repro fig5 --output results/fig5.json
-    python -m repro fig6 --clients 16 --trials 5
-    python -m repro fig7 --processors 16 --trials 4
+    python -m repro fig6 --clients 16 --trials 5 --workers 4
+    python -m repro fig7 --processors 16 --trials 4 --seed 7
     python -m repro ablation
     python -m repro dram
     python -m repro update-latency
@@ -32,6 +36,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also save the structured result as JSON",
     )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan trials out over N processes (default: 1, serial); "
+        "results are identical to a serial run",
+    )
+    common.add_argument(
+        "--progress",
+        action="store_true",
+        help="print trial progress/timing to stderr",
+    )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     sub.add_parser(
@@ -51,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--clients", type=int, default=16, choices=(16, 64))
     fig6.add_argument("--trials", type=int, default=5)
     fig6.add_argument("--horizon", type=int, default=20_000)
+    fig6.add_argument(
+        "--seed", type=int, default=None, help="override the config seed"
+    )
 
     fig7 = sub.add_parser(
         "fig7", help="Fig. 7: automotive case study", parents=[common]
@@ -58,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--processors", type=int, default=16, choices=(16, 64))
     fig7.add_argument("--trials", type=int, default=4)
     fig7.add_argument("--horizon", type=int, default=15_000)
+    fig7.add_argument(
+        "--seed", type=int, default=None, help="override the config seed"
+    )
 
     ablation = sub.add_parser(
         "ablation",
@@ -112,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # Imports are deferred so `--help` stays instant.
+    from repro.runtime import ProgressPrinter, make_executor
+
+    executor = make_executor(args.workers)
+    hooks = ProgressPrinter() if args.progress else None
     if args.experiment == "table1":
         from repro.experiments.table1 import format_table1, run_table1
 
@@ -125,33 +152,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.experiment == "fig6":
         from repro.experiments.fig6 import Fig6Config, format_fig6, run_fig6
 
-        result = run_fig6(
-            Fig6Config(
-                n_clients=args.clients,
-                trials=args.trials,
-                horizon=args.horizon,
-            )
+        kwargs = dict(
+            n_clients=args.clients, trials=args.trials, horizon=args.horizon
         )
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = run_fig6(Fig6Config(**kwargs), executor=executor, hooks=hooks)
         print(format_fig6(result))
     elif args.experiment == "fig7":
         from repro.experiments.fig7 import Fig7Config, format_fig7, run_fig7
 
-        result = run_fig7(
-            Fig7Config(
-                n_processors=args.processors,
-                trials=args.trials,
-                horizon=args.horizon,
-            )
+        kwargs = dict(
+            n_processors=args.processors,
+            trials=args.trials,
+            horizon=args.horizon,
         )
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = run_fig7(Fig7Config(**kwargs), executor=executor, hooks=hooks)
         print(format_fig7(result))
     elif args.experiment == "ablation":
         from repro.experiments.ablation import run_ablation
         from repro.experiments.reporting import format_table
 
         if args.quick:
-            result = run_ablation(seeds=(1,), horizon=5_000)
+            result = run_ablation(
+                seeds=(1,), horizon=5_000, executor=executor, hooks=hooks
+            )
         else:
-            result = run_ablation()
+            result = run_ablation(executor=executor, hooks=hooks)
         rows = [
             [
                 p.variant,
@@ -175,9 +204,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
 
         if args.quick:
-            result = run_dram_sensitivity(seeds=(1,), horizon=5_000)
+            result = run_dram_sensitivity(
+                seeds=(1,), horizon=5_000, executor=executor, hooks=hooks
+            )
         else:
-            result = run_dram_sensitivity()
+            result = run_dram_sensitivity(executor=executor, hooks=hooks)
         print(format_dram_sensitivity(result))
     elif args.experiment == "update-latency":
         from repro.experiments.update_latency import (
@@ -197,26 +228,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
 
         counts = tuple(c for c in (4, 16, 64, 256) if c <= args.max_clients)
-        result = run_scalability_sweep(counts, seeds=(1,))
+        result = run_scalability_sweep(
+            counts, seeds=(1,), executor=executor, hooks=hooks
+        )
         print(format_scalability(result))
     elif args.experiment == "fairness":
         from repro.experiments.fairness import format_fairness, run_fairness
 
         if args.quick:
-            result = run_fairness(seeds=(1,), horizon=8_000)
+            result = run_fairness(
+                seeds=(1,), horizon=8_000, executor=executor, hooks=hooks
+            )
         else:
-            result = run_fairness()
+            result = run_fairness(executor=executor, hooks=hooks)
         print(format_fairness(result))
     elif args.experiment == "campaign":
         from repro.experiments.campaign import default_specs, run_campaign
 
         record = run_campaign(
-            default_specs(quick=True), args.results_dir, label=args.label
+            default_specs(quick=True, executor=executor),
+            args.results_dir,
+            label=args.label,
+            workers=executor.workers,
         )
         result = record.metrics
         print(f"campaign '{record.label}' archived to {record.directory}")
         for name, seconds in record.seconds.items():
-            print(f"  {name}: {seconds:.1f}s")
+            print(f"  {name}: {seconds:.1f}s (workers={record.workers})")
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.experiment)
 

@@ -19,10 +19,21 @@ from repro.experiments.fig6 import (
     Fig6Config,
     Fig6Result,
     InterconnectMetrics,
+    build_fig6_specs,
     format_fig6,
+    reduce_fig6,
     run_fig6,
+    run_fig6_trial,
 )
-from repro.experiments.fig7 import Fig7Config, Fig7Result, format_fig7, run_fig7
+from repro.experiments.fig7 import (
+    Fig7Config,
+    Fig7Result,
+    build_fig7_specs,
+    format_fig7,
+    reduce_fig7,
+    run_fig7,
+    run_fig7_trial,
+)
 from repro.experiments.ablation import (
     VARIANTS,
     AlphaPoint,
@@ -82,12 +93,18 @@ __all__ = [
     "Fig6Config",
     "Fig6Result",
     "InterconnectMetrics",
+    "build_fig6_specs",
     "format_fig6",
+    "reduce_fig6",
     "run_fig6",
+    "run_fig6_trial",
     "Fig7Config",
     "Fig7Result",
+    "build_fig7_specs",
     "format_fig7",
+    "reduce_fig7",
     "run_fig7",
+    "run_fig7_trial",
     "format_series",
     "format_table",
     "format_bar_chart",

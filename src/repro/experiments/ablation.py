@@ -26,6 +26,14 @@ from repro.core.interconnect import BlueScaleInterconnect
 from repro.core.local_scheduler import LocalScheduler
 from repro.core.random_access_buffer import RandomAccessBuffer
 from repro.errors import ConfigurationError
+from repro.runtime import (
+    Executor,
+    ExecutionHooks,
+    MetricSet,
+    SerialExecutor,
+    TrialOutcome,
+    TrialSpec,
+)
 from repro.soc import SoCSimulation
 from repro.tasks.generators import generate_client_tasksets
 from repro.tasks.taskset import TaskSet
@@ -121,6 +129,72 @@ class AblationPoint:
     mean_response: float
 
 
+def build_ablation_specs(
+    variants: tuple[str, ...] = VARIANTS,
+    n_clients: int = 16,
+    utilization: float = 0.85,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    horizon: int = 15_000,
+    drain: int = 5_000,
+) -> list[TrialSpec]:
+    """One spec per (variant, seed) pair, grouped by variant."""
+    return [
+        TrialSpec.make(
+            "ablation",
+            index,
+            f"ablation/{seed}",
+            variant=variant,
+            n_clients=n_clients,
+            utilization=utilization,
+            horizon=horizon,
+            drain=drain,
+        )
+        for index, (variant, seed) in enumerate(
+            (variant, seed) for variant in variants for seed in seeds
+        )
+    ]
+
+
+def run_ablation_trial(spec: TrialSpec) -> MetricSet:
+    """Simulate one (variant, seed) draw; pure function of the spec."""
+    variant = spec.param("variant")
+    n_clients = spec.param("n_clients")
+    rng = random.Random(spec.seed)
+    tasksets = generate_client_tasksets(
+        rng, n_clients, 3, spec.param("utilization")
+    )
+    interconnect = build_variant(variant, n_clients, tasksets)
+    clients = [
+        TrafficGenerator(c, ts, rng=random.Random(spec.client_seed(c)))
+        for c, ts in tasksets.items()
+    ]
+    result = SoCSimulation(clients, interconnect).run(
+        spec.param("horizon"), drain=spec.param("drain")
+    )
+    return MetricSet(
+        scalars={
+            "miss": result.deadline_miss_ratio,
+            "blocking": result.mean_blocking,
+            "response": result.response_summary().mean,
+        },
+        tags={"experiment": "ablation", "variant": variant},
+    )
+
+
+def reduce_ablation_variant(
+    variant: str, outcomes: list[TrialOutcome]
+) -> AblationPoint:
+    """Average one variant's per-seed metrics into its point."""
+    misses = [o.metrics["miss"] for o in outcomes]
+    return AblationPoint(
+        variant=variant,
+        mean_miss_ratio=statistics.fmean(misses),
+        mean_blocking=statistics.fmean(o.metrics["blocking"] for o in outcomes),
+        miss_ratio_std=statistics.pstdev(misses) if len(misses) > 1 else 0.0,
+        mean_response=statistics.fmean(o.metrics["response"] for o in outcomes),
+    )
+
+
 def evaluate_variant(
     variant: str,
     n_clients: int = 16,
@@ -128,24 +202,15 @@ def evaluate_variant(
     seeds: tuple[int, ...] = (1, 2, 3),
     horizon: int = 15_000,
     drain: int = 5_000,
+    executor: Executor | None = None,
 ) -> AblationPoint:
     """Simulate one variant over a seed batch and average the metrics."""
-    misses, blockings, responses = [], [], []
-    for seed in seeds:
-        rng = random.Random(f"ablation/{seed}")
-        tasksets = generate_client_tasksets(rng, n_clients, 3, utilization)
-        interconnect = build_variant(variant, n_clients, tasksets)
-        clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
-        result = SoCSimulation(clients, interconnect).run(horizon, drain=drain)
-        misses.append(result.deadline_miss_ratio)
-        blockings.append(result.mean_blocking)
-        responses.append(result.response_summary().mean)
-    return AblationPoint(
-        variant=variant,
-        mean_miss_ratio=statistics.fmean(misses),
-        mean_blocking=statistics.fmean(blockings),
-        miss_ratio_std=statistics.pstdev(misses) if len(misses) > 1 else 0.0,
-        mean_response=statistics.fmean(responses),
+    executor = executor or SerialExecutor()
+    specs = build_ablation_specs(
+        (variant,), n_clients, utilization, seeds, horizon, drain
+    )
+    return reduce_ablation_variant(
+        variant, executor.map(run_ablation_trial, specs)
     )
 
 
@@ -181,7 +246,12 @@ def run_bluetree_alpha_sweep(
             rng = random.Random(f"alpha/{seed}")
             tasksets = generate_client_tasksets(rng, n_clients, 3, utilization)
             interconnect = BlueTreeInterconnect(n_clients, alpha=alpha)
-            clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
+            clients = [
+                TrafficGenerator(
+                    c, ts, rng=random.Random(f"alpha/{seed}/client/{c}")
+                )
+                for c, ts in tasksets.items()
+            ]
             result = SoCSimulation(clients, interconnect).run(
                 horizon, drain=5_000
             )
@@ -202,11 +272,21 @@ def run_ablation(
     utilization: float = 0.85,
     seeds: tuple[int, ...] = (1, 2, 3),
     horizon: int = 15_000,
+    executor: Executor | None = None,
+    hooks: ExecutionHooks | None = None,
 ) -> dict[str, AblationPoint]:
-    """Evaluate every variant under identical workloads."""
+    """Evaluate every variant under identical workloads.
+
+    All (variant, seed) trials go through one executor batch, so a
+    parallel executor overlaps work across variants, not just seeds.
+    """
+    executor = executor or SerialExecutor()
+    specs = build_ablation_specs(VARIANTS, n_clients, utilization, seeds, horizon)
+    outcomes = executor.map(run_ablation_trial, specs, hooks)
+    by_variant: dict[str, list[TrialOutcome]] = {v: [] for v in VARIANTS}
+    for outcome in outcomes:
+        by_variant[outcome.spec.param("variant")].append(outcome)
     return {
-        variant: evaluate_variant(
-            variant, n_clients, utilization, seeds, horizon
-        )
-        for variant in VARIANTS
+        variant: reduce_ablation_variant(variant, batch)
+        for variant, batch in by_variant.items()
     }

@@ -6,6 +6,13 @@ manifest.  ``compare_campaigns`` diffs two archives and reports metric
 regressions — the tooling that keeps a long-lived reproduction honest
 across refactors (the bench suite asserts shapes; campaigns track the
 actual numbers over time).
+
+Experiments emit their comparison metrics through the shared
+:class:`repro.runtime.MetricSet` schema — every result class exposes
+``metric_set()``, so the campaign layer needs no per-experiment metric
+glue.  The manifest records each experiment's wall-clock and the
+executor width it ran under, so archived campaigns track the
+serial-vs-parallel speedup across snapshots.
 """
 
 from __future__ import annotations
@@ -18,17 +25,29 @@ from typing import Any, Callable
 
 from repro.errors import ConfigurationError
 from repro.experiments.persistence import save_json
+from repro.runtime import Executor, MetricSet, extract_metric_set
 
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One experiment in a campaign."""
+    """One experiment in a campaign.
+
+    ``runner`` returns the experiment's result object; its metrics are
+    taken from ``result.metric_set()`` (via
+    :func:`repro.runtime.extract_metric_set`) unless an explicit
+    ``metrics`` adapter is given for results that predate the schema.
+    """
 
     name: str
     #: zero-argument callable returning the result object
     runner: Callable[[], Any]
-    #: extracts {metric_name: float} from the result for comparisons
-    metrics: Callable[[Any], dict[str, float]]
+    #: optional adapter: result -> MetricSet (or {name: float} mapping)
+    metrics: Callable[[Any], Any] | None = None
+
+    def extract_metrics(self, result: Any) -> MetricSet:
+        if self.metrics is not None:
+            return extract_metric_set(self.metrics(result))
+        return extract_metric_set(result)
 
 
 @dataclass
@@ -37,12 +56,24 @@ class CampaignRecord:
 
     label: str
     directory: Path
+    #: executor width the experiments ran under (1 = serial)
+    workers: int = 1
     results: dict[str, Any] = field(default_factory=dict)
-    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+    metric_sets: dict[str, MetricSet] = field(default_factory=dict)
     seconds: dict[str, float] = field(default_factory=dict)
 
+    @property
+    def metrics(self) -> dict[str, dict[str, float]]:
+        """Plain per-experiment metric dicts (the manifest's shape)."""
+        return {
+            name: metric_set.as_dict()
+            for name, metric_set in self.metric_sets.items()
+        }
 
-def default_specs(quick: bool = True) -> list[ExperimentSpec]:
+
+def default_specs(
+    quick: bool = True, executor: Executor | None = None
+) -> list[ExperimentSpec]:
     """The standard campaign: every paper artefact at bench scale."""
     from repro.experiments.fig5 import run_fig5
     from repro.experiments.fig6 import Fig6Config, run_fig6
@@ -63,24 +94,15 @@ def default_specs(quick: bool = True) -> list[ExperimentSpec]:
             "crossover_eta": float(result.crossover_eta() or 0),
         }
 
-    def fig6_metrics(result) -> dict[str, float]:  # noqa: ANN001
-        return {
-            f"{name}/miss": m.mean_miss_ratio
-            for name, m in result.metrics.items()
-        } | {
-            f"{name}/blocking": m.mean_blocking
-            for name, m in result.metrics.items()
-        }
-
     return [
-        ExperimentSpec("table1", run_table1, table1_metrics),
-        ExperimentSpec("fig5", run_fig5, fig5_metrics),
+        ExperimentSpec("table1", run_table1, metrics=table1_metrics),
+        ExperimentSpec("fig5", run_fig5, metrics=fig5_metrics),
         ExperimentSpec(
             "fig6-16",
             lambda: run_fig6(
-                Fig6Config(n_clients=16, trials=trials, horizon=horizon)
+                Fig6Config(n_clients=16, trials=trials, horizon=horizon),
+                executor=executor,
             ),
-            fig6_metrics,
         ),
     ]
 
@@ -89,8 +111,14 @@ def run_campaign(
     specs: list[ExperimentSpec],
     results_dir: str | Path,
     label: str | None = None,
+    workers: int = 1,
 ) -> CampaignRecord:
-    """Run every spec, archiving results and a manifest."""
+    """Run every spec, archiving results and a manifest.
+
+    ``workers`` is recorded in the manifest (it is the executor width
+    the specs' runners were built with); per-experiment wall-clock goes
+    next to it so two archived campaigns document the speedup.
+    """
     if not specs:
         raise ConfigurationError("campaign needs at least one experiment")
     names = [spec.name for spec in specs]
@@ -99,13 +127,13 @@ def run_campaign(
     label = label or time.strftime("%Y%m%d-%H%M%S")
     directory = Path(results_dir) / label
     directory.mkdir(parents=True, exist_ok=True)
-    record = CampaignRecord(label=label, directory=directory)
+    record = CampaignRecord(label=label, directory=directory, workers=workers)
     for spec in specs:
         start = time.perf_counter()
         result = spec.runner()
         elapsed = time.perf_counter() - start
         record.results[spec.name] = result
-        record.metrics[spec.name] = spec.metrics(result)
+        record.metric_sets[spec.name] = spec.extract_metrics(result)
         record.seconds[spec.name] = elapsed
         save_json(result, directory / f"{spec.name}.json", label=spec.name)
     manifest = {
@@ -113,6 +141,11 @@ def run_campaign(
         "experiments": names,
         "metrics": record.metrics,
         "seconds": record.seconds,
+        "wall_clock": {
+            name: {"seconds": record.seconds[name], "workers": workers}
+            for name in names
+        },
+        "workers": workers,
     }
     with open(directory / "manifest.json", "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)

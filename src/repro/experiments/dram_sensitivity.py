@@ -35,6 +35,14 @@ from repro.experiments.factory import (
 )
 from repro.memory.controller import ArbitrationPolicy, MemoryController
 from repro.memory.dram import DramDevice, DramTiming, FixedLatencyDevice
+from repro.runtime import (
+    Executor,
+    ExecutionHooks,
+    MetricSet,
+    SerialExecutor,
+    TrialOutcome,
+    TrialSpec,
+)
 from repro.soc import SoCSimulation
 from repro.tasks.generators import generate_client_tasksets
 
@@ -83,6 +91,97 @@ def _make_controller(kind: str) -> MemoryController:
     raise ConfigurationError(f"unknown device kind {kind!r}")
 
 
+def build_dram_specs(
+    n_clients: int = 16,
+    utilization: float = 0.7,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    horizon: int = 15_000,
+    interconnects: tuple[str, ...] = ("BlueScale", "BlueTree", "AXI-IC^RT"),
+    factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+) -> list[TrialSpec]:
+    """One spec per (configuration, interconnect, seed), grouped by
+    configuration then interconnect in the reporting order."""
+    specs: list[TrialSpec] = []
+    for label, kind, divisor in _configurations():
+        for name in interconnects:
+            for seed in seeds:
+                specs.append(
+                    TrialSpec.make(
+                        "dram_sensitivity",
+                        len(specs),
+                        f"dram/{seed}",
+                        configuration=label,
+                        kind=kind,
+                        divisor=divisor,
+                        interconnect=name,
+                        n_clients=n_clients,
+                        utilization=utilization,
+                        horizon=horizon,
+                        factory=factory,
+                    )
+                )
+    return specs
+
+
+def run_dram_trial(spec: TrialSpec) -> MetricSet:
+    """One (configuration, interconnect, seed) simulation."""
+    n_clients = spec.param("n_clients")
+    rng = random.Random(spec.seed)
+    tasksets = generate_client_tasksets(
+        rng, n_clients, 3, spec.param("utilization") / spec.param("divisor")
+    )
+    controller = _make_controller(spec.param("kind"))
+    interconnect = build_interconnect(
+        spec.param("interconnect"), n_clients, tasksets, spec.param("factory")
+    )
+    clients = [
+        TrafficGenerator(c, ts, rng=random.Random(spec.client_seed(c)))
+        for c, ts in tasksets.items()
+    ]
+    result = SoCSimulation(clients, interconnect, controller=controller).run(
+        spec.param("horizon"), drain=6_000
+    )
+    return MetricSet(
+        scalars={
+            "miss": result.deadline_miss_ratio,
+            "response": result.response_summary().mean,
+            "row_hits": getattr(controller.device, "row_hit_ratio", 1.0),
+        },
+        tags={
+            "experiment": "dram_sensitivity",
+            "configuration": spec.param("configuration"),
+            "interconnect": spec.param("interconnect"),
+        },
+    )
+
+
+def reduce_dram_sensitivity(
+    outcomes: list[TrialOutcome],
+) -> list[DeviceOutcome]:
+    """Average per-seed metrics into one outcome per (config, design)."""
+    grouped: dict[tuple[str, str], list[TrialOutcome]] = {}
+    for outcome in outcomes:
+        key = (
+            outcome.spec.param("configuration"),
+            outcome.spec.param("interconnect"),
+        )
+        grouped.setdefault(key, []).append(outcome)
+    return [
+        DeviceOutcome(
+            interconnect=name,
+            configuration=label,
+            miss_ratio=statistics.fmean(o.metrics["miss"] for o in batch),
+            mean_response=statistics.fmean(
+                o.metrics["response"] for o in batch
+            ),
+            row_hit_ratio=statistics.fmean(
+                o.metrics["row_hits"] for o in batch
+            ),
+        )
+        for (label, name), batch in grouped.items()
+    ]
+
+
 def run_dram_sensitivity(
     n_clients: int = 16,
     utilization: float = 0.7,
@@ -90,42 +189,15 @@ def run_dram_sensitivity(
     horizon: int = 15_000,
     interconnects: tuple[str, ...] = ("BlueScale", "BlueTree", "AXI-IC^RT"),
     factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+    executor: Executor | None = None,
+    hooks: ExecutionHooks | None = None,
 ) -> list[DeviceOutcome]:
     """Compare provisioning policies on a banked-DRAM provider."""
-    outcomes: list[DeviceOutcome] = []
-    for label, kind, divisor in _configurations():
-        for name in interconnects:
-            misses, responses, hit_ratios = [], [], []
-            for seed in seeds:
-                rng = random.Random(f"dram/{seed}")
-                tasksets = generate_client_tasksets(
-                    rng, n_clients, 3, utilization / divisor
-                )
-                controller = _make_controller(kind)
-                interconnect = build_interconnect(
-                    name, n_clients, tasksets, factory
-                )
-                clients = [
-                    TrafficGenerator(c, ts) for c, ts in tasksets.items()
-                ]
-                result = SoCSimulation(
-                    clients, interconnect, controller=controller
-                ).run(horizon, drain=6_000)
-                misses.append(result.deadline_miss_ratio)
-                responses.append(result.response_summary().mean)
-                hit_ratios.append(
-                    getattr(controller.device, "row_hit_ratio", 1.0)
-                )
-            outcomes.append(
-                DeviceOutcome(
-                    interconnect=name,
-                    configuration=label,
-                    miss_ratio=statistics.fmean(misses),
-                    mean_response=statistics.fmean(responses),
-                    row_hit_ratio=statistics.fmean(hit_ratios),
-                )
-            )
-    return outcomes
+    executor = executor or SerialExecutor()
+    specs = build_dram_specs(
+        n_clients, utilization, seeds, horizon, tuple(interconnects), factory
+    )
+    return reduce_dram_sensitivity(executor.map(run_dram_trial, specs, hooks))
 
 
 def format_dram_sensitivity(outcomes: list[DeviceOutcome]) -> str:

@@ -26,6 +26,14 @@ from repro.experiments.factory import (
     FactoryConfig,
     build_interconnect,
 )
+from repro.runtime import (
+    Executor,
+    ExecutionHooks,
+    MetricSet,
+    SerialExecutor,
+    TrialOutcome,
+    TrialSpec,
+)
 from repro.soc import SoCSimulation
 from repro.tasks.generators import generate_client_tasksets
 
@@ -51,6 +59,113 @@ class FairnessOutcome:
     miss_concentration: float
 
 
+def build_fairness_specs(
+    n_clients: int = 16,
+    utilization: float = 0.8,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    horizon: int = 15_000,
+    interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
+    factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+) -> list[TrialSpec]:
+    """One spec per (interconnect, seed), grouped by interconnect."""
+    return [
+        TrialSpec.make(
+            "fairness",
+            index,
+            f"fairness/{seed}",
+            interconnect=name,
+            n_clients=n_clients,
+            utilization=utilization,
+            horizon=horizon,
+            factory=factory,
+        )
+        for index, (name, seed) in enumerate(
+            (name, seed) for name in interconnects for seed in seeds
+        )
+    ]
+
+
+def run_fairness_trial(spec: TrialSpec) -> MetricSet:
+    """One (interconnect, seed) simulation with per-client bookkeeping.
+
+    ``valid`` is 0 when fewer than two clients completed jobs — the
+    reducer drops such trials, matching the old inline skip.
+    """
+    n_clients = spec.param("n_clients")
+    horizon = spec.param("horizon")
+    rng = random.Random(spec.seed)
+    tasksets = generate_client_tasksets(
+        rng, n_clients, 3, spec.param("utilization")
+    )
+    interconnect = build_interconnect(
+        spec.param("interconnect"), n_clients, tasksets, spec.param("factory")
+    )
+    clients = [
+        TrafficGenerator(c, ts, rng=random.Random(spec.client_seed(c)))
+        for c, ts in tasksets.items()
+    ]
+    SoCSimulation(clients, interconnect).run(horizon, drain=6_000)
+    responses: dict[int, list[int]] = defaultdict(list)
+    misses: dict[int, int] = defaultdict(int)
+    total_misses = 0
+    for client in clients:
+        for job in client.jobs:
+            if job.finished and job.dropped == 0:
+                responses[client.client_id].append(
+                    job.last_completion - job.release
+                )
+            if job.deadline <= horizon and not job.met_deadline:
+                misses[client.client_id] += 1
+                total_misses += 1
+    means = [
+        statistics.fmean(values) for values in responses.values() if values
+    ]
+    tags = {
+        "experiment": "fairness",
+        "interconnect": spec.param("interconnect"),
+    }
+    if len(means) < 2:
+        return MetricSet(
+            scalars={"valid": 0.0, "jain": 0.0, "ratio": 0.0, "concentration": 0.0},
+            tags=tags,
+        )
+    return MetricSet(
+        scalars={
+            "valid": 1.0,
+            "jain": jain_index(means),
+            "ratio": max(means) / min(means),
+            "concentration": (
+                max(misses.values()) / total_misses if total_misses else 0.0
+            ),
+        },
+        tags=tags,
+    )
+
+
+def reduce_fairness(
+    interconnects: tuple[str, ...], outcomes: list[TrialOutcome]
+) -> list[FairnessOutcome]:
+    """Average valid trials into one outcome per design."""
+    grouped: dict[str, list[TrialOutcome]] = {name: [] for name in interconnects}
+    for outcome in outcomes:
+        if outcome.metrics["valid"]:
+            grouped[outcome.spec.param("interconnect")].append(outcome)
+    return [
+        FairnessOutcome(
+            interconnect=name,
+            jain_response=statistics.fmean(o.metrics["jain"] for o in batch),
+            worst_best_ratio=statistics.fmean(
+                o.metrics["ratio"] for o in batch
+            ),
+            miss_concentration=statistics.fmean(
+                o.metrics["concentration"] for o in batch
+            ),
+        )
+        for name, batch in grouped.items()
+        if batch
+    ]
+
+
 def run_fairness(
     n_clients: int = 16,
     utilization: float = 0.8,
@@ -58,50 +173,18 @@ def run_fairness(
     horizon: int = 15_000,
     interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
     factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+    executor: Executor | None = None,
+    hooks: ExecutionHooks | None = None,
 ) -> list[FairnessOutcome]:
     """Measure fairness metrics per design over a seed batch."""
-    outcomes = []
-    for name in interconnects:
-        jain_values, ratios, concentrations = [], [], []
-        for seed in seeds:
-            rng = random.Random(f"fairness/{seed}")
-            tasksets = generate_client_tasksets(rng, n_clients, 3, utilization)
-            interconnect = build_interconnect(name, n_clients, tasksets, factory)
-            clients = [TrafficGenerator(c, ts) for c, ts in tasksets.items()]
-            SoCSimulation(clients, interconnect).run(horizon, drain=6_000)
-            responses: dict[int, list[int]] = defaultdict(list)
-            misses: dict[int, int] = defaultdict(int)
-            total_misses = 0
-            for client in clients:
-                for job in client.jobs:
-                    if job.finished and job.dropped == 0:
-                        responses[client.client_id].append(
-                            job.last_completion - job.release
-                        )
-                    if job.deadline <= horizon and not job.met_deadline:
-                        misses[client.client_id] += 1
-                        total_misses += 1
-            means = [
-                statistics.fmean(values)
-                for values in responses.values()
-                if values
-            ]
-            if len(means) < 2:
-                continue
-            jain_values.append(jain_index(means))
-            ratios.append(max(means) / min(means))
-            concentrations.append(
-                max(misses.values()) / total_misses if total_misses else 0.0
-            )
-        outcomes.append(
-            FairnessOutcome(
-                interconnect=name,
-                jain_response=statistics.fmean(jain_values),
-                worst_best_ratio=statistics.fmean(ratios),
-                miss_concentration=statistics.fmean(concentrations),
-            )
-        )
-    return outcomes
+    executor = executor or SerialExecutor()
+    interconnects = tuple(interconnects)
+    specs = build_fairness_specs(
+        n_clients, utilization, seeds, horizon, interconnects, factory
+    )
+    return reduce_fairness(
+        interconnects, executor.map(run_fairness_trial, specs, hooks)
+    )
 
 
 def format_fairness(outcomes: list[FairnessOutcome]) -> str:

@@ -9,6 +9,12 @@ Two metrics per design, each with its cross-trial variance:
   lower-priority requests (reported in time units = transaction slots);
 * **deadline miss ratio** — fraction of requests not completed by
   their deadline.
+
+Structured as a runtime triple: :func:`build_fig6_specs` describes the
+trials, :func:`run_fig6_trial` executes one (pure function of its
+spec), and :func:`reduce_fig6` folds the per-trial metrics back into a
+:class:`Fig6Result`.  :func:`run_fig6` wires the three through any
+:class:`repro.runtime.Executor`.
 """
 
 from __future__ import annotations
@@ -26,6 +32,15 @@ from repro.experiments.factory import (
     build_interconnect,
 )
 from repro.experiments.reporting import format_table
+from repro.runtime import (
+    Executor,
+    ExecutionHooks,
+    MetricSet,
+    SerialExecutor,
+    TrialOutcome,
+    TrialSpec,
+    derive_seeds,
+)
 from repro.soc import SoCSimulation
 from repro.tasks.generators import generate_client_tasksets
 
@@ -112,39 +127,118 @@ class Fig6Result:
     def best_miss_ratio(self) -> str:
         return min(self.metrics.values(), key=lambda m: m.mean_miss_ratio).name
 
+    def metric_set(self) -> MetricSet:
+        """Aggregate metrics in the shared campaign schema."""
+        scalars: dict[str, float] = {}
+        for name, m in self.metrics.items():
+            scalars[f"{name}/miss"] = m.mean_miss_ratio
+            scalars[f"{name}/blocking"] = m.mean_blocking
+        return MetricSet(
+            scalars=scalars,
+            tags={
+                "experiment": "fig6",
+                "n_clients": str(self.config.n_clients),
+            },
+        )
+
+
+def build_fig6_specs(
+    config: Fig6Config = Fig6Config(),
+    interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
+) -> list[TrialSpec]:
+    """One spec per trial; each trial covers every interconnect.
+
+    Per-trial seeds are drawn from a ``random.Random`` stream keyed by
+    the config, so the batch is deterministic for a given seed and the
+    seed list for N trials is a prefix of the list for M > N trials.
+    """
+    seeds = derive_seeds(
+        f"fig6/{config.seed}/{config.n_clients}", config.trials
+    )
+    return [
+        TrialSpec.make(
+            "fig6",
+            trial,
+            seed,
+            config=config,
+            interconnects=tuple(interconnects),
+        )
+        for trial, seed in enumerate(seeds)
+    ]
+
+
+def run_fig6_trial(spec: TrialSpec) -> MetricSet:
+    """Simulate one workload draw against every interconnect.
+
+    Pure function of the spec: the taskset draw comes from the trial
+    RNG, and each client's private stream is re-derived identically for
+    every interconnect so all designs see the same workload.
+    """
+    config: Fig6Config = spec.param("config")
+    interconnects: tuple[str, ...] = spec.param("interconnects")
+    trial_rng = random.Random(spec.seed)
+    utilization = trial_rng.uniform(
+        config.utilization_low, config.utilization_high
+    )
+    tasksets = generate_client_tasksets(
+        trial_rng,
+        config.n_clients,
+        config.tasks_per_client,
+        utilization,
+        period_min=config.period_min,
+        period_max=config.period_max,
+    )
+    scalars: dict[str, float] = {}
+    for name in interconnects:
+        interconnect = build_interconnect(
+            name, config.n_clients, tasksets, config.factory
+        )
+        clients = [
+            TrafficGenerator(
+                client_id,
+                taskset,
+                rng=random.Random(spec.client_seed(client_id)),
+            )
+            for client_id, taskset in tasksets.items()
+        ]
+        simulation = SoCSimulation(clients, interconnect)
+        result = simulation.run(config.horizon, drain=config.drain)
+        scalars[f"{name}/blocking"] = result.mean_blocking
+        scalars[f"{name}/miss"] = result.deadline_miss_ratio
+    return MetricSet(
+        scalars=scalars,
+        tags={"experiment": "fig6", "trial": str(spec.index)},
+    )
+
+
+def reduce_fig6(
+    config: Fig6Config,
+    interconnects: tuple[str, ...],
+    outcomes: list[TrialOutcome],
+) -> Fig6Result:
+    """Fold per-trial metric sets into the per-design distributions."""
+    metrics = {name: InterconnectMetrics(name) for name in interconnects}
+    for outcome in outcomes:
+        for name in interconnects:
+            metrics[name].blocking_means.append(
+                outcome.metrics[f"{name}/blocking"]
+            )
+            metrics[name].miss_ratios.append(outcome.metrics[f"{name}/miss"])
+    return Fig6Result(config=config, metrics=metrics)
+
 
 def run_fig6(
     config: Fig6Config = Fig6Config(),
     interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
+    executor: Executor | None = None,
+    hooks: ExecutionHooks | None = None,
 ) -> Fig6Result:
     """Run the Fig. 6 experiment for one client count."""
-    metrics = {name: InterconnectMetrics(name) for name in interconnects}
-    for trial in range(config.trials):
-        trial_rng = random.Random(f"{config.seed}/{config.n_clients}/{trial}")
-        utilization = trial_rng.uniform(
-            config.utilization_low, config.utilization_high
-        )
-        tasksets = generate_client_tasksets(
-            trial_rng,
-            config.n_clients,
-            config.tasks_per_client,
-            utilization,
-            period_min=config.period_min,
-            period_max=config.period_max,
-        )
-        for name in interconnects:
-            interconnect = build_interconnect(
-                name, config.n_clients, tasksets, config.factory
-            )
-            clients = [
-                TrafficGenerator(client_id, taskset)
-                for client_id, taskset in tasksets.items()
-            ]
-            simulation = SoCSimulation(clients, interconnect)
-            result = simulation.run(config.horizon, drain=config.drain)
-            metrics[name].blocking_means.append(result.mean_blocking)
-            metrics[name].miss_ratios.append(result.deadline_miss_ratio)
-    return Fig6Result(config=config, metrics=metrics)
+    executor = executor or SerialExecutor()
+    interconnects = tuple(interconnects)
+    specs = build_fig6_specs(config, interconnects)
+    outcomes = executor.map(run_fig6_trial, specs, hooks)
+    return reduce_fig6(config, interconnects, outcomes)
 
 
 def format_fig6(result: Fig6Result) -> str:

@@ -6,6 +6,11 @@ raise the system to a swept *target utilization* (x-axis).  For each
 (interconnect, utilization) point the experiment runs several trials
 and reports the **success ratio**: the fraction of trials in which no
 safety or function task missed any deadline.
+
+Structured as a runtime triple: :func:`build_fig7_specs` emits one
+spec per (utilization, trial) pair, :func:`run_fig7_trial` simulates
+one pair against every interconnect, and :func:`reduce_fig7` folds the
+per-trial successes into the per-utilization ratios.
 """
 
 from __future__ import annotations
@@ -23,6 +28,15 @@ from repro.experiments.factory import (
     build_interconnect,
 )
 from repro.experiments.reporting import format_series
+from repro.runtime import (
+    Executor,
+    ExecutionHooks,
+    MetricSet,
+    SerialExecutor,
+    TrialOutcome,
+    TrialSpec,
+    derive_seeds,
+)
 from repro.soc import SoCSimulation
 from repro.tasks.taskset import TaskSet
 from repro.workloads.automotive import assign_case_study
@@ -84,6 +98,22 @@ class Fig7Result:
         blue = self.success_ratio["BlueScale"]
         return all(b >= o for b, o in zip(blue, self.success_ratio[other]))
 
+    def metric_set(self) -> MetricSet:
+        """Aggregate metrics: mean success ratio over the sweep, plus
+        the ratio at the highest utilization point (the stress case)."""
+        scalars: dict[str, float] = {}
+        for name, series in self.success_ratio.items():
+            if series:
+                scalars[f"{name}/success_mean"] = sum(series) / len(series)
+                scalars[f"{name}/success_at_max_u"] = series[-1]
+        return MetricSet(
+            scalars=scalars,
+            tags={
+                "experiment": "fig7",
+                "n_processors": str(self.config.n_processors),
+            },
+        )
+
 
 def _build_trial_tasksets(
     config: Fig7Config, utilization: float, rng: random.Random
@@ -101,72 +131,138 @@ def _build_trial_tasksets(
     return application, interference, accelerator_tasks
 
 
-def run_fig7(
+def build_fig7_specs(
     config: Fig7Config = Fig7Config(),
     interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
+) -> list[TrialSpec]:
+    """One spec per (utilization point, trial); specs stay grouped by
+    utilization in sweep order so the reducer can rebuild the curves."""
+    specs: list[TrialSpec] = []
+    for utilization in config.utilizations:
+        seeds = derive_seeds(
+            f"fig7/{config.seed}/{config.n_processors}/{utilization}",
+            config.trials,
+        )
+        for trial, seed in enumerate(seeds):
+            specs.append(
+                TrialSpec.make(
+                    "fig7",
+                    len(specs),
+                    seed,
+                    config=config,
+                    interconnects=tuple(interconnects),
+                    utilization=utilization,
+                    trial=trial,
+                )
+            )
+    return specs
+
+
+def run_fig7_trial(spec: TrialSpec) -> MetricSet:
+    """One workload draw at one utilization, against every design.
+
+    Emits ``{name}/success`` ∈ {0, 1} per interconnect: 1 when no
+    monitored (safety/function) job missed a deadline.
+    """
+    config: Fig7Config = spec.param("config")
+    interconnects: tuple[str, ...] = spec.param("interconnects")
+    utilization: float = spec.param("utilization")
+    accelerator_id = config.n_processors
+    rng = random.Random(spec.seed)
+    application, interference, accelerator_tasks = _build_trial_tasksets(
+        config, utilization, rng
+    )
+    combined: dict[int, TaskSet] = {
+        client: application[client].merged_with(
+            interference.get(client, TaskSet())
+        )
+        for client in application
+    }
+    combined[accelerator_id] = accelerator_tasks.merged_with(
+        interference.get(accelerator_id, TaskSet())
+    )
+    scalars: dict[str, float] = {}
+    for name in interconnects:
+        interconnect = build_interconnect(
+            name, config.n_clients, combined, config.factory
+        )
+        clients: list = [
+            ProcessorClient(
+                client,
+                application[client],
+                interference.get(client, TaskSet()),
+                rng=random.Random(spec.client_seed(client)),
+            )
+            for client in application
+        ]
+        # Paper setup: the HA is throttled to 1/#clients of the
+        # memory bandwidth since not all baselines support
+        # reservations.  Its streams are not monitored tasks.
+        clients.append(
+            AcceleratorClient(
+                accelerator_id,
+                accelerator_tasks.merged_with(
+                    interference.get(accelerator_id, TaskSet())
+                ),
+                bandwidth_cap=1.0 / config.n_clients,
+                rng=random.Random(spec.client_seed(accelerator_id)),
+            )
+        )
+        simulation = SoCSimulation(clients, interconnect)
+        trial_result = simulation.run(config.horizon, drain=config.drain)
+        # Only processor clients carry monitored tasks; the HA is
+        # load.  ProcessorClient marks interference unmonitored.
+        monitored_missed = sum(
+            missed
+            for client_id, (_, missed) in trial_result.job_outcomes.items()
+            if client_id != accelerator_id
+        )
+        scalars[f"{name}/success"] = 1.0 if monitored_missed == 0 else 0.0
+    return MetricSet(
+        scalars=scalars,
+        tags={
+            "experiment": "fig7",
+            "utilization": str(utilization),
+            "trial": str(spec.param("trial")),
+        },
+    )
+
+
+def reduce_fig7(
+    config: Fig7Config,
+    interconnects: tuple[str, ...],
+    outcomes: list[TrialOutcome],
 ) -> Fig7Result:
-    """Run the success-ratio sweep for one system size."""
+    """Fold per-trial successes into per-utilization success ratios."""
     result = Fig7Result(
         config=config,
         success_ratio={name: [] for name in interconnects},
     )
-    accelerator_id = config.n_processors
+    by_utilization: dict[float, list[TrialOutcome]] = {
+        u: [] for u in config.utilizations
+    }
+    for outcome in outcomes:
+        by_utilization[outcome.spec.param("utilization")].append(outcome)
     for utilization in config.utilizations:
-        successes = {name: 0 for name in interconnects}
-        for trial in range(config.trials):
-            rng = random.Random(f"{config.seed}/{config.n_processors}/{utilization}/{trial}")
-            application, interference, accelerator_tasks = _build_trial_tasksets(
-                config, utilization, rng
-            )
-            combined: dict[int, TaskSet] = {
-                client: application[client].merged_with(
-                    interference.get(client, TaskSet())
-                )
-                for client in application
-            }
-            combined[accelerator_id] = accelerator_tasks.merged_with(
-                interference.get(accelerator_id, TaskSet())
-            )
-            for name in interconnects:
-                interconnect = build_interconnect(
-                    name, config.n_clients, combined, config.factory
-                )
-                clients: list = [
-                    ProcessorClient(
-                        client,
-                        application[client],
-                        interference.get(client, TaskSet()),
-                        rng=random.Random(f"{trial}/{client}"),
-                    )
-                    for client in application
-                ]
-                # Paper setup: the HA is throttled to 1/#clients of the
-                # memory bandwidth since not all baselines support
-                # reservations.  Its streams are not monitored tasks.
-                clients.append(
-                    AcceleratorClient(
-                        accelerator_id,
-                        accelerator_tasks.merged_with(
-                            interference.get(accelerator_id, TaskSet())
-                        ),
-                        bandwidth_cap=1.0 / config.n_clients,
-                        rng=random.Random(f"{trial}/{accelerator_id}"),
-                    )
-                )
-                simulation = SoCSimulation(clients, interconnect)
-                trial_result = simulation.run(config.horizon, drain=config.drain)
-                # Only processor clients carry monitored tasks; the HA is
-                # load.  ProcessorClient marks interference unmonitored.
-                monitored_missed = sum(
-                    missed
-                    for client_id, (_, missed) in trial_result.job_outcomes.items()
-                    if client_id != accelerator_id
-                )
-                if monitored_missed == 0:
-                    successes[name] += 1
+        batch = by_utilization[utilization]
         for name in interconnects:
-            result.success_ratio[name].append(successes[name] / config.trials)
+            successes = sum(o.metrics[f"{name}/success"] for o in batch)
+            result.success_ratio[name].append(successes / config.trials)
     return result
+
+
+def run_fig7(
+    config: Fig7Config = Fig7Config(),
+    interconnects: tuple[str, ...] = INTERCONNECT_NAMES,
+    executor: Executor | None = None,
+    hooks: ExecutionHooks | None = None,
+) -> Fig7Result:
+    """Run the success-ratio sweep for one system size."""
+    executor = executor or SerialExecutor()
+    interconnects = tuple(interconnects)
+    specs = build_fig7_specs(config, interconnects)
+    outcomes = executor.map(run_fig7_trial, specs, hooks)
+    return reduce_fig7(config, interconnects, outcomes)
 
 
 def format_fig7(result: Fig7Result) -> str:
@@ -183,7 +279,7 @@ def format_fig7(result: Fig7Result) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    result = run_fig7(Fig7Config(trials=4, utilizations=(0.3, 0.5, 0.7, 0.9)))
+    result = run_fig7(Fig7Config(trials=4, utilizations=(0.3, 0.5, 0.9)))
     print(format_fig7(result))
 
 

@@ -22,6 +22,14 @@ from repro.experiments.factory import (
     FactoryConfig,
     build_interconnect,
 )
+from repro.runtime import (
+    Executor,
+    ExecutionHooks,
+    MetricSet,
+    SerialExecutor,
+    TrialOutcome,
+    TrialSpec,
+)
 from repro.soc import SoCSimulation
 from repro.tasks.generators import generate_client_tasksets
 from repro.topology import quadtree
@@ -62,6 +70,91 @@ class ScalabilityResult:
         return sorted({p.n_clients for p in self.points})
 
 
+def build_scalability_specs(
+    client_counts: tuple[int, ...],
+    utilization: float,
+    seeds: tuple[int, ...],
+    interconnects: tuple[str, ...],
+    factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
+) -> list[TrialSpec]:
+    """One spec per (system size, interconnect, seed)."""
+    specs: list[TrialSpec] = []
+    for n_clients in client_counts:
+        # keep total simulated work comparable across sizes
+        horizon = max(4_000, 64_000 // n_clients)
+        for name in interconnects:
+            for seed in seeds:
+                specs.append(
+                    TrialSpec.make(
+                        "scalability",
+                        len(specs),
+                        f"sweep/{seed}/{n_clients}",
+                        n_clients=n_clients,
+                        interconnect=name,
+                        utilization=utilization,
+                        horizon=horizon,
+                        factory=factory,
+                    )
+                )
+    return specs
+
+
+def run_scalability_trial(spec: TrialSpec) -> MetricSet:
+    """One (size, interconnect, seed) simulation."""
+    n_clients = spec.param("n_clients")
+    rng = random.Random(spec.seed)
+    tasksets = generate_client_tasksets(
+        rng, n_clients, 2, spec.param("utilization")
+    )
+    interconnect = build_interconnect(
+        spec.param("interconnect"), n_clients, tasksets, spec.param("factory")
+    )
+    clients = [
+        TrafficGenerator(c, ts, rng=random.Random(spec.client_seed(c)))
+        for c, ts in tasksets.items()
+    ]
+    trial = SoCSimulation(clients, interconnect).run(
+        spec.param("horizon"), drain=4_000
+    )
+    return MetricSet(
+        scalars={
+            "miss": trial.deadline_miss_ratio,
+            "response": trial.response_summary().mean,
+        },
+        tags={
+            "experiment": "scalability",
+            "n_clients": str(n_clients),
+            "interconnect": spec.param("interconnect"),
+        },
+    )
+
+
+def reduce_scalability(
+    utilization: float, outcomes: list[TrialOutcome]
+) -> ScalabilityResult:
+    """Average per-seed metrics into one point per (size, design)."""
+    result = ScalabilityResult(utilization=utilization)
+    grouped: dict[tuple[int, str], list[TrialOutcome]] = {}
+    for outcome in outcomes:
+        key = (
+            outcome.spec.param("n_clients"),
+            outcome.spec.param("interconnect"),
+        )
+        grouped.setdefault(key, []).append(outcome)
+    for (n_clients, name), batch in grouped.items():
+        result.points.append(
+            SweepPoint(
+                n_clients=n_clients,
+                interconnect=name,
+                miss_ratio=statistics.fmean(o.metrics["miss"] for o in batch),
+                mean_response=statistics.fmean(
+                    o.metrics["response"] for o in batch
+                ),
+            )
+        )
+    return result
+
+
 def run_scalability_sweep(
     client_counts: tuple[int, ...] = (4, 16, 64, 256),
     utilization: float = 0.45,
@@ -69,41 +162,25 @@ def run_scalability_sweep(
     interconnects: tuple[str, ...] = ("BlueScale", "BlueTree", "AXI-IC^RT"),
     factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
     with_admission_ceiling: bool = True,
+    executor: Executor | None = None,
+    hooks: ExecutionHooks | None = None,
 ) -> ScalabilityResult:
-    """Sweep the system size at a fixed utilization."""
+    """Sweep the system size at a fixed utilization.
+
+    The simulation trials fan out through the executor; the
+    analysis-side admission ceiling (exact rational arithmetic, fast)
+    stays in-process.
+    """
     if not client_counts:
         raise ConfigurationError("need at least one system size")
-    result = ScalabilityResult(utilization=utilization)
-    for n_clients in client_counts:
-        # keep total simulated work comparable across sizes
-        horizon = max(4_000, 64_000 // n_clients)
-        for name in interconnects:
-            misses, responses = [], []
-            for seed in seeds:
-                rng = random.Random(f"sweep/{seed}/{n_clients}")
-                tasksets = generate_client_tasksets(
-                    rng, n_clients, 2, utilization
-                )
-                interconnect = build_interconnect(
-                    name, n_clients, tasksets, factory
-                )
-                clients = [
-                    TrafficGenerator(c, ts) for c, ts in tasksets.items()
-                ]
-                trial = SoCSimulation(clients, interconnect).run(
-                    horizon, drain=4_000
-                )
-                misses.append(trial.deadline_miss_ratio)
-                responses.append(trial.response_summary().mean)
-            result.points.append(
-                SweepPoint(
-                    n_clients=n_clients,
-                    interconnect=name,
-                    miss_ratio=statistics.fmean(misses),
-                    mean_response=statistics.fmean(responses),
-                )
-            )
-        if with_admission_ceiling:
+    executor = executor or SerialExecutor()
+    specs = build_scalability_specs(
+        tuple(client_counts), utilization, seeds, tuple(interconnects), factory
+    )
+    outcomes = executor.map(run_scalability_trial, specs, hooks)
+    result = reduce_scalability(utilization, outcomes)
+    if with_admission_ceiling:
+        for n_clients in client_counts:
             rng = random.Random(f"sweep/ceiling/{n_clients}")
             tasksets = generate_client_tasksets(rng, n_clients, 2, 0.2)
             try:

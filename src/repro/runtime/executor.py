@@ -1,0 +1,199 @@
+"""Trial executors: the serial/parallel seam of the runtime.
+
+An :class:`Executor` maps a per-trial runner over a batch of
+:class:`~repro.runtime.spec.TrialSpec`\\ s and returns
+:class:`TrialOutcome`\\ s *in spec order*.  Because runners are pure
+functions of their spec (the determinism contract in
+:mod:`repro.runtime`), the two provided backends are interchangeable:
+
+* :class:`SerialExecutor` — an in-process loop;
+* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` fan-out with
+  chunking.  ``map`` preserves submission order when collecting, so the
+  reduced results are bit-for-bit identical to a serial run.
+
+Runners must be module-level functions (picklable by reference) for the
+parallel backend; per-trial wall-clock is measured inside the worker
+and shipped back with the metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import MetricSet
+from repro.runtime.spec import TrialSpec
+
+#: a per-trial runner: pure function of the spec
+TrialRunner = Callable[[TrialSpec], MetricSet]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One executed trial: its spec, metrics, and worker wall-clock."""
+
+    spec: TrialSpec
+    metrics: MetricSet
+    seconds: float
+
+
+class ExecutionHooks:
+    """Observability callbacks; subclass and override what you need.
+
+    Hooks always fire in the submitting process (never in workers) and,
+    for trial completions, in spec order — so they see the same
+    sequence under every backend.
+    """
+
+    def on_batch_start(self, specs: Sequence[TrialSpec]) -> None:
+        """Called once before the first trial runs."""
+
+    def on_trial_done(
+        self, outcome: TrialOutcome, done: int, total: int
+    ) -> None:
+        """Called per collected trial; ``done`` counts from 1."""
+
+    def on_batch_done(self, outcomes: Sequence[TrialOutcome]) -> None:
+        """Called once after every trial was collected."""
+
+
+class ProgressPrinter(ExecutionHooks):
+    """Minimal progress/timing hook: one status line per batch."""
+
+    def __init__(self, stream=None) -> None:
+        import sys
+
+        self.stream = stream if stream is not None else sys.stderr
+        self._started = 0.0
+
+    def on_batch_start(self, specs: Sequence[TrialSpec]) -> None:
+        self._started = time.perf_counter()
+        if specs:
+            print(
+                f"[{specs[0].experiment}] running {len(specs)} trials...",
+                file=self.stream,
+            )
+
+    def on_trial_done(
+        self, outcome: TrialOutcome, done: int, total: int
+    ) -> None:
+        if done == total or done % max(1, total // 10) == 0:
+            elapsed = time.perf_counter() - self._started
+            print(
+                f"[{outcome.spec.experiment}] {done}/{total} trials "
+                f"({elapsed:.1f}s)",
+                file=self.stream,
+            )
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can map a trial runner over specs, in order."""
+
+    @property
+    def workers(self) -> int: ...
+
+    def map(
+        self,
+        runner: TrialRunner,
+        specs: Sequence[TrialSpec],
+        hooks: ExecutionHooks | None = None,
+    ) -> list[TrialOutcome]: ...
+
+
+def _execute_one(runner: TrialRunner, spec: TrialSpec) -> TrialOutcome:
+    """Run one trial and time it; module-level so workers can pickle it."""
+    started = time.perf_counter()
+    metrics = runner(spec)
+    if not isinstance(metrics, MetricSet):
+        raise ConfigurationError(
+            f"trial runner for {spec.experiment!r} returned "
+            f"{type(metrics).__name__}, expected MetricSet"
+        )
+    return TrialOutcome(
+        spec=spec, metrics=metrics, seconds=time.perf_counter() - started
+    )
+
+
+class SerialExecutor:
+    """Run every trial in the calling process, in spec order."""
+
+    workers = 1
+
+    def map(
+        self,
+        runner: TrialRunner,
+        specs: Sequence[TrialSpec],
+        hooks: ExecutionHooks | None = None,
+    ) -> list[TrialOutcome]:
+        hooks = hooks or ExecutionHooks()
+        hooks.on_batch_start(specs)
+        outcomes: list[TrialOutcome] = []
+        for spec in specs:
+            outcome = _execute_one(runner, spec)
+            outcomes.append(outcome)
+            hooks.on_trial_done(outcome, len(outcomes), len(specs))
+        hooks.on_batch_done(outcomes)
+        return outcomes
+
+
+class ParallelExecutor:
+    """Fan trials out over a process pool; results stay in spec order.
+
+    ``chunk_size`` batches specs per worker task to amortize pickling;
+    by default it targets ~4 chunks per worker.  Ordered collection is
+    what makes parallel ≡ serial: ``ProcessPoolExecutor.map`` yields
+    results in submission order regardless of completion order.
+    """
+
+    def __init__(self, workers: int, chunk_size: int | None = None) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                f"ParallelExecutor needs >= 2 workers, got {workers}; "
+                "use SerialExecutor (or make_executor) for 1"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"invalid chunk size {chunk_size}")
+        self._workers = workers
+        self.chunk_size = chunk_size
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _chunk(self, n_specs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, n_specs // (self._workers * 4))
+
+    def map(
+        self,
+        runner: TrialRunner,
+        specs: Sequence[TrialSpec],
+        hooks: ExecutionHooks | None = None,
+    ) -> list[TrialOutcome]:
+        hooks = hooks or ExecutionHooks()
+        hooks.on_batch_start(specs)
+        outcomes: list[TrialOutcome] = []
+        if specs:
+            with ProcessPoolExecutor(max_workers=self._workers) as pool:
+                for outcome in pool.map(
+                    partial(_execute_one, runner),
+                    specs,
+                    chunksize=self._chunk(len(specs)),
+                ):
+                    outcomes.append(outcome)
+                    hooks.on_trial_done(outcome, len(outcomes), len(specs))
+        hooks.on_batch_done(outcomes)
+        return outcomes
+
+
+def make_executor(workers: int | None) -> Executor:
+    """The executor for a ``--workers N`` request (None/0/1 → serial)."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

@@ -1,0 +1,88 @@
+"""The shared metrics schema trial runners emit and campaigns archive.
+
+A :class:`MetricSet` is a flat mapping of metric name → float plus
+string tags identifying where it came from.  Per-trial runners return
+one; reducers fold batches of them into experiment results; experiment
+results expose an aggregate one via ``metric_set()``; and the campaign
+layer archives those aggregates without per-experiment glue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """Named scalar metrics with identifying tags.
+
+    Metric names are free-form but the convention throughout the
+    experiments is ``"<series>/<quantity>"`` (``"BlueScale/miss"``),
+    which flattens into campaign manifests and CSV columns unchanged.
+    """
+
+    scalars: Mapping[str, float]
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in self.scalars.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"metric {name!r} must be numeric, got {value!r}"
+                )
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self.scalars[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no metric {name!r} (has: {sorted(self.scalars)})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.scalars
+
+    def prefixed(self, prefix: str) -> "MetricSet":
+        """A copy with every metric name under ``prefix/``."""
+        return MetricSet(
+            scalars={f"{prefix}/{k}": v for k, v in self.scalars.items()},
+            tags=dict(self.tags),
+        )
+
+    def merged_with(self, other: "MetricSet") -> "MetricSet":
+        """Union of two metric sets; duplicate names are a bug."""
+        overlap = set(self.scalars) & set(other.scalars)
+        if overlap:
+            raise ConfigurationError(
+                f"metric sets overlap on {sorted(overlap)}"
+            )
+        return MetricSet(
+            scalars={**self.scalars, **other.scalars},
+            tags={**self.tags, **other.tags},
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain ``{name: float}`` for manifests and JSON."""
+        return {k: float(v) for k, v in self.scalars.items()}
+
+
+def extract_metric_set(result: Any) -> MetricSet:
+    """Coerce an experiment result into a :class:`MetricSet`.
+
+    Accepts a ``MetricSet``, anything exposing ``metric_set()`` (all
+    experiment result classes do), or a plain ``{name: float}`` dict.
+    """
+    if isinstance(result, MetricSet):
+        return result
+    method = getattr(result, "metric_set", None)
+    if callable(method):
+        return extract_metric_set(method())
+    if isinstance(result, Mapping):
+        return MetricSet(scalars=dict(result))
+    raise ConfigurationError(
+        f"cannot extract metrics from {type(result).__name__}; expected a "
+        "MetricSet, an object with metric_set(), or a name->float mapping"
+    )

@@ -1,0 +1,68 @@
+"""Trial specifications: pure, picklable descriptions of one trial.
+
+A :class:`TrialSpec` carries everything a per-trial runner needs —
+experiment name, trial index, seed, and a frozen parameter mapping —
+and nothing else.  Because the spec (not a closure) crosses the
+process boundary, any executor backend can ship trials anywhere and
+replay them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial of one experiment, fully described.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so
+    specs stay hashable-by-content and pickle deterministically; values
+    must themselves be picklable (frozen config dataclasses, tuples,
+    numbers, strings).
+    """
+
+    #: which experiment family this trial belongs to (``"fig6"``, ...)
+    experiment: str
+    #: position in the batch; reducers rely on spec order, not index
+    index: int
+    #: all trial randomness derives from this seed, nothing else
+    seed: int | str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        experiment: str,
+        index: int,
+        seed: int | str,
+        **params: Any,
+    ) -> "TrialSpec":
+        """Build a spec from keyword parameters."""
+        return cls(
+            experiment=experiment,
+            index=index,
+            seed=seed,
+            params=tuple(sorted(params.items())),
+        )
+
+    @property
+    def param_dict(self) -> Mapping[str, Any]:
+        return dict(self.params)
+
+    def param(self, key: str) -> Any:
+        """Look up one parameter; unknown keys are a configuration bug."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        raise ConfigurationError(
+            f"trial spec {self.experiment}[{self.index}] has no "
+            f"parameter {key!r} (has: {[n for n, _ in self.params]})"
+        )
+
+    def client_seed(self, client_id: int) -> str:
+        """Seed material for one client's private RNG inside this trial."""
+        return f"{self.seed}/client/{client_id}"

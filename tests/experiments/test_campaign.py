@@ -14,11 +14,12 @@ from repro.experiments.campaign import (
 )
 
 
-def toy_spec(name="toy", value=1.0):
+def toy_spec(name="toy", value=1.0, extra_metrics=()):
+    metrics = {"value": value, **dict(extra_metrics)}
     return ExperimentSpec(
         name=name,
-        runner=lambda: {"value": value},
-        metrics=lambda result: {"value": result["value"]},
+        runner=lambda: dict(metrics),
+        metrics=lambda result: result,
     )
 
 
@@ -30,6 +31,29 @@ class TestRunCampaign:
         assert manifest["experiments"] == ["toy"]
         assert manifest["metrics"]["toy"]["value"] == 1.0
         assert record.seconds["toy"] >= 0
+
+    def test_metric_set_results_need_no_adapter(self, tmp_path):
+        """Results exposing metric_set() archive without a metrics lambda."""
+        from repro.runtime import MetricSet
+
+        class Result:
+            def metric_set(self):
+                return MetricSet(scalars={"m": 2.5})
+
+        spec = ExperimentSpec(name="schema", runner=Result)
+        record = run_campaign([spec], tmp_path, label="s")
+        assert record.metrics["schema"] == {"m": 2.5}
+        assert load_manifest(tmp_path / "s")["metrics"]["schema"]["m"] == 2.5
+
+    def test_manifest_records_wall_clock_and_workers(self, tmp_path):
+        run_campaign([toy_spec()], tmp_path, label="wc", workers=4)
+        manifest = load_manifest(tmp_path / "wc")
+        assert manifest["workers"] == 4
+        assert manifest["wall_clock"]["toy"]["workers"] == 4
+        assert manifest["wall_clock"]["toy"]["seconds"] >= 0
+        assert manifest["wall_clock"]["toy"]["seconds"] == (
+            manifest["seconds"]["toy"]
+        )
 
     def test_duplicate_names_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
@@ -55,6 +79,43 @@ class TestCompareCampaigns:
         deltas = compare_campaigns(before, after, threshold=0.10)
         assert len(deltas) == 1
         assert deltas[0].relative_change == pytest.approx(1.0)
+
+    def test_improvement_detected_with_sign(self, tmp_path):
+        """A metric that moved down is reported with a negative change."""
+        before, after = self.run_pair(tmp_path, 2.0, 1.0)
+        deltas = compare_campaigns(before, after, threshold=0.10)
+        assert len(deltas) == 1
+        assert deltas[0].relative_change == pytest.approx(-0.5)
+        assert deltas[0].before == 2.0 and deltas[0].after == 1.0
+
+    def test_missing_metric_not_compared(self, tmp_path):
+        """Metrics present in only one manifest are structural changes,
+        not deltas — only the shared metric is compared."""
+        run_campaign(
+            [toy_spec(value=1.0, extra_metrics=(("only_before", 5.0),))],
+            tmp_path,
+            label="before",
+        )
+        run_campaign(
+            [toy_spec(value=3.0, extra_metrics=(("only_after", 7.0),))],
+            tmp_path,
+            label="after",
+        )
+        deltas = compare_campaigns(
+            tmp_path / "before", tmp_path / "after", threshold=0.10
+        )
+        assert [d.metric for d in deltas] == ["value"]
+
+    def test_missing_experiment_not_compared(self, tmp_path):
+        run_campaign([toy_spec(name="shared"), toy_spec(name="gone")],
+                     tmp_path, label="before")
+        run_campaign(
+            [toy_spec(name="shared", value=9.0), toy_spec(name="new")],
+            tmp_path,
+            label="after",
+        )
+        deltas = compare_campaigns(tmp_path / "before", tmp_path / "after")
+        assert {d.experiment for d in deltas} == {"shared"}
 
     def test_small_change_below_threshold_ignored(self, tmp_path):
         before, after = self.run_pair(tmp_path, 1.0, 1.05)

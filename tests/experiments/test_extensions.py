@@ -274,6 +274,37 @@ class TestCli:
         assert "16 traffic generators" in out
         assert "BlueScale" in out
 
+    def test_fig6_seed_changes_results(self, capsys):
+        from repro.cli import main
+
+        argv = ["fig6", "--trials", "1", "--horizon", "3000"]
+        assert main(argv + ["--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--seed", "1"]) == 0
+        repeat = capsys.readouterr().out
+        assert main(argv + ["--seed", "2"]) == 0
+        other = capsys.readouterr().out
+        assert first == repeat
+        assert first != other
+
+    def test_fig6_workers_flag_matches_serial(self, capsys):
+        from repro.cli import main
+
+        argv = ["fig6", "--trials", "2", "--horizon", "3000"]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_fig7_seed_flag_accepted(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["fig7", "--trials", "1", "--horizon", "2000", "--seed", "3"]
+        ) == 0
+        assert "success ratio" in capsys.readouterr().out
+
     def test_fairness_quick(self, capsys):
         from repro.cli import main
 
@@ -287,7 +318,7 @@ class TestCli:
         # shrink the standard campaign for the test
         original = campaign_module.default_specs
 
-        def tiny_specs(quick=True):
+        def tiny_specs(quick=True, **kwargs):
             return [
                 spec
                 for spec in original(quick=True)

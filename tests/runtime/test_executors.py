@@ -1,0 +1,130 @@
+"""Executor contract tests: ordering, hooks, and the determinism
+guarantee that a parallel run is bit-for-bit identical to a serial one
+(the acceptance criterion of the trial-execution runtime)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    ExecutionHooks,
+    MetricSet,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialSpec,
+    make_executor,
+)
+
+
+def square_runner(spec: TrialSpec) -> MetricSet:
+    """Module-level so the process pool can pickle it by reference."""
+    return MetricSet(scalars={"value": float(spec.seed) ** 2})
+
+
+def make_specs(n):
+    return [TrialSpec.make("toy", i, i) for i in range(n)]
+
+
+class RecordingHooks(ExecutionHooks):
+    def __init__(self):
+        self.started = 0
+        self.trials = []
+        self.finished = 0
+
+    def on_batch_start(self, specs):
+        self.started += 1
+
+    def on_trial_done(self, outcome, done, total):
+        self.trials.append((outcome.spec.index, done, total))
+
+    def on_batch_done(self, outcomes):
+        self.finished += 1
+
+
+class TestSerialExecutor:
+    def test_results_in_spec_order(self):
+        outcomes = SerialExecutor().map(square_runner, make_specs(5))
+        assert [o.metrics["value"] for o in outcomes] == [0, 1, 4, 9, 16]
+        assert [o.spec.index for o in outcomes] == list(range(5))
+
+    def test_hooks_fire_in_order(self):
+        hooks = RecordingHooks()
+        SerialExecutor().map(square_runner, make_specs(3), hooks)
+        assert hooks.started == 1 and hooks.finished == 1
+        assert hooks.trials == [(0, 1, 3), (1, 2, 3), (2, 3, 3)]
+
+    def test_trial_seconds_measured(self):
+        outcomes = SerialExecutor().map(square_runner, make_specs(1))
+        assert outcomes[0].seconds >= 0
+
+    def test_runner_must_return_metric_set(self):
+        with pytest.raises(ConfigurationError):
+            SerialExecutor().map(lambda spec: {"raw": 1}, make_specs(1))
+
+
+class TestParallelExecutor:
+    def test_too_few_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(1)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(2, chunk_size=0)
+
+    def test_matches_serial_on_toy_runner(self):
+        serial = SerialExecutor().map(square_runner, make_specs(9))
+        parallel = ParallelExecutor(3, chunk_size=2).map(
+            square_runner, make_specs(9)
+        )
+        assert [o.metrics for o in parallel] == [o.metrics for o in serial]
+        assert [o.spec for o in parallel] == [o.spec for o in serial]
+
+    def test_hooks_fire_in_submitting_process(self):
+        hooks = RecordingHooks()
+        ParallelExecutor(2).map(square_runner, make_specs(4), hooks)
+        assert hooks.started == 1 and hooks.finished == 1
+        assert [t[0] for t in hooks.trials] == [0, 1, 2, 3]
+
+    def test_empty_batch(self):
+        assert ParallelExecutor(2).map(square_runner, []) == []
+
+
+class TestMakeExecutor:
+    def test_serial_for_one_or_none(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(0), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_parallel_above_one(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 3
+
+
+class TestParallelEqualsSerial:
+    """Parallel ≡ serial, exact equality, on the real experiments."""
+
+    def test_fig6_identical(self):
+        from repro.experiments.fig6 import Fig6Config, run_fig6
+
+        config = Fig6Config(trials=3, horizon=4_000, drain=1_500)
+        interconnects = ("BlueScale", "BlueTree")
+        serial = run_fig6(config, interconnects, SerialExecutor())
+        parallel = run_fig6(config, interconnects, ParallelExecutor(2))
+        for name in interconnects:
+            assert (
+                parallel.metrics[name].miss_ratios
+                == serial.metrics[name].miss_ratios
+            )
+            assert (
+                parallel.metrics[name].blocking_means
+                == serial.metrics[name].blocking_means
+            )
+
+    def test_fig7_identical(self):
+        from repro.experiments.fig7 import Fig7Config, run_fig7
+
+        config = Fig7Config(
+            trials=2, horizon=4_000, drain=1_500, utilizations=(0.4, 0.8)
+        )
+        interconnects = ("BlueScale", "GSMTree-TDM")
+        serial = run_fig7(config, interconnects, SerialExecutor())
+        parallel = run_fig7(config, interconnects, ParallelExecutor(2))
+        assert parallel.success_ratio == serial.success_ratio

@@ -1,0 +1,123 @@
+"""Unit tests for the runtime's spec, seeding, and metrics layers."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    MetricSet,
+    TrialSpec,
+    derive_seeds,
+    extract_metric_set,
+    seed_stream,
+    spawn_rng,
+)
+
+
+class TestTrialSpec:
+    def test_make_sorts_params(self):
+        spec = TrialSpec.make("e", 0, 1, zeta=1, alpha=2)
+        assert [name for name, _ in spec.params] == ["alpha", "zeta"]
+
+    def test_param_lookup(self):
+        spec = TrialSpec.make("e", 0, 1, x=42)
+        assert spec.param("x") == 42
+        with pytest.raises(ConfigurationError):
+            spec.param("missing")
+
+    def test_specs_are_picklable(self):
+        from repro.experiments.fig6 import Fig6Config
+
+        spec = TrialSpec.make("fig6", 3, 99, config=Fig6Config(), names=("a",))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.param("config") == Fig6Config()
+
+    def test_client_seed_distinct_per_client(self):
+        spec = TrialSpec.make("e", 0, 7)
+        assert spec.client_seed(0) != spec.client_seed(1)
+        assert random.Random(spec.client_seed(0)).random() != random.Random(
+            spec.client_seed(1)
+        ).random()
+
+
+class TestSeeding:
+    def test_streams_deterministic(self):
+        assert derive_seeds("s", 5) == derive_seeds("s", 5)
+        assert derive_seeds("a", 5) != derive_seeds("b", 5)
+
+    def test_prefix_property(self):
+        assert derive_seeds("s", 8)[:3] == derive_seeds("s", 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seeds("s", -1)
+
+    def test_spawn_advances_parent(self):
+        parent = seed_stream(1)
+        first = spawn_rng(parent)
+        second = spawn_rng(parent)
+        assert first.random() != second.random()
+
+
+class TestMetricSet:
+    def test_lookup_and_contains(self):
+        ms = MetricSet(scalars={"a/x": 1.0})
+        assert ms["a/x"] == 1.0
+        assert "a/x" in ms and "a/y" not in ms
+        with pytest.raises(ConfigurationError):
+            ms["a/y"]
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricSet(scalars={"a": "high"})
+        with pytest.raises(ConfigurationError):
+            MetricSet(scalars={"a": True})
+
+    def test_prefixed(self):
+        ms = MetricSet(scalars={"x": 1.0}).prefixed("fig6")
+        assert ms["fig6/x"] == 1.0
+
+    def test_merge_disjoint(self):
+        merged = MetricSet(scalars={"a": 1.0}).merged_with(
+            MetricSet(scalars={"b": 2.0})
+        )
+        assert merged.as_dict() == {"a": 1.0, "b": 2.0}
+
+    def test_merge_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricSet(scalars={"a": 1.0}).merged_with(
+                MetricSet(scalars={"a": 2.0})
+            )
+
+
+class TestExtractMetricSet:
+    def test_passthrough(self):
+        ms = MetricSet(scalars={"a": 1.0})
+        assert extract_metric_set(ms) is ms
+
+    def test_mapping_coerced(self):
+        assert extract_metric_set({"a": 1.0})["a"] == 1.0
+
+    def test_metric_set_method_used(self):
+        class Result:
+            def metric_set(self):
+                return {"from_method": 3.0}
+
+        assert extract_metric_set(Result())["from_method"] == 3.0
+
+    def test_experiment_results_expose_metric_sets(self):
+        from repro.experiments.fig6 import Fig6Config, run_fig6
+
+        result = run_fig6(
+            Fig6Config(trials=1, horizon=3_000, drain=1_000),
+            interconnects=("BlueTree",),
+        )
+        ms = extract_metric_set(result)
+        assert "BlueTree/miss" in ms and "BlueTree/blocking" in ms
+
+    def test_unextractable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            extract_metric_set(object())

@@ -24,6 +24,7 @@ class TestTopLevelExports:
         import repro.interconnects
         import repro.memory
         import repro.noc
+        import repro.runtime
         import repro.sim
         import repro.tasks
         import repro.workloads
@@ -37,6 +38,7 @@ class TestTopLevelExports:
             repro.interconnects,
             repro.memory,
             repro.noc,
+            repro.runtime,
             repro.sim,
             repro.tasks,
             repro.workloads,
