@@ -1,0 +1,42 @@
+"""Regenerate tests/fixtures/golden_traces.json.
+
+Run after a *deliberate* behavioural change invalidates the pinned
+completion-trace digests::
+
+    PYTHONPATH=src python scripts/regen_golden_traces.py
+
+Review the resulting fixture diff together with the change that caused
+it — an unexpected digest flip means observable scheduling behaviour
+changed.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from tests.experiments.test_golden_traces import (  # noqa: E402
+    GOLDEN_PATH,
+    collect_digests,
+)
+
+
+def main() -> None:
+    digests = collect_digests()
+    payload = {
+        "comment": (
+            "Completion-trace sha256 digests of the pinned fig6/fig7 "
+            "configurations (see tests/experiments/test_golden_traces.py). "
+            "Regenerate with scripts/regen_golden_traces.py."
+        ),
+        "digests": digests,
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -69,3 +69,29 @@ class AcceleratorClient(TrafficGenerator):
         if inject(request, cycle):
             heapq.heappop(self._pending)
             self._last_inject = cycle
+
+    # -- quiescence ------------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """The throttle makes even a backlogged HA quiescent: between
+        injection opportunities a tick only catches up job releases,
+        which is exact after a leap (releases use stored cycles)."""
+        return True
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        """Next injection opportunity or job release, whichever is first.
+
+        Releases must land on their exact cycles (request ids are
+        assigned globally in release order, and they tie-break EDF
+        arbitration), so the release heap always bounds the leap.  When
+        injection eligibility has already arrived — e.g. the port is
+        exerting backpressure — this returns a cycle in the past and
+        the engine simply does not leap.
+        """
+        earliest: int | None = None
+        if self._pending:
+            earliest = self._last_inject + self._inject_interval
+        if self._release_heap:
+            release = self._release_heap[0][0]
+            if earliest is None or release < earliest:
+                earliest = release
+        return earliest

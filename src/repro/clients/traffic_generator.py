@@ -247,6 +247,26 @@ class TrafficGenerator:
         job.outstanding -= 1
         job.last_completion = max(job.last_completion, request.complete_cycle)
 
+    # -- quiescence ------------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """True while the client has nothing to offer the interconnect.
+
+        With an empty pending queue a tick only checks the release heap,
+        a no-op until the next release — which
+        :meth:`next_activity_cycle` declares.  A non-empty queue means
+        the client retries injection every cycle (it may be blocked by
+        backpressure), so it is never quiescent then.
+        """
+        return not self._pending
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        """The next job release.  Declared even when injection is
+        blocked: request ids are allocated globally in release order
+        (and tie-break EDF), so releases must land on exact cycles."""
+        if self._release_heap:
+            return self._release_heap[0][0]
+        return None
+
     # -- outcome -------------------------------------------------------------
     def monitored_job_misses(self, horizon: int) -> int:
         """Monitored jobs that missed (or could not finish by) their deadline.

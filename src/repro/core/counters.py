@@ -130,6 +130,29 @@ class ServerCounterPair:
             )
         self.b_counter.enable()
 
+    def skip_idle(self, cycles: int) -> int | None:
+        """Fast-forward ``cycles`` idle ticks (no consume() in between).
+
+        Produces exactly the state ``cycles`` calls to :meth:`tick`
+        would leave behind.  Returns the 0-based offset (within the
+        skipped window) of the *last* tick that replenished the budget,
+        or None when no period boundary was crossed — the caller needs
+        it to recompute the server's absolute EDF deadline.
+        """
+        if cycles <= 0:
+            return None
+        value = self.p_counter.value
+        period = self.p_counter.reset_value
+        if cycles < value:
+            self.p_counter.value = value - cycles
+            return None
+        # First boundary after `value` ticks (offset value - 1), then
+        # one every `period` ticks; the reset also reloads the B-counter.
+        extra = cycles - value
+        self.p_counter.value = period - (extra % period)
+        self.b_counter.reset()
+        return value - 1 + (extra // period) * period
+
     @property
     def has_budget(self) -> bool:
         """The XOR-gate check of Sec. 4.2: Θ remaining > 0."""

@@ -62,6 +62,20 @@ class BlueScaleInterconnect(Interconnect):
         # Root-first tick order gives one-cycle-per-hop pipelining.
         self._tick_order = [self.elements[n] for n in self.topology.all_nodes()]
         self.composition: CompositionResult | None = None
+        # O(1) fabric occupancy (enters at a leaf, leaves at the root)
+        # plus the last ticked cycle, so the quiescence veto check can
+        # lazily reconcile stale SE counters before reading them.
+        self._occupancy = 0
+        self._cycle = -1
+        # (cycle token, earliest element activity) computed by the last
+        # successful quiescence scan, so next_activity_cycle right after
+        # it does not walk the elements a second time.
+        self._scan_cache: tuple[int, int | None] | None = None
+        self._client_ingress = {
+            client: (self.elements[leaf], port)
+            for client in range(n_clients)
+            for leaf, port in (self.topology.leaf_of_client(client),)
+        }
 
     # -- wiring ----------------------------------------------------------------
     def _wire_tree(self) -> None:
@@ -85,6 +99,7 @@ class BlueScaleInterconnect(Interconnect):
         if not self._provider_can_accept():
             return False
         self._forward_to_provider(request, cycle)
+        self._occupancy -= 1
         return True
 
     # -- configuration -----------------------------------------------------------
@@ -192,13 +207,27 @@ class BlueScaleInterconnect(Interconnect):
 
     # -- Interconnect contract -----------------------------------------------
     def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
-        leaf, port = self.topology.leaf_of_client(request.client_id)
-        accepted = self.elements[leaf].try_accept(port, request)
-        if accepted and request.inject_cycle < 0:
-            request.inject_cycle = cycle
+        element, port = self._client_ingress[request.client_id]
+        accepted = element.try_accept(port, request)
+        if accepted:
+            self._occupancy += 1
+            if request.inject_cycle < 0:
+                request.inject_cycle = cycle
         return accepted
 
     def tick_request_path(self, cycle: int) -> None:
+        self._cycle = cycle
+        if self.fast_tick:
+            # Empty SEs tick to pure counter ops (replayed lazily by
+            # ScaleElement.sync_to), and budget-gated SEs are quiescent
+            # until their cached wake cycle — the fast path elides both
+            # calls.  The reference path ticks every SE every cycle.
+            if not self._occupancy:
+                return
+            for element in self._tick_order:
+                if element._occupancy and cycle >= element._wake:
+                    element.tick(cycle)
+            return
         for element in self._tick_order:
             element.tick(cycle)
 
@@ -207,7 +236,76 @@ class BlueScaleInterconnect(Interconnect):
         return self.topology.hops_to_memory(client_id) + 1
 
     def requests_in_flight(self) -> int:
-        return sum(element.occupancy() for element in self.elements.values())
+        return self._occupancy
+
+    # -- quiescence --------------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        if not self._occupancy:
+            return True
+        # An occupied SE whose cached wake is still ahead is provably
+        # budget-gated; otherwise reconcile its counters (it may have
+        # just received a hop while being skipped) and ask it.  The
+        # element activities fall out of the same scan, so they are
+        # cached for the next_activity_cycle call that follows a
+        # successful check (the engine always pairs them).
+        horizon = self._cycle + 1
+        earliest: int | None = None
+        for element in self._tick_order:
+            if not element._occupancy:
+                continue
+            if horizon < element._wake:
+                activity: int | None = element._wake
+            else:
+                activity = element.activity_if_quiescent(horizon)
+                if activity is None:
+                    return False
+            if earliest is None or activity < earliest:
+                earliest = activity
+        self._scan_cache = (self._cycle, earliest)
+        return True
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        """Earliest of: a buffered response, or an SE budget replenishment
+        that could release budget-gated traffic."""
+        earliest = super().next_activity_cycle(cycle)
+        if self._occupancy:
+            cache = self._scan_cache
+            if (
+                cache is not None
+                and cache[0] == self._cycle
+                and cycle == self._cycle + 1
+            ):
+                activity = cache[1]
+                if activity is not None and (
+                    earliest is None or activity < earliest
+                ):
+                    earliest = activity
+                return earliest
+            for element in self._tick_order:
+                if not element._occupancy:
+                    continue
+                if cycle < element._wake:
+                    # The cached wake IS the SE's next activity.
+                    activity = element._wake
+                else:
+                    activity = element.next_activity_cycle(cycle)
+                if activity is not None and (
+                    earliest is None or activity < earliest
+                ):
+                    earliest = activity
+        return earliest
+
+    def on_cycles_skipped(self, start: int, cycles: int) -> None:
+        """No eager work: each SE replays its own counters lazily on the
+        next cycle that touches it (:meth:`ScaleElement.sync_to`)."""
+
+    def injection_blocked_until(self, client_id: int, cycle: int) -> int | None:
+        """A full leaf port buffer refuses injections with no side
+        effects; space only opens when the leaf SE forwards."""
+        element, port = self._client_ingress[client_id]
+        if element.buffers[port].full:
+            return -1
+        return None
 
     # -- introspection -----------------------------------------------------------
     def element(self, level: int, order: int) -> ScaleElement:

@@ -56,6 +56,17 @@ class ServerTaskState:
         if replenished:
             self.deadline = now + 1 + self.counters.period
 
+    def skip_idle(self, start: int, cycles: int) -> None:
+        """Reconcile ``cycles`` skipped ticks at ``start, start+1, ...``.
+
+        Equivalent to calling :meth:`tick` with ``now = start + k`` for
+        each ``k < cycles``, given the server forwarded nothing — the
+        precondition the engine's quiescence leap guarantees.
+        """
+        last_replenish = self.counters.skip_idle(cycles)
+        if last_replenish is not None:
+            self.deadline = start + last_replenish + 1 + self.counters.period
+
     def consume(self) -> None:
         self.counters.consume()
 
@@ -138,3 +149,9 @@ class LocalScheduler:
         for server in self.servers:
             if not server.is_idle_interface:
                 server.tick(now)
+
+    def on_cycles_skipped(self, start: int, cycles: int) -> None:
+        """Fast-forward every server's period logic over idle cycles."""
+        for server in self.servers:
+            if not server.is_idle_interface:
+                server.skip_idle(start, cycles)

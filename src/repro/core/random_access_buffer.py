@@ -82,3 +82,8 @@ class RandomAccessBuffer:
     def waiting_requests(self) -> list[MemoryRequest]:
         """Snapshot of buffered requests (for blocking accounting)."""
         return list(self._entries)
+
+    # -- quiescence ------------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """An empty buffer offers nothing to arbitrate — pure no-op."""
+        return not self._entries

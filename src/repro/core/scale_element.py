@@ -69,13 +69,32 @@ class ScaleElement:
         self.forward_to_provider: ForwardHook | None = None
         self.forwarded = 0
         self.stalled_cycles = 0
+        # O(1) occupancy (requests across all port buffers) and the
+        # first cycle whose scheduler tick has not been applied yet.
+        # Idle scheduler ticks are reconciled lazily: an empty SE's tick
+        # is select_port(None) plus a counter op, so the fast path may
+        # skip the call entirely and replay the counters on the next
+        # cycle that matters (:meth:`sync_to`).
+        self._occupancy = 0
+        self._synced_until = 0
+        # First cycle whose scheduling decision can differ from "no
+        # forward".  Set by tick() when select_port comes up empty
+        # (empty or budget-gated SE: the earliest replenishment among
+        # occupied ports), reset to 0 by any arrival or reprogramming.
+        # While cycle < _wake the SE is provably quiescent and the fast
+        # path skips its tick.
+        self._wake = 0
 
     # -- local client ports ----------------------------------------------------
     def try_accept(self, port: int, request: MemoryRequest) -> bool:
         """Local-client-port ingress (loader side of the port buffer)."""
         if not 0 <= port < self.fanout:
             raise ConfigurationError(f"port {port} out of range")
-        return self.buffers[port].try_load(request)
+        accepted = self.buffers[port].try_load(request)
+        if accepted:
+            self._occupancy += 1
+            self._wake = 0  # a new request may change the next decision
+        return accepted
 
     def port_free(self, port: int) -> bool:
         return not self.buffers[port].full
@@ -85,7 +104,9 @@ class ScaleElement:
         self, port: int, interface: ResourceInterface, now: int = 0
     ) -> None:
         """Program one server task's (Π, Θ) via the parameter path."""
+        self.sync_to(now)
         self.scheduler.reprogram_port(port, interface, now)
+        self._wake = 0  # fresh budgets invalidate any cached gating
 
     def interfaces(self) -> list[ResourceInterface]:
         return [server.interface for server in self.scheduler.servers]
@@ -93,6 +114,7 @@ class ScaleElement:
     # -- request path ------------------------------------------------------------
     def tick(self, cycle: int) -> None:
         """One cycle: scheduling decision, forward, counter update."""
+        self.sync_to(cycle)
         port = self.scheduler.select_port(self.buffers)
         if port is not None:
             buffer = self.buffers[port]
@@ -102,12 +124,46 @@ class ScaleElement:
                 winner, cycle
             ):
                 buffer.fetch_highest_priority()
+                self._occupancy -= 1
                 self.scheduler.account_forward(port)
                 self.forwarded += 1
                 self._charge_blocking(winner)
             else:
                 self.stalled_cycles += 1
         self.scheduler.tick(cycle)
+        self._synced_until = cycle + 1
+        if port is None:
+            # select_port returning None means every occupied port was
+            # budget-gated at this cycle's decision.  A replenishment
+            # may have landed during the counter update just above, so
+            # gate on has_budget before trusting the replenish distance.
+            wake = 1 << 62
+            for buffer_port, buffer in enumerate(self.buffers):
+                if buffer.is_quiescent():
+                    continue
+                counters = self.scheduler.servers[buffer_port].counters
+                if counters.has_budget:
+                    wake = cycle + 1
+                    break
+                replenish = cycle + 1 + counters.cycles_to_replenish
+                if replenish < wake:
+                    wake = replenish
+            self._wake = wake
+        else:
+            self._wake = 0
+
+    def sync_to(self, cycle: int) -> None:
+        """Replay elided idle scheduler ticks for cycles < ``cycle``.
+
+        Only ever called with a gap when the SE sat empty (the fast
+        path skipped its ticks) — each elided tick was select_port over
+        empty buffers (None) plus one counter step, which
+        ``LocalScheduler.on_cycles_skipped`` reproduces exactly.
+        """
+        gap = cycle - self._synced_until
+        if gap > 0:
+            self.scheduler.on_cycles_skipped(self._synced_until, gap)
+            self._synced_until = cycle
 
     def _charge_blocking(self, forwarded: MemoryRequest) -> None:
         """Charge priority inversion to eligible waiting requests.
@@ -127,6 +183,73 @@ class ScaleElement:
             for request in buffer.waiting_requests():
                 if request.priority_key < key:
                     request.charge_blocking()
+
+    # -- quiescence --------------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """True when a tick only advances the P/B counters.
+
+        That covers two cases, both reproduced exactly by
+        :meth:`on_cycles_skipped`:
+
+        * every port buffer is empty (nothing to schedule), or
+        * every occupied port is *budget-gated*: its server is a
+          provisioned one whose B-counter is exhausted, so
+          ``select_port`` returns None (no forward, no stall count, no
+          blocking charge) until a replenishment —
+          :meth:`next_activity_cycle` pins the earliest one.
+        """
+        if not self._occupancy:
+            return True
+        for port, buffer in enumerate(self.buffers):
+            if buffer.is_quiescent():
+                continue
+            server = self.scheduler.servers[port]
+            if server.is_idle_interface or server.has_budget:
+                return False
+        return True
+
+    def activity_if_quiescent(self, cycle: int) -> int | None:
+        """Fused quiescence + activity scan: one pass over the ports.
+
+        Returns None when the SE is *not* quiescent, else the earliest
+        budget replenishment among occupied ports — the same values
+        :meth:`is_quiescent` and :meth:`next_activity_cycle` produce,
+        computed without walking the ports twice.  Callers must ensure
+        the SE is occupied (empty SEs have no activity of their own).
+        """
+        self.sync_to(cycle)
+        earliest = 1 << 62
+        for port, buffer in enumerate(self.buffers):
+            if buffer.is_quiescent():
+                continue
+            server = self.scheduler.servers[port]
+            if server.is_idle_interface or server.has_budget:
+                return None
+            replenish = cycle + server.counters.cycles_to_replenish
+            if replenish < earliest:
+                earliest = replenish
+        return earliest
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        """Earliest select_port() that could forward: the first budget
+        replenishment among occupied, budget-gated ports.
+
+        With the P-counter at ``v``, the zero-crossing happens on the
+        tick at ``cycle + v - 1`` (a pure counter op, reconciled by
+        :meth:`sync_to`), so ``cycle + v`` is the first tick whose
+        scheduling decision can differ — the exact wake cycle.
+        """
+        if not self._occupancy:
+            return None
+        self.sync_to(cycle)
+        earliest: int | None = None
+        for port, buffer in enumerate(self.buffers):
+            if buffer.is_quiescent():
+                continue
+            replenish = cycle + self.scheduler.servers[port].counters.cycles_to_replenish
+            if earliest is None or replenish < earliest:
+                earliest = replenish
+        return earliest
 
     # -- introspection -----------------------------------------------------------
     def occupancy(self) -> int:

@@ -66,6 +66,9 @@ class Fig6Config:
     period_max: int = 4_000
     seed: int = 2022
     factory: FactoryConfig = DEFAULT_FACTORY_CONFIG
+    #: engine quiescence fast path; results are identical either way
+    #: (the differential tests assert it), False forces cycle-by-cycle
+    fast_path: bool = True
 
     @classmethod
     def paper_scale(cls, n_clients: int = 16) -> "Fig6Config":
@@ -189,6 +192,7 @@ def run_fig6_trial(spec: TrialSpec) -> MetricSet:
         period_max=config.period_max,
     )
     scalars: dict[str, float] = {}
+    tags = {"experiment": "fig6", "trial": str(spec.index)}
     for name in interconnects:
         interconnect = build_interconnect(
             name, config.n_clients, tasksets, config.factory
@@ -201,14 +205,16 @@ def run_fig6_trial(spec: TrialSpec) -> MetricSet:
             )
             for client_id, taskset in tasksets.items()
         ]
-        simulation = SoCSimulation(clients, interconnect)
+        simulation = SoCSimulation(
+            clients, interconnect, fast_path=config.fast_path
+        )
         result = simulation.run(config.horizon, drain=config.drain)
         scalars[f"{name}/blocking"] = result.mean_blocking
         scalars[f"{name}/miss"] = result.deadline_miss_ratio
-    return MetricSet(
-        scalars=scalars,
-        tags={"experiment": "fig6", "trial": str(spec.index)},
-    )
+        # The completion-trace digest certifies bit-for-bit equality of
+        # runs (golden-trace regression; fast- vs slow-path checks).
+        tags[f"{name}/trace"] = result.trace_digest
+    return MetricSet(scalars=scalars, tags=tags)
 
 
 def reduce_fig6(

@@ -60,6 +60,8 @@ class Fig7Config:
     utilizations: tuple[float, ...] = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
     seed: int = 59  # DAC'22 is the 59th DAC
     factory: FactoryConfig = DEFAULT_FACTORY_CONFIG
+    #: engine quiescence fast path; results are identical either way
+    fast_path: bool = True
 
     @classmethod
     def paper_scale(cls, n_processors: int = 16) -> "Fig7Config":
@@ -182,6 +184,11 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
         interference.get(accelerator_id, TaskSet())
     )
     scalars: dict[str, float] = {}
+    tags = {
+        "experiment": "fig7",
+        "utilization": str(utilization),
+        "trial": str(spec.param("trial")),
+    }
     for name in interconnects:
         interconnect = build_interconnect(
             name, config.n_clients, combined, config.factory
@@ -208,7 +215,9 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
                 rng=random.Random(spec.client_seed(accelerator_id)),
             )
         )
-        simulation = SoCSimulation(clients, interconnect)
+        simulation = SoCSimulation(
+            clients, interconnect, fast_path=config.fast_path
+        )
         trial_result = simulation.run(config.horizon, drain=config.drain)
         # Only processor clients carry monitored tasks; the HA is
         # load.  ProcessorClient marks interference unmonitored.
@@ -218,14 +227,8 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
             if client_id != accelerator_id
         )
         scalars[f"{name}/success"] = 1.0 if monitored_missed == 0 else 0.0
-    return MetricSet(
-        scalars=scalars,
-        tags={
-            "experiment": "fig7",
-            "utilization": str(utilization),
-            "trial": str(spec.param("trial")),
-        },
-    )
+        tags[f"{name}/trace"] = trial_result.trace_digest
+    return MetricSet(scalars=scalars, tags=tags)
 
 
 def reduce_fig7(

@@ -61,6 +61,19 @@ class AxiIcRtInterconnect(Interconnect):
         self._window: int | None = None
         self._budgets: list[int] = []
         self._tokens: list[int] = []
+        # Next window boundary whose replenishment has not run yet.
+        # Boundaries are reconciled lazily (only whether one passed
+        # matters, because replenishment fully resets the buckets), so
+        # skipped idle ticks and quiescence leaps need no eager work.
+        self._next_refill = 0
+        # O(1) switch-box occupancy: requests enter at try_inject and
+        # leave when the pipeline hands them to the provider.
+        self._occupancy = 0
+        # Clients with a non-empty ingress FIFO.  The arbiter's winner
+        # is a unique priority minimum (rid breaks ties), so scanning
+        # only these — in any order — picks the same request as the
+        # full left-to-right scan.
+        self._occupied_ids: set[int] = set()
 
     # -- configuration -----------------------------------------------------------
     def configure_regulation(
@@ -86,6 +99,7 @@ class AxiIcRtInterconnect(Interconnect):
         self._window = window
         self._budgets = list(budgets)
         self._tokens = list(budgets)
+        self._next_refill = 0
 
     @staticmethod
     def budgets_from_utilizations(
@@ -107,6 +121,8 @@ class AxiIcRtInterconnect(Interconnect):
         if request.inject_cycle < 0:
             request.inject_cycle = cycle
         fifo.append(request)
+        self._occupancy += 1
+        self._occupied_ids.add(request.client_id)
         return True
 
     # -- request path ------------------------------------------------------------
@@ -116,29 +132,53 @@ class AxiIcRtInterconnect(Interconnect):
         return self._tokens[client_id] > 0
 
     def tick_request_path(self, cycle: int) -> None:
-        # Token replenishment at window boundaries.
-        if self._window is not None and cycle % self._window == 0:
+        if self.fast_tick and not self._occupancy:
+            # Empty switch box: the arbiter has nothing to pick and the
+            # pipeline nothing to drain; any missed window boundary is
+            # reconciled by the lazy refill below on the next occupied
+            # tick (no forward can have spent tokens in between).
+            return
+        # Token replenishment at window boundaries (lazy: one reset
+        # covers every boundary passed since the last one ran, because
+        # replenishment fully restores the buckets).
+        if self._window is not None and cycle >= self._next_refill:
             self._tokens = list(self._budgets)
+            self._next_refill = (cycle // self._window + 1) * self._window
         # Pipeline exit first: oldest entry reaches the controller.
         if self._pipeline and self._pipeline[0][0] <= cycle:
             if self._provider_can_accept():
                 _, request = self._pipeline.popleft()
                 self._forward_to_provider(request, cycle)
+                self._occupancy -= 1
         # The arbiter only decides on its own (slower) clock.
         if cycle % self.arbitration_interval != 0:
             return
         best_client = -1
         best_key: tuple[int, int] | None = None
-        for client_id, fifo in enumerate(self._fifos):
-            if not fifo or not self._eligible(client_id):
-                continue
-            key = fifo[0].priority_key
-            if best_key is None or key < best_key:
-                best_key = key
-                best_client = client_id
+        if self.fast_tick:
+            # Scan only occupied FIFOs: the winner is a unique priority
+            # minimum (rid breaks ties), so any scan order picks the
+            # same request as the reference left-to-right scan below.
+            for client_id in self._occupied_ids:
+                if not self._eligible(client_id):
+                    continue
+                key = self._fifos[client_id][0].priority_key
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_client = client_id
+        else:
+            for client_id, fifo in enumerate(self._fifos):
+                if not fifo or not self._eligible(client_id):
+                    continue
+                key = fifo[0].priority_key
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_client = client_id
         if best_client < 0:
             return
         winner = self._fifos[best_client].popleft()
+        if not self._fifos[best_client]:
+            self._occupied_ids.discard(best_client)
         if self._window is not None:
             self._tokens[best_client] -= 1
         self._pipeline.append((cycle + self.pipeline_latency, winner))
@@ -152,6 +192,16 @@ class AxiIcRtInterconnect(Interconnect):
         arbiter *could* have picked are charged.
         """
         key = forwarded.priority_key
+        if self.fast_tick:
+            # Charging is per-request and order-independent, so the
+            # occupied-FIFO scan charges exactly the reference set.
+            for client_id in self._occupied_ids:
+                if not self._eligible(client_id):
+                    continue
+                for request in self._fifos[client_id]:
+                    if request.priority_key < key:
+                        request.charge_blocking()
+            return
         for client_id, fifo in enumerate(self._fifos):
             if not self._eligible(client_id):
                 continue
@@ -165,4 +215,43 @@ class AxiIcRtInterconnect(Interconnect):
 
     # -- accounting --------------------------------------------------------
     def requests_in_flight(self) -> int:
-        return sum(len(f) for f in self._fifos) + len(self._pipeline)
+        return self._occupancy
+
+    # -- quiescence --------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """Idle ticks only touch token replenishment (reconciled below);
+        the arbiter's own slower clock is a pure function of the cycle.
+
+        Waiting requests whose clients are all token-starved also leave
+        the tick pure (the arbiter skips ineligible clients and charges
+        no blocking); :meth:`next_activity_cycle` pins the replenishment
+        boundary that ends the starvation.
+        """
+        if not self._occupancy:
+            return True
+        if self._pipeline:
+            return False
+        return all(
+            not self._eligible(client_id) for client_id in self._occupied_ids
+        )
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        candidate = super().next_activity_cycle(cycle)
+        if self._window is not None and self._occupied_ids:
+            boundary = -(-cycle // self._window) * self._window
+            if candidate is None or boundary < candidate:
+                candidate = boundary
+        return candidate
+
+    def on_cycles_skipped(self, start: int, cycles: int) -> None:
+        """No eager work: token replenishment is reconciled lazily by
+        the next occupied tick (see :meth:`tick_request_path`) — a
+        single bucket reset covers every boundary inside the gap, and
+        no forward can have spent tokens while the box sat idle."""
+
+    def injection_blocked_until(self, client_id: int, cycle: int) -> int | None:
+        """A full ingress FIFO refuses injections with no side effects
+        (tokens gate the arbiter, not ingress)."""
+        if len(self._fifos[client_id]) >= self.fifo_capacity:
+            return -1  # space only opens when the arbiter picks this client
+        return None

@@ -45,6 +45,13 @@ class Interconnect(ABC):
     #: short identifier used in experiment reports (override per design)
     name: str = "abstract"
 
+    #: set by the SoC simulation when the engine's quiescence fast path
+    #: is on: the interconnect may then elide per-stage work its own
+    #: quiescence contract proves to be a pure no-op (e.g. ticking an
+    #: empty mux node).  Off by default — the reference path ticks
+    #: every stage every cycle, and results are identical either way.
+    fast_tick: bool = False
+
     def __init__(self, n_clients: int) -> None:
         if n_clients < 1:
             raise ConfigurationError(f"need at least one client, got {n_clients}")
@@ -109,6 +116,62 @@ class Interconnect(ABC):
 
     def responses_in_flight(self) -> int:
         return len(self._responses)
+
+    def next_response_cycle(self) -> int | None:
+        """Delivery cycle of the earliest buffered response (None = none).
+
+        Response delivery cycles are pre-computed at
+        :meth:`begin_response` time, so the heap head alone bounds the
+        response path's next activity — cheaper than the full
+        :meth:`next_activity_cycle`, which also scans request-path
+        state the request stage already declares."""
+        if self._responses:
+            return self._responses[0][0]
+        return None
+
+    # -- quiescence --------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """True when ticking either path is a no-op (or reconcilable).
+
+        With the request path empty no arbiter has anything to forward;
+        in-flight responses do not veto quiescence because their
+        delivery cycles are pre-computed — :meth:`next_activity_cycle`
+        pins the earliest of them instead.  Designs whose idle ticks
+        mutate cycle-counted state must also override
+        ``on_cycles_skipped`` to reconcile it.
+        """
+        return self.requests_in_flight() == 0
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle a buffered response reaches its client."""
+        return self.next_response_cycle()
+
+    def on_cycles_skipped(self, start: int, cycles: int) -> None:
+        """Reconcile cycle-counted idle state after a quiescence leap.
+
+        The base request/response plumbing keeps no per-cycle state, so
+        the default is a no-op; subclasses with replenishment windows or
+        period counters override this.
+        """
+
+    def injection_blocked_until(self, client_id: int, cycle: int) -> int | None:
+        """Is an injection by ``client_id`` guaranteed to be refused?
+
+        Lets a client with pending traffic count as quiescent while its
+        refusals are side-effect-free no-ops.  Returns:
+
+        * ``None`` — an injection may succeed at ``cycle``; the client
+          must keep ticking (it vetoes quiescence).
+        * a cycle ``>= cycle`` — refusals are guaranteed strictly before
+          it (e.g. the next regulation replenishment); the engine may
+          leap that far.
+        * ``-1`` — blocked until the fabric itself acts (e.g. a full
+          ingress buffer); safe because any fabric action caps the leap
+          through the fabric's own quiescence declaration.
+
+        The default is conservative: never blocked.
+        """
+        return None
 
 
 def charge_blocking_against(

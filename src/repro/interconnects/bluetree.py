@@ -50,6 +50,10 @@ class BlueTreeNode(MuxNode):
             self._left_streak = 0
         super().on_forwarded(port, request)
 
+    # Quiescence: the α-streak only advances on forwards, never on idle
+    # ticks, so the inherited empty-FIFO check (MuxNode.is_quiescent)
+    # is exact for BlueTree nodes — no reconciliation hook needed.
+
 
 class BlueTreeInterconnect(MuxTreeInterconnect):
     """The original distributed BlueTree (shallow FIFOs, factor-α arbiters)."""

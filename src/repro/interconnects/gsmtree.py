@@ -164,6 +164,11 @@ class GsmTreeInterconnect(MuxTreeInterconnect):
         # and that wastes capacity when reservations mismatch demand.
         self._credits = [float(self.CREDIT_CAP)] * n_clients
         self._last_credit_cycle = -1
+        # Per-owner slot counts of one full frame, for the analytic
+        # credit catch-up after long idle gaps (quiescence leaps).
+        self._frame_counts = [0] * n_clients
+        for owner in self.frame:
+            self._frame_counts[owner] += 1
 
     def make_node(self, node_id: NodeId) -> MuxNode:
         if node_id == (0, 0):
@@ -174,15 +179,42 @@ class GsmTreeInterconnect(MuxTreeInterconnect):
         return self.frame[(cycle // self.slot_cycles) % len(self.frame)]
 
     def _refresh_credits(self, cycle: int) -> None:
-        """Grant each slot owner one injection credit (idempotent per cycle)."""
+        """Grant each slot owner one injection credit (idempotent per cycle).
+
+        Credits are granted lazily at injection time, so the grant loop
+        naturally absorbs idle gaps (including quiescence leaps).  Long
+        gaps take the analytic path: because credits saturate at the cap
+        and no injection can occur inside the gap, granting is
+        order-free within it — ``min(cap, credits + slots_owned)`` per
+        client reproduces the cycle-by-cycle loop exactly.
+        """
         if cycle == self._last_credit_cycle:
             return
         start = self._last_credit_cycle + 1
-        for c in range(start, cycle + 1):
-            if c % self.slot_cycles == 0:
-                owner = self.slot_owner(c)
-                if self._credits[owner] < self.CREDIT_CAP:
-                    self._credits[owner] += 1
+        if cycle - start < 2 * len(self.frame) * self.slot_cycles:
+            for c in range(start, cycle + 1):
+                if c % self.slot_cycles == 0:
+                    owner = self.slot_owner(c)
+                    if self._credits[owner] < self.CREDIT_CAP:
+                        self._credits[owner] += 1
+            self._last_credit_cycle = cycle
+            return
+        # Analytic catch-up: count the slot boundaries each owner got in
+        # (last_credit_cycle, cycle] without walking every cycle.
+        first_slot = (start + self.slot_cycles - 1) // self.slot_cycles
+        last_slot = cycle // self.slot_cycles
+        n_slots = last_slot - first_slot + 1
+        frame_len = len(self.frame)
+        full_frames, remainder = divmod(n_slots, frame_len)
+        grants = [count * full_frames for count in self._frame_counts]
+        base = first_slot % frame_len
+        for offset in range(remainder):
+            grants[self.frame[(base + offset) % frame_len]] += 1
+        for client, granted in enumerate(grants):
+            if granted and self._credits[client] < self.CREDIT_CAP:
+                self._credits[client] = min(
+                    float(self.CREDIT_CAP), self._credits[client] + granted
+                )
         self._last_credit_cycle = cycle
 
     def try_inject(self, request, cycle: int) -> bool:  # noqa: ANN001
@@ -194,6 +226,30 @@ class GsmTreeInterconnect(MuxTreeInterconnect):
             self._credits[client] -= 1
             return True
         return False
+
+    def injection_blocked_until(self, client_id: int, cycle: int) -> int | None:
+        """Full leaf FIFO (inherited), or credit starvation.
+
+        A credit-starved client is refused, side-effect-free, until its
+        next owned slot boundary (where the lazy refresh grants it a
+        credit); advancing the refresh here is safe because grants are
+        order-free while no injection can happen.
+        """
+        blocked = super().injection_blocked_until(client_id, cycle)
+        if blocked is not None:
+            return blocked
+        self._refresh_credits(cycle)
+        if self._credits[client_id] >= 1:
+            return None
+        # Boundaries <= cycle are already granted by the refresh above;
+        # scan one frame of strictly later slot boundaries.
+        frame_len = len(self.frame)
+        first_slot = cycle // self.slot_cycles + 1
+        for offset in range(frame_len):
+            slot = first_slot + offset
+            if self.frame[slot % frame_len] == client_id:
+                return slot * self.slot_cycles
+        return -1  # not in the frame: never granted a credit
 
 
 def gsmtree_tdm(n_clients: int, fifo_capacity: int = 4) -> GsmTreeInterconnect:

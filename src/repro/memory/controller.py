@@ -143,6 +143,49 @@ class MemoryController:
             if self.on_response is not None:
                 self.on_response(done, cycle + 1)
 
+    # -- quiescence --------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        """True when per-cycle ticking is reconcilable without input.
+
+        An empty controller is a pure no-op.  A controller *serving*
+        with an empty queue is also quiescent: each tick only counts a
+        busy cycle and decrements the service countdown (no queued
+        request to charge blocking against), which
+        :meth:`on_cycles_skipped` replays arithmetically —
+        :meth:`next_activity_cycle` pins the completion cycle so the
+        response fires on time.  A non-empty queue or an active refresh
+        stall needs real per-cycle work.
+        """
+        if self._queue or self._refresh_remaining > 0:
+            return False
+        return True
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        """Earliest upcoming cycle whose tick is not a no-op.
+
+        ``cycle`` is the next cycle the engine would execute; service
+        countdown state reflects every tick before it.
+        """
+        candidate: int | None = None
+        if self._in_service is not None:
+            # Ticks at cycle, cycle+1, ... decrement the countdown;
+            # completion (and on_response) happens on the tick that
+            # takes it to zero.
+            candidate = cycle + self._service_remaining - 1
+        if self.refresh_interval:
+            trigger = -(-cycle // self.refresh_interval) * self.refresh_interval
+            if trigger == 0:
+                trigger = self.refresh_interval
+            if candidate is None or trigger < candidate:
+                candidate = trigger
+        return candidate
+
+    def on_cycles_skipped(self, start: int, cycles: int) -> None:
+        """Replay ``cycles`` idle ticks of the service countdown."""
+        if self._in_service is not None:
+            self.busy_cycles += cycles
+            self._service_remaining -= cycles
+
     # -- introspection -----------------------------------------------------
     @property
     def queue_depth(self) -> int:

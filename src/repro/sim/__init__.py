@@ -1,8 +1,14 @@
 """Discrete-event simulation substrate (clock, engine, statistics)."""
 
 from repro.sim.clock import Clock
-from repro.sim.engine import Engine, TickComponent
-from repro.sim.stats import LatencyRecorder, SummaryStatistics, mean
+from repro.sim.engine import Engine, QuiescentComponent, TickComponent
+from repro.sim.stats import (
+    ComponentCycleStats,
+    CycleAccounting,
+    LatencyRecorder,
+    SummaryStatistics,
+    mean,
+)
 from repro.sim.invariants import (
     InterconnectMonitor,
     SbfComplianceMonitor,
@@ -21,7 +27,10 @@ from repro.sim.trace import (
 
 __all__ = [
     "Clock",
+    "ComponentCycleStats",
+    "CycleAccounting",
     "Engine",
+    "QuiescentComponent",
     "TickComponent",
     "LatencyRecorder",
     "SummaryStatistics",

@@ -13,10 +13,18 @@ Per-cycle ordering (fixed, so trials are deterministic):
 3. the memory controller arbitrates/services;
 4. the interconnect advances its response path; completed transactions
    are recorded and handed back to their client's job tracker.
+
+The loop runs on :class:`repro.sim.engine.Engine`: each of the four
+steps is a registered tick component (in the order above), so the
+engine's quiescence fast path can leap over idle stretches.  Because
+every stage implements the quiescence contract, fast-path trials are
+bit-for-bit identical to slow-path trials — ``fast_path=False``
+restores the literal cycle-by-cycle loop for differential testing.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.clients.traffic_generator import TrafficGenerator
@@ -24,9 +32,10 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.interconnects.base import Interconnect
 from repro.memory.controller import ArbitrationPolicy, MemoryController
 from repro.memory.dram import FixedLatencyDevice
-from repro.memory.request import reset_request_ids
+from repro.memory.request import MemoryRequest, reset_request_ids
 from repro.sim.clock import Clock
-from repro.sim.stats import LatencyRecorder, SummaryStatistics
+from repro.sim.engine import Engine
+from repro.sim.stats import CycleAccounting, LatencyRecorder, SummaryStatistics
 
 
 @dataclass
@@ -41,6 +50,11 @@ class TrialResult:
     requests_completed: int = 0
     requests_dropped: int = 0
     requests_in_flight: int = 0
+    #: cycles the engine executed / leapt over (quiescence fast path)
+    cycles_executed: int = 0
+    cycles_skipped: int = 0
+    #: sha256 over the completion stream; equal digests = equal traces
+    trace_digest: str = ""
 
     @property
     def deadline_miss_ratio(self) -> float:
@@ -72,6 +86,223 @@ class TrialResult:
         return self.recorder.response_summary()
 
 
+class _ClientStage:
+    """Stage 1: clients release and inject, only while ``cycle < horizon``.
+
+    A client is quiescent when it says so itself (nothing pending) or
+    when the interconnect guarantees its injections are refused without
+    side effects (``injection_blocked_until``).  Job releases are never
+    deferred into a leap, even for blocked clients: request ids are
+    allocated globally in release order and tie-break EDF arbitration,
+    so every client's next release caps the leap and lands on its exact
+    cycle.
+    """
+
+    def __init__(
+        self,
+        clients: list[TrafficGenerator],
+        interconnect: Interconnect,
+        horizon: int,
+        clock: Clock,
+        fast_path: bool = False,
+    ) -> None:
+        self._clients = clients
+        self._interconnect = interconnect
+        self._inject = interconnect.try_inject
+        self._horizon = horizon
+        self._clock = clock
+        # Clients outside the quiescence contract (e.g. trace replayers)
+        # pin the stage non-quiescent until the horizon; leaps are still
+        # possible during the drain, when clients no longer tick.
+        self._legacy = any(
+            not hasattr(client, "is_quiescent")
+            or not hasattr(client, "next_activity_cycle")
+            for client in clients
+        )
+        # Per-client wake cache for the fast path: a quiescent client's
+        # ticks before its declared next activity are pure no-ops, so
+        # they can be elided even on cycles other stages force to
+        # execute.  The reference path ticks every client every cycle.
+        self._fast = fast_path and not self._legacy
+        self._wake = [0] * len(clients)
+        # Indices of clients that were non-quiescent after their last
+        # tick (their wake is cycle + 1, so they tick every executed
+        # cycle and keep their membership fresh).  Lets the engine's
+        # quiescence check touch only the handful of active clients
+        # instead of scanning the full roster.
+        self._active: set[int] = set()
+
+    def tick(self, cycle: int) -> None:
+        if cycle >= self._horizon:
+            return
+        inject = self._inject
+        if not self._fast:
+            for client in self._clients:
+                client.tick(cycle, inject)
+            return
+        wake = self._wake
+        active = self._active
+        for index, client in enumerate(self._clients):
+            if cycle < wake[index]:
+                continue
+            client.tick(cycle, inject)
+            if client.is_quiescent():
+                activity = client.next_activity_cycle(cycle)
+                wake[index] = (
+                    self._horizon if activity is None else activity
+                )
+                active.discard(index)
+            else:
+                wake[index] = cycle + 1
+                active.add(index)
+
+    def is_quiescent(self) -> bool:
+        # Past the horizon the stage never ticks a client again, so it
+        # is a pure no-op regardless of leftover pending traffic.
+        now = self._clock.now
+        if now >= self._horizon:
+            return True
+        if self._legacy:
+            return False
+        blocked_until = self._interconnect.injection_blocked_until
+        if self._fast:
+            # Only clients seen non-quiescent at their last tick can
+            # veto; everyone else declared a wake cycle still ahead.
+            for index in self._active:
+                client = self._clients[index]
+                if blocked_until(client.client_id, now) is None:
+                    return False
+            return True
+        for client in self._clients:
+            if client.is_quiescent():
+                continue
+            if blocked_until(client.client_id, now) is None:
+                return False
+        return True
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        if cycle >= self._horizon:
+            return None
+        if self._legacy:
+            return cycle  # never leap while legacy clients may tick
+        blocked_until = self._interconnect.injection_blocked_until
+        earliest: int | None = None
+        wake = self._wake if self._fast else None
+        for index, client in enumerate(self._clients):
+            if wake is not None and cycle < wake[index]:
+                # The cached wake IS the client's declared activity
+                # (client state only changes inside its own tick, so
+                # the declaration made then still holds).
+                activity = wake[index]
+            elif client.is_quiescent():
+                # A quiescent client's own declaration already covers
+                # everything it could do (releases and injections).
+                activity = client.next_activity_cycle(cycle)
+            else:
+                blocked = blocked_until(client.client_id, cycle)
+                if blocked is None:
+                    activity = cycle  # may inject: the engine won't leap
+                else:
+                    # Refusals are side-effect free, but releases still
+                    # must happen on time (global request-id order); -1
+                    # means the refusal guarantee only expires on fabric
+                    # action, which caps the leap via the fabric's own
+                    # declaration.
+                    activity = client.next_activity_cycle(cycle)
+                    if blocked >= 0 and (
+                        activity is None or blocked < activity
+                    ):
+                        activity = blocked
+            if activity is not None and (earliest is None or activity < earliest):
+                earliest = activity
+        if earliest is None or earliest >= self._horizon:
+            return None
+        return earliest
+
+
+class _RequestPathStage:
+    """Stage 2: the interconnect's request pipeline."""
+
+    def __init__(self, interconnect: Interconnect) -> None:
+        self._interconnect = interconnect
+
+    def tick(self, cycle: int) -> None:
+        self._interconnect.tick_request_path(cycle)
+
+    def is_quiescent(self) -> bool:
+        return self._interconnect.is_quiescent()
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        return self._interconnect.next_activity_cycle(cycle)
+
+    def on_cycles_skipped(self, start: int, cycles: int) -> None:
+        self._interconnect.on_cycles_skipped(start, cycles)
+
+
+class _ResponseStage:
+    """Stage 4: deliver responses, record metrics, update job trackers.
+
+    Also folds every completion into a running sha256 — the trial's
+    *trace digest*.  Two runs with equal digests delivered the same
+    requests on the same cycles with the same blocking accounting,
+    which is how the differential tests certify fast-path equivalence.
+    """
+
+    def __init__(
+        self,
+        interconnect: Interconnect,
+        client_by_id: dict[int, TrafficGenerator],
+        recorder: LatencyRecorder,
+        warmup: int,
+    ) -> None:
+        self._interconnect = interconnect
+        self._client_by_id = client_by_id
+        self._recorder = recorder
+        self._warmup = warmup
+        self.completed_total = 0
+        self._hasher = hashlib.sha256()
+
+    def tick(self, cycle: int) -> None:
+        for request in self._interconnect.tick_response_path(cycle):
+            self.completed_total += 1
+            self._hasher.update(self._trace_record(request))
+            if cycle >= self._warmup:
+                self._recorder.record_completion(
+                    response_time=request.response_time,
+                    blocking_time=request.blocking_cycles,
+                    met_deadline=request.complete_cycle
+                    <= request.absolute_deadline,
+                )
+            client = self._client_by_id.get(request.client_id)
+            if client is None:
+                raise SimulationError(
+                    f"response for unknown client {request.client_id}"
+                )
+            client.on_response(request)
+
+    @staticmethod
+    def _trace_record(request: MemoryRequest) -> bytes:
+        return (
+            f"{request.rid},{request.client_id},{request.release_cycle},"
+            f"{request.complete_cycle},{request.blocking_cycles};"
+        ).encode()
+
+    @property
+    def trace_digest(self) -> str:
+        return self._hasher.hexdigest()
+
+    def is_quiescent(self) -> bool:
+        # Delivery cycles are pre-computed in the response heap; the
+        # earliest one is declared as the next activity.
+        return True
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        # Only the response heap matters here: request-path activity is
+        # already declared by the request stage, so re-scanning it via
+        # interconnect.next_activity_cycle would double the leap cost.
+        return self._interconnect.next_response_cycle()
+
+
 class SoCSimulation:
     """A complete system trial around one interconnect."""
 
@@ -81,6 +312,8 @@ class SoCSimulation:
         interconnect: Interconnect,
         controller: MemoryController | None = None,
         clock: Clock | None = None,
+        fast_path: bool = True,
+        accounting: CycleAccounting | None = None,
     ) -> None:
         if not clients:
             raise ConfigurationError("need at least one client")
@@ -105,6 +338,12 @@ class SoCSimulation:
         self.interconnect.attach_controller(self.controller)
         self.clock = clock if clock is not None else Clock()
         self.recorder = LatencyRecorder()
+        self.fast_path = fast_path
+        self.accounting = accounting
+        #: engine counters from the last run() (see TrialResult)
+        self.cycles_executed = 0
+        self.cycles_skipped = 0
+        self.leaps = 0
 
     def run(
         self, horizon: int, drain: int | None = None, warmup: int = 0
@@ -131,33 +370,45 @@ class SoCSimulation:
         if drain is None:
             drain = min(4 * horizon, 20_000)
         reset_request_ids()
-        inject = self.interconnect.try_inject
-        completed_total = 0
-        for cycle in range(horizon + drain):
-            if cycle < horizon:
-                for client in self.clients:
-                    client.tick(cycle, inject)
-            self.interconnect.tick_request_path(cycle)
-            self.controller.tick(cycle)
-            for request in self.interconnect.tick_response_path(cycle):
-                completed_total += 1
-                if cycle >= warmup:
-                    self.recorder.record_completion(
-                        response_time=request.response_time,
-                        blocking_time=request.blocking_cycles,
-                        met_deadline=request.complete_cycle
-                        <= request.absolute_deadline,
-                    )
-                client = self._client_by_id.get(request.client_id)
-                if client is None:
-                    raise SimulationError(
-                        f"response for unknown client {request.client_id}"
-                    )
-                client.on_response(request)
+        # The engine gets its own clock so every run starts at cycle 0,
+        # exactly like the original inline ``for cycle in range(...)``.
+        engine = Engine(
+            clock=Clock(frequency_mhz=self.clock.frequency_mhz),
+            fast_path=self.fast_path,
+            accounting=self.accounting,
+        )
+        # With the engine fast path on, components may also elide work
+        # their quiescence contracts prove to be pure no-ops (empty mux
+        # nodes / SEs, idle clients); results are identical either way.
+        self.interconnect.fast_tick = self.fast_path
+        response_stage = _ResponseStage(
+            self.interconnect, self._client_by_id, self.recorder, warmup
+        )
+        engine.register(
+            _ClientStage(
+                self.clients,
+                self.interconnect,
+                horizon,
+                engine.clock,
+                fast_path=self.fast_path,
+            ),
+            name="clients",
+        )
+        engine.register(
+            _RequestPathStage(self.interconnect), name="request_path"
+        )
+        engine.register(self.controller, name="controller")
+        engine.register(response_stage, name="response_path")
+        engine.run(horizon + drain)
+        self.cycles_executed = engine.cycles_executed
+        self.cycles_skipped = engine.cycles_skipped
+        self.leaps = engine.leaps
         self.clock.now = horizon + drain
-        return self._collect(horizon, completed_total)
+        return self._collect(horizon, response_stage)
 
-    def _collect(self, horizon: int, completed_total: int) -> TrialResult:
+    def _collect(
+        self, horizon: int, response_stage: _ResponseStage
+    ) -> TrialResult:
         released = sum(client.released_requests for client in self.clients)
         dropped = sum(client.dropped_requests for client in self.clients)
         for _ in range(dropped):
@@ -168,7 +419,7 @@ class SoCSimulation:
             + self.controller.in_flight
             + sum(client.pending_count for client in self.clients)
         )
-        completed = completed_total
+        completed = response_stage.completed_total
         if completed + dropped + in_flight != released:
             raise SimulationError(
                 f"request conservation violated: released={released}, "
@@ -189,6 +440,9 @@ class SoCSimulation:
             requests_completed=completed,
             requests_dropped=dropped,
             requests_in_flight=in_flight,
+            cycles_executed=self.cycles_executed,
+            cycles_skipped=self.cycles_skipped,
+            trace_digest=response_stage.trace_digest,
         )
 
 
