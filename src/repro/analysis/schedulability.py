@@ -12,6 +12,7 @@ provided the bandwidth strictly exceeds the task-set utilization
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -47,7 +48,9 @@ def theorem1_bound(interface: ResourceInterface, utilization: Fraction) -> int:
         )
     slack = interface.period - interface.budget
     beta = 2 * bandwidth * slack / (bandwidth - utilization)
-    # β is exact (Fraction); tests must cover all integer t < β.
+    # β is exact (Fraction); tests must cover all integer t in (0, β],
+    # including β itself when it is integral (a demand step can land
+    # exactly on the bound).
     ceiling = -(-beta.numerator // beta.denominator)  # ceil for Fractions
     return int(ceiling)
 
@@ -57,9 +60,11 @@ def is_schedulable(
 ) -> SchedulabilityResult:
     """Exact EDF-on-periodic-resource schedulability test.
 
-    Checks ``dbf(t) <= sbf(t)`` at every demand step point below the
-    Theorem-1 bound β.  (Between step points demand is constant while
-    supply is non-decreasing, so step points suffice.)
+    Checks ``dbf(t) <= sbf(t)`` at every demand step point in the
+    closed Theorem-1 range ``(0, β]``.  (Between step points demand is
+    constant while supply is non-decreasing, so step points suffice;
+    β itself can be a step point when it is integral, so the scan must
+    include it.)
     """
     if len(taskset) == 0:
         return SchedulabilityResult(schedulable=True)
@@ -74,9 +79,26 @@ def is_schedulable(
             supply_at_violation=0,
         )
     if interface.bandwidth <= utilization:
-        # Necessary bandwidth condition fails: demand outpaces supply in
-        # the long run. Report the first step point where it shows, or the
-        # asymptotic failure via the hyperperiod-bounded scan.
+        # Necessary bandwidth condition fails — except in the degenerate
+        # dedicated-resource case Θ == Π with U exactly 1, where
+        # dbf(t) <= U·t = t = sbf(t) for every t: genuinely schedulable.
+        if interface.budget == interface.period and utilization == 1:
+            return SchedulabilityResult(schedulable=True)
+        # Demand outpaces supply in the long run; report the first step
+        # point where it shows.  With slack Π−Θ > 0 a violation is
+        # guaranteed at the hyperperiod or earlier (sbf(t) <= Θ/Π·(t −
+        # (Π−Θ)) while dbf(H) = U·H >= Θ/Π·H), so the scan terminates —
+        # the iteration cap only guards pathological hyperperiods.
+        witness = _bandwidth_failure_witness(taskset, interface)
+        if witness is not None:
+            time, demand, supply = witness
+            return SchedulabilityResult(
+                schedulable=False,
+                violation_time=time,
+                demand_at_violation=demand,
+                supply_at_violation=supply,
+                test_bound=0,
+            )
         return SchedulabilityResult(
             schedulable=False,
             violation_time=None,
@@ -95,6 +117,38 @@ def is_schedulable(
                 test_bound=beta,
             )
     return SchedulabilityResult(schedulable=True, test_bound=beta)
+
+
+def _bandwidth_failure_witness(
+    taskset: TaskSet, interface: ResourceInterface, max_points: int = 200_000
+) -> tuple[int, int, int] | None:
+    """First demand step point with ``dbf > sbf`` (lazy ascending scan).
+
+    Used when the necessary bandwidth condition already failed: only
+    step points can witness the violation (demand is constant between
+    them while supply never decreases).  Candidate points — multiples
+    of each task's period — are merged lazily through a heap, so the
+    scan costs O(found · log n) instead of materializing a horizon.
+    Returns ``(t, demand, supply)``, or None if no violation surfaced
+    within ``max_points`` step points (incommensurate-period task sets
+    whose first violation sits beyond any practical hyperperiod).
+    """
+    heap = [(task.period, task.period) for task in taskset]
+    heapq.heapify(heap)
+    examined = 0
+    previous = 0
+    while heap and examined < max_points:
+        time, period = heapq.heappop(heap)
+        heapq.heappush(heap, (time + period, period))
+        if time == previous:
+            continue  # several tasks stepping at the same instant
+        previous = time
+        examined += 1
+        demand = dbf(time, taskset)
+        supply = sbf(time, interface)
+        if demand > supply:
+            return time, demand, supply
+    return None
 
 
 def is_schedulable_exhaustive(

@@ -17,6 +17,7 @@ Examples::
     python -m repro ablation
     python -m repro dram
     python -m repro update-latency
+    python -m repro trace --figure fig6 --trial 2 --export spans.jsonl
 """
 
 from __future__ import annotations
@@ -129,6 +130,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--results-dir", default="results")
     campaign.add_argument("--label", default=None)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay one fig6/fig7 trial with tracing and reconstruct "
+        "a request's per-hop timeline",
+        parents=[common],
+    )
+    trace.add_argument(
+        "--figure",
+        choices=("fig6", "fig7"),
+        default="fig6",
+        help="which experiment's trial to replay (default: fig6)",
+    )
+    trace.add_argument(
+        "--interconnect",
+        default="BlueScale",
+        metavar="NAME",
+        help="design to trace (default: BlueScale)",
+    )
+    trace.add_argument(
+        "--trial", type=int, default=0, help="trial index (default: 0)"
+    )
+    trace.add_argument(
+        "--rid",
+        type=int,
+        default=None,
+        help="request id to reconstruct (default: worst recorded blocking)",
+    )
+    trace.add_argument("--clients", type=int, default=16, choices=(16, 64))
+    trace.add_argument(
+        "--utilization",
+        type=float,
+        default=0.7,
+        help="fig7 target utilization point (default: 0.7)",
+    )
+    trace.add_argument("--horizon", type=int, default=5_000)
+    trace.add_argument(
+        "--seed", type=int, default=None, help="override the config seed"
+    )
+    trace.add_argument(
+        "--export",
+        metavar="PATH",
+        help="also export the full span stream as JSONL (schema-validated)",
+    )
     return parser
 
 
@@ -242,6 +287,80 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             result = run_fairness(executor=executor, hooks=hooks)
         print(format_fairness(result))
+    elif args.experiment == "trace":
+        from repro.observability import (
+            build_timeline,
+            format_timeline,
+            validate_spans_jsonl,
+            worst_blocking_rid,
+        )
+
+        # Seeds for N trials are a prefix of those for M > N trials, so
+        # a config sized `trial + 1` re-derives the exact same spec the
+        # full experiment would run at that index.
+        if args.figure == "fig6":
+            from repro.experiments.fig6 import Fig6Config
+            from repro.experiments.trace_replay import trace_fig6_trial
+
+            kwargs = dict(
+                n_clients=args.clients,
+                trials=args.trial + 1,
+                horizon=args.horizon,
+            )
+            if args.seed is not None:
+                kwargs["seed"] = args.seed
+            traced = trace_fig6_trial(
+                Fig6Config(**kwargs),
+                trial=args.trial,
+                interconnect=args.interconnect,
+            )
+        else:
+            from repro.experiments.fig7 import Fig7Config
+            from repro.experiments.trace_replay import trace_fig7_trial
+
+            kwargs = dict(
+                n_processors=args.clients,
+                trials=args.trial + 1,
+                horizon=args.horizon,
+                utilizations=(args.utilization,),
+            )
+            if args.seed is not None:
+                kwargs["seed"] = args.seed
+            traced = trace_fig7_trial(
+                Fig7Config(**kwargs),
+                trial=args.trial,
+                interconnect=args.interconnect,
+            )
+        recorder = traced.tracer.recorder
+        spans = list(recorder.spans())
+        rid = args.rid if args.rid is not None else worst_blocking_rid(spans)
+        if rid is None:
+            print(
+                f"no delivered requests traced in {traced.experiment} trial "
+                f"{traced.trial} on {traced.interconnect}"
+            )
+            return 1
+        timeline = build_timeline(spans, rid)
+        print(
+            f"{traced.experiment} trial {traced.trial} on "
+            f"{traced.interconnect} — {len(spans)} spans recorded "
+            f"({recorder.dropped} evicted), digest {traced.trace_digest}"
+        )
+        print(format_timeline(timeline))
+        if args.export:
+            count = recorder.export_jsonl(args.export)
+            validate_spans_jsonl(args.export)
+            print(f"\n{count} spans exported to {args.export} (validated)")
+        result = {
+            "experiment": traced.experiment,
+            "trial": traced.trial,
+            "interconnect": traced.interconnect,
+            "rid": rid,
+            "spans_recorded": len(spans),
+            "spans_evicted": recorder.dropped,
+            "trace_digest": traced.trace_digest,
+            "latency": timeline.latency,
+        }
     elif args.experiment == "campaign":
         from repro.experiments.campaign import default_specs, run_campaign
 

@@ -91,7 +91,7 @@ class BlueScaleInterconnect(Interconnect):
     @staticmethod
     def _make_hop(parent: ScaleElement, port: int):
         def hop(request: MemoryRequest, cycle: int) -> bool:
-            return parent.try_accept(port, request)
+            return parent.try_accept(port, request, cycle)
 
         return hop
 
@@ -208,7 +208,7 @@ class BlueScaleInterconnect(Interconnect):
     # -- Interconnect contract -----------------------------------------------
     def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
         element, port = self._client_ingress[request.client_id]
-        accepted = element.try_accept(port, request)
+        accepted = element.try_accept(port, request, cycle)
         if accepted:
             self._occupancy += 1
             if request.inject_cycle < 0:

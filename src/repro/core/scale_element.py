@@ -59,6 +59,9 @@ class ScaleElement:
                 f"SE needs {self.fanout} interfaces, got {len(interfaces)}"
             )
         self.node = node
+        #: observability site label (precomputed; used only for traced
+        #: requests, via ``request.trace_ctx`` duck typing)
+        self._site = f"se:{node[0]}:{node[1]}"
         self.buffers = [
             RandomAccessBuffer(buffer_capacity) for _ in range(self.fanout)
         ]
@@ -86,14 +89,29 @@ class ScaleElement:
         self._wake = 0
 
     # -- local client ports ----------------------------------------------------
-    def try_accept(self, port: int, request: MemoryRequest) -> bool:
-        """Local-client-port ingress (loader side of the port buffer)."""
+    def try_accept(
+        self, port: int, request: MemoryRequest, cycle: int = 0
+    ) -> bool:
+        """Local-client-port ingress (loader side of the port buffer).
+
+        ``cycle`` is only consumed by the observability span of a traced
+        request; untraced traffic ignores it (callers that predate the
+        tracing layer may omit it).
+        """
         if not 0 <= port < self.fanout:
             raise ConfigurationError(f"port {port} out of range")
         accepted = self.buffers[port].try_load(request)
         if accepted:
             self._occupancy += 1
             self._wake = 0  # a new request may change the next decision
+            ctx = request.trace_ctx
+            if ctx is not None:
+                ctx.emit(
+                    self._site,
+                    "enqueue",
+                    cycle,
+                    {"port": port, "occupancy": self._occupancy},
+                )
         return accepted
 
     def port_free(self, port: int) -> bool:
@@ -127,6 +145,11 @@ class ScaleElement:
                 self._occupancy -= 1
                 self.scheduler.account_forward(port)
                 self.forwarded += 1
+                ctx = winner.trace_ctx
+                if ctx is not None:
+                    ctx.emit(
+                        self._site, "arbitration_win", cycle, {"port": port}
+                    )
                 self._charge_blocking(winner)
             else:
                 self.stalled_cycles += 1

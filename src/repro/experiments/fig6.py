@@ -69,6 +69,10 @@ class Fig6Config:
     #: engine quiescence fast path; results are identical either way
     #: (the differential tests assert it), False forces cycle-by-cycle
     fast_path: bool = True
+    #: opt-in request tracing (repro.observability): per-trial span
+    #: rings plus ``{name}/obs/…`` metric scalars; measured results are
+    #: identical with it on or off (tracing is observation-only)
+    observability: bool = False
 
     @classmethod
     def paper_scale(cls, n_clients: int = 16) -> "Fig6Config":
@@ -206,7 +210,10 @@ def run_fig6_trial(spec: TrialSpec) -> MetricSet:
             for client_id, taskset in tasksets.items()
         ]
         simulation = SoCSimulation(
-            clients, interconnect, fast_path=config.fast_path
+            clients,
+            interconnect,
+            fast_path=config.fast_path,
+            observability=config.observability,
         )
         result = simulation.run(config.horizon, drain=config.drain)
         scalars[f"{name}/blocking"] = result.mean_blocking
@@ -214,6 +221,13 @@ def run_fig6_trial(spec: TrialSpec) -> MetricSet:
         # The completion-trace digest certifies bit-for-bit equality of
         # runs (golden-trace regression; fast- vs slow-path checks).
         tags[f"{name}/trace"] = result.trace_digest
+        if simulation.tracer is not None:
+            # Fold the trial's observability registry into the metric
+            # set as plain floats: reducers only read the keys they
+            # know, so the extra scalars ride through any executor.
+            scalars.update(
+                simulation.tracer.summary_scalars(prefix=f"{name}/obs/")
+            )
     return MetricSet(scalars=scalars, tags=tags)
 
 

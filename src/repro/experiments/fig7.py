@@ -62,6 +62,9 @@ class Fig7Config:
     factory: FactoryConfig = DEFAULT_FACTORY_CONFIG
     #: engine quiescence fast path; results are identical either way
     fast_path: bool = True
+    #: opt-in request tracing (repro.observability); observation-only,
+    #: so measured results are identical with it on or off
+    observability: bool = False
 
     @classmethod
     def paper_scale(cls, n_processors: int = 16) -> "Fig7Config":
@@ -216,7 +219,10 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
             )
         )
         simulation = SoCSimulation(
-            clients, interconnect, fast_path=config.fast_path
+            clients,
+            interconnect,
+            fast_path=config.fast_path,
+            observability=config.observability,
         )
         trial_result = simulation.run(config.horizon, drain=config.drain)
         # Only processor clients carry monitored tasks; the HA is
@@ -228,6 +234,12 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
         )
         scalars[f"{name}/success"] = 1.0 if monitored_missed == 0 else 0.0
         tags[f"{name}/trace"] = trial_result.trace_digest
+        if simulation.tracer is not None:
+            # Extra scalars are ignored by reduce_fig7 (it only reads
+            # the keys it knows) but surface in saved campaign JSON.
+            scalars.update(
+                simulation.tracer.summary_scalars(prefix=f"{name}/obs/")
+            )
     return MetricSet(scalars=scalars, tags=tags)
 
 

@@ -123,6 +123,14 @@ class AxiIcRtInterconnect(Interconnect):
         fifo.append(request)
         self._occupancy += 1
         self._occupied_ids.add(request.client_id)
+        ctx = request.trace_ctx
+        if ctx is not None:
+            ctx.emit(
+                "axi-switch",
+                "enqueue",
+                cycle,
+                {"port": request.client_id, "occupancy": len(fifo)},
+            )
         return True
 
     # -- request path ------------------------------------------------------------
@@ -182,6 +190,11 @@ class AxiIcRtInterconnect(Interconnect):
         if self._window is not None:
             self._tokens[best_client] -= 1
         self._pipeline.append((cycle + self.pipeline_latency, winner))
+        ctx = winner.trace_ctx
+        if ctx is not None:
+            ctx.emit(
+                "axi-switch", "arbitration_win", cycle, {"port": best_client}
+            )
         self._charge_blocking(winner)
 
     def _charge_blocking(self, forwarded: MemoryRequest) -> None:

@@ -89,6 +89,14 @@ class Interconnect(ABC):
             self._responses, (deliver_at, self._response_seq, request)
         )
         self._response_seq += 1
+        ctx = request.trace_ctx
+        if ctx is not None:
+            ctx.emit(
+                "response-path",
+                "response_enqueue",
+                cycle,
+                {"deliver_at": deliver_at},
+            )
 
     def tick_response_path(self, cycle: int) -> list[MemoryRequest]:
         """Responses that reach their client this cycle."""

@@ -31,16 +31,28 @@ class MuxNode:
         if fifo_capacity <= 0:
             raise ConfigurationError("fifo capacity must be positive")
         self.node = node
+        #: observability site label (used only for traced requests)
+        self._site = f"mux:{node[0]}:{node[1]}"
         self.fifo_capacity = fifo_capacity
         self.fifos: list[deque[MemoryRequest]] = [deque(), deque()]
         self.forward: _ForwardHook | None = None
         self.forwarded = 0
 
-    def try_accept(self, port: int, request: MemoryRequest) -> bool:
+    def try_accept(
+        self, port: int, request: MemoryRequest, cycle: int = 0
+    ) -> bool:
         fifo = self.fifos[port]
         if len(fifo) >= self.fifo_capacity:
             return False
         fifo.append(request)
+        ctx = request.trace_ctx
+        if ctx is not None:
+            ctx.emit(
+                self._site,
+                "enqueue",
+                cycle,
+                {"port": port, "occupancy": self.occupancy()},
+            )
         return True
 
     def occupancy(self) -> int:
@@ -67,6 +79,9 @@ class MuxNode:
         if self.forward is not None and self.forward(head, cycle):
             fifo.popleft()
             self.forwarded += 1
+            ctx = head.trace_ctx
+            if ctx is not None:
+                ctx.emit(self._site, "arbitration_win", cycle, {"port": port})
             self.on_forwarded(port, head)
 
     def on_forwarded(self, port: int, request: MemoryRequest) -> None:
@@ -124,7 +139,7 @@ class MuxTreeInterconnect(Interconnect):
     @staticmethod
     def _make_hop(parent: MuxNode, port: int) -> _ForwardHook:
         def hop(request: MemoryRequest, cycle: int) -> bool:
-            return parent.try_accept(port, request)
+            return parent.try_accept(port, request, cycle)
 
         return hop
 
@@ -144,7 +159,7 @@ class MuxTreeInterconnect(Interconnect):
     # -- Interconnect contract -----------------------------------------------
     def try_inject(self, request: MemoryRequest, cycle: int) -> bool:
         node, port = self._client_ingress[request.client_id]
-        accepted = node.try_accept(port, request)
+        accepted = node.try_accept(port, request, cycle)
         if accepted:
             self._occupancy += 1
             if request.inject_cycle < 0:

@@ -17,7 +17,7 @@ import enum
 from collections import deque
 from typing import Callable, Protocol
 
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import CapacityError, ConfigurationError, SimulationError
 from repro.memory.request import MemoryRequest
 
 
@@ -53,13 +53,21 @@ class MemoryController:
         on_response: ResponseCallback | None = None,
         refresh_interval: int = 0,
         refresh_duration: int = 0,
+        reorder_cap: int | None = None,
     ) -> None:
         """``refresh_interval``/``refresh_duration`` model DRAM refresh
         (tREFI/tRFC): every ``refresh_interval`` cycles the controller
         stalls for ``refresh_duration`` cycles — in-flight service
         pauses, nothing is picked up.  Refresh is the classic source of
         unavoidable jitter in real-time DRAM analysis; 0 (default)
-        disables it, matching the unit-slot abstraction."""
+        disables it, matching the unit-slot abstraction.
+
+        ``reorder_cap`` bounds FR-FCFS starvation blacklisting-style:
+        after the oldest queued request has been bypassed by that many
+        row hits, the scheduler reverts to strict FCFS until the head
+        is served.  ``None`` (default) keeps the unbounded reordering
+        of plain FR-FCFS; 0 degenerates to FCFS.  Every bypass of the
+        head is counted in ``reorder_count`` regardless of the cap."""
         if queue_capacity <= 0:
             raise ConfigurationError(
                 f"queue capacity must be positive, got {queue_capacity}"
@@ -70,6 +78,10 @@ class MemoryController:
             raise ConfigurationError(
                 "refresh duration must be shorter than the interval"
             )
+        if reorder_cap is not None and reorder_cap < 0:
+            raise ConfigurationError(
+                f"reorder cap cannot be negative, got {reorder_cap}"
+            )
         self.device = device
         self.queue_capacity = queue_capacity
         self.policy = policy
@@ -78,6 +90,10 @@ class MemoryController:
         self.refresh_duration = refresh_duration
         self._refresh_remaining = 0
         self.refresh_stall_cycles = 0
+        self.reorder_cap = reorder_cap
+        #: FR-FCFS picks that bypassed the oldest queued request
+        self.reorder_count = 0
+        self._head_bypasses = 0
         self._queue: deque[MemoryRequest] = deque()
         self._in_service: MemoryRequest | None = None
         self._service_remaining = 0
@@ -97,18 +113,32 @@ class MemoryController:
             )
         request.arrive_controller_cycle = cycle
         self._queue.append(request)
+        ctx = request.trace_ctx
+        if ctx is not None:
+            ctx.emit("mc", "enqueue", cycle, {"occupancy": len(self._queue)})
 
     # -- arbitration --------------------------------------------------------
     def _pick_next(self) -> MemoryRequest:
         if self.policy is ArbitrationPolicy.FCFS:
             return self._queue.popleft()
-        # FR-FCFS: oldest row hit, else oldest.
+        # FR-FCFS: oldest row hit, else oldest.  The reorder cap bounds
+        # starvation of the queue head: once it has been bypassed
+        # ``reorder_cap`` times the scheduler falls back to strict FCFS
+        # until the head is served (blacklisting-style fairness).
         hit_checker = getattr(self.device, "is_row_hit", None)
-        if hit_checker is not None:
+        if hit_checker is not None and (
+            self.reorder_cap is None or self._head_bypasses < self.reorder_cap
+        ):
             for index, request in enumerate(self._queue):
                 if hit_checker(request):
                     del self._queue[index]
+                    if index > 0:
+                        self.reorder_count += 1
+                        self._head_bypasses += 1
+                    else:
+                        self._head_bypasses = 0
                     return request
+        self._head_bypasses = 0
         return self._queue.popleft()
 
     # -- per-cycle ------------------------------------------------------------
@@ -126,6 +156,14 @@ class MemoryController:
             request.service_start_cycle = cycle
             self._in_service = request
             self._service_remaining = self.device.access(request)
+            ctx = request.trace_ctx
+            if ctx is not None:
+                ctx.emit(
+                    "mc",
+                    "service_start",
+                    cycle,
+                    {"cost": self._service_remaining},
+                )
         if self._in_service is None:
             return
         self.busy_cycles += 1
@@ -140,6 +178,9 @@ class MemoryController:
             done.service_end_cycle = cycle + 1
             self._in_service = None
             self.serviced += 1
+            ctx = done.trace_ctx
+            if ctx is not None:
+                ctx.emit("mc", "service_end", cycle + 1)
             if self.on_response is not None:
                 self.on_response(done, cycle + 1)
 
@@ -181,8 +222,28 @@ class MemoryController:
         return candidate
 
     def on_cycles_skipped(self, start: int, cycles: int) -> None:
-        """Replay ``cycles`` idle ticks of the service countdown."""
+        """Replay ``cycles`` idle ticks of the service countdown.
+
+        A valid leap never swallows the completion tick: the engine must
+        execute the cycle that takes the countdown to zero (it fires
+        ``on_response``), so ``cycles < _service_remaining`` is a hard
+        simulation invariant.  An over-skip would drive the countdown
+        negative and the in-service request would never complete —
+        detected here instead of surfacing as a request-conservation
+        failure at trial end.  ``busy_cycles`` is clamped to the largest
+        legal replay before raising, so accounting stays consistent for
+        post-mortem inspection.
+        """
         if self._in_service is not None:
+            if cycles >= self._service_remaining:
+                legal = max(0, self._service_remaining - 1)
+                self.busy_cycles += legal
+                self._service_remaining -= legal
+                raise SimulationError(
+                    f"engine over-skip: leapt {cycles} cycles at {start} but "
+                    f"request {self._in_service.rid} completes in "
+                    f"{legal + 1} (the completion tick must execute)"
+                )
             self.busy_cycles += cycles
             self._service_remaining -= cycles
 

@@ -61,6 +61,13 @@ class MemoryRequest:
     # accumulated metrics
     blocking_cycles: int = 0
 
+    # observability: emission handle set by repro.observability.Tracer
+    # when the request is sampled for tracing; None means untraced and
+    # every component's guard (`if request.trace_ctx is not None`)
+    # stays false at the cost of one attribute load.  The field is
+    # typed loosely so the hot path never imports the tracer package.
+    trace_ctx: object | None = field(default=None, compare=False)
+
     def __post_init__(self) -> None:
         if self.rid < 0:
             self.rid = next(_request_ids)

@@ -1,0 +1,77 @@
+"""End-to-end request observability: spans, metrics, timelines.
+
+The paper's headline claims (Fig. 6 blocking latency, Fig. 7
+deadline-miss ratio) are *per-request* queueing phenomena, yet the
+aggregate statistics in :mod:`repro.sim.stats` can only say what the
+averages were — not where an individual request spent its cycles.
+This package adds the missing layer:
+
+* **Spans** (:mod:`repro.observability.spans`) — every traced
+  :class:`~repro.memory.request.MemoryRequest` emits one span per
+  lifecycle event (inject → per-hop enqueue → arbitration win →
+  controller service start/end → response delivery) into a bounded
+  ring recorder with JSON-lines export.
+* **Metrics** (:mod:`repro.observability.metrics`) — a counter /
+  histogram registry (per-client latency percentiles, per-site queue
+  occupancy and waiting time, FR-FCFS reorder counts) whose snapshots
+  merge across trials, so the :mod:`repro.runtime` executors can fold
+  per-trial registries into campaign-level aggregates.
+* **Tracer** (:mod:`repro.observability.tracer`) — the opt-in switch.
+  ``SoCSimulation(..., observability=...)`` attaches a
+  :class:`TraceContext` to each sampled request at injection time;
+  components emit through ``request.trace_ctx`` and pay only a
+  ``None`` check when tracing is off.
+* **Timelines** (:mod:`repro.observability.timeline`) — reconstruct
+  any request's per-hop journey from a live recorder or an exported
+  JSONL file; rendered by the ``repro trace`` CLI subcommand.
+
+Tracing is strictly observational: a traced trial produces the same
+completion trace digest, latencies and statistics as an untraced one
+(the differential tests assert it, on both engine paths).
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    merge_registry_snapshots,
+)
+from repro.observability.spans import (
+    SPAN_KINDS,
+    Span,
+    TraceRecorder,
+    load_spans_jsonl,
+    validate_spans_jsonl,
+)
+from repro.observability.timeline import (
+    RequestTimeline,
+    build_timeline,
+    format_timeline,
+    worst_blocking_rid,
+)
+from repro.observability.tracer import (
+    ObservabilityConfig,
+    TraceContext,
+    Tracer,
+    make_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityConfig",
+    "RequestTimeline",
+    "SPAN_KINDS",
+    "Span",
+    "TraceContext",
+    "TraceRecorder",
+    "Tracer",
+    "build_timeline",
+    "format_timeline",
+    "load_spans_jsonl",
+    "make_tracer",
+    "merge_registry_snapshots",
+    "validate_spans_jsonl",
+    "worst_blocking_rid",
+]

@@ -1,0 +1,164 @@
+"""Counter / histogram registry with cross-trial merge.
+
+The registry is the quantitative half of the observability layer: the
+tracer feeds it per-client latencies, per-site queue occupancy and
+waiting cycles, blocking attribution and FR-FCFS reorder counts; the
+:mod:`repro.runtime` executors fold per-trial snapshots into
+campaign-level aggregates with :func:`merge_registry_snapshots`.
+
+Two instrument kinds only:
+
+* :class:`Counter` — a monotone event count (``reorder/total``).
+* :class:`Histogram` — a raw scalar sample; summarised on demand via
+  :class:`repro.sim.stats.SummaryStatistics` so percentiles use the
+  exact same nearest-rank definition as the paper's figures.
+
+Snapshots are plain JSON-able dicts, so they pickle cheaply through
+the parallel executor and merge without the source objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import SummaryStatistics
+
+
+@dataclass
+class Counter:
+    """A monotone event count."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """A raw scalar sample summarised on demand.
+
+    Samples are kept verbatim (trial-scale cardinality, bounded by the
+    request count) so merged percentiles are exact rather than
+    bucket-approximated.
+    """
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> SummaryStatistics:
+        return SummaryStatistics.from_sample(self.samples)
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one traced trial."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter ``name``."""
+        found = self._counters.get(name)
+        if found is None:
+            if name in self._histograms:
+                raise ConfigurationError(
+                    f"metric {name!r} is already a histogram"
+                )
+            found = Counter(name)
+            self._counters[name] = found
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram ``name``."""
+        found = self._histograms.get(name)
+        if found is None:
+            if name in self._counters:
+                raise ConfigurationError(
+                    f"metric {name!r} is already a counter"
+                )
+            found = Histogram(name)
+            self._histograms[name] = found
+        return found
+
+    @property
+    def counters(self) -> Mapping[str, Counter]:
+        return self._counters
+
+    @property
+    def histograms(self) -> Mapping[str, Histogram]:
+        return self._histograms
+
+    # -- snapshot / merge --------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-able view of every instrument (samples kept verbatim)."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in self._counters.items()
+            },
+            "histograms": {
+                name: list(histogram.samples)
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, object]) -> None:
+        """Fold one :meth:`snapshot` into this registry (cross-trial)."""
+        counters = snapshot.get("counters", {})
+        if not isinstance(counters, Mapping):
+            raise ConfigurationError(f"bad counters section: {counters!r}")
+        for name, value in counters.items():
+            self.counter(name).increment(int(value))  # type: ignore[call-overload]
+        histograms = snapshot.get("histograms", {})
+        if not isinstance(histograms, Mapping):
+            raise ConfigurationError(f"bad histograms section: {histograms!r}")
+        for name, samples in histograms.items():
+            self.histogram(name).samples.extend(samples)  # type: ignore[arg-type]
+
+    def summary_scalars(self, prefix: str = "") -> dict[str, float]:
+        """Flatten to plain floats for a :class:`repro.runtime` MetricSet.
+
+        Counters become ``{prefix}{name}``; histograms expand to
+        ``_count`` / ``_mean`` / ``_p95`` / ``_p99`` / ``_max`` keys so
+        per-trial percentiles survive executor pickling as scalars.
+        """
+        scalars: dict[str, float] = {}
+        for name, counter in sorted(self._counters.items()):
+            scalars[f"{prefix}{name}"] = float(counter.value)
+        for name, histogram in sorted(self._histograms.items()):
+            stats = histogram.summary()
+            scalars[f"{prefix}{name}_count"] = float(stats.count)
+            scalars[f"{prefix}{name}_mean"] = stats.mean
+            scalars[f"{prefix}{name}_p95"] = stats.p95
+            scalars[f"{prefix}{name}_p99"] = stats.p99
+            scalars[f"{prefix}{name}_max"] = stats.maximum
+        return scalars
+
+
+def merge_registry_snapshots(
+    snapshots: Iterable[Mapping[str, object]],
+) -> MetricsRegistry:
+    """Rebuild one registry out of many per-trial snapshots.
+
+    Counters add; histogram samples concatenate, so percentiles of the
+    merged registry are percentiles of the pooled sample — the same
+    reduction the runtime metric pipeline applies to latency lists.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged

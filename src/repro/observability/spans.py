@@ -1,0 +1,239 @@
+"""Span records, the bounded ring recorder, and the JSONL schema.
+
+A *span* is one observed lifecycle event of one memory transaction at
+one site of the platform: the client edge (``inject``), a buffer at an
+SE / mux node / the AXI switch box / the controller (``enqueue``), an
+arbiter granting the transaction a forward (``arbitration_win``), the
+provider's service window (``service_start`` / ``service_end``), and
+the response path (``response_enqueue`` / ``deliver``).  A request's
+sorted spans are its per-hop timeline; :mod:`repro.observability.timeline`
+reconstructs and renders them.
+
+The recorder is a *bounded ring*: the newest ``capacity`` spans are
+kept, older ones are evicted (``dropped`` counts them), so tracing a
+long trial has a hard memory ceiling.
+
+On-disk format is JSON lines, one span per line::
+
+    {"rid": 17, "client": 3, "site": "se:2:0", "kind": "enqueue",
+     "cycle": 412, "attrs": {"port": 1, "occupancy": 2}}
+
+``validate_spans_jsonl`` checks an exported file against the schema
+(required keys, types, known kinds, monotone per-request cycles) and is
+wired into the CI observability smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+#: every kind a span may carry, in rough lifecycle order
+SPAN_KINDS = (
+    "inject",
+    "enqueue",
+    "arbitration_win",
+    "service_start",
+    "service_end",
+    "response_enqueue",
+    "deliver",
+)
+
+_KIND_SET = frozenset(SPAN_KINDS)
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One lifecycle event of one request at one site."""
+
+    rid: int
+    client_id: int
+    site: str
+    kind: str
+    cycle: int
+    attrs: Mapping[str, object] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_SET:
+            raise ConfigurationError(
+                f"unknown span kind {self.kind!r}; expected one of {SPAN_KINDS}"
+            )
+        if self.cycle < 0:
+            raise ConfigurationError(f"span cycle must be >= 0, got {self.cycle}")
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSONL wire form (``attrs`` omitted when empty)."""
+        record: dict[str, object] = {
+            "rid": self.rid,
+            "client": self.client_id,
+            "site": self.site,
+            "kind": self.kind,
+            "cycle": self.cycle,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "Span":
+        """Parse one wire record (raises ConfigurationError when malformed)."""
+        _validate_record(record)
+        attrs = record.get("attrs")
+        return cls(
+            rid=record["rid"],  # type: ignore[arg-type]
+            client_id=record["client"],  # type: ignore[arg-type]
+            site=record["site"],  # type: ignore[arg-type]
+            kind=record["kind"],  # type: ignore[arg-type]
+            cycle=record["cycle"],  # type: ignore[arg-type]
+            attrs=dict(attrs) if attrs else None,  # type: ignore[arg-type]
+        )
+
+
+#: (key, required type) pairs every wire record must satisfy
+_REQUIRED_FIELDS = (
+    ("rid", int),
+    ("client", int),
+    ("site", str),
+    ("kind", str),
+    ("cycle", int),
+)
+
+
+def _validate_record(record: Mapping[str, object]) -> None:
+    if not isinstance(record, Mapping):
+        raise ConfigurationError(f"span record must be an object, got {record!r}")
+    for key, expected in _REQUIRED_FIELDS:
+        if key not in record:
+            raise ConfigurationError(f"span record missing {key!r}: {record!r}")
+        value = record[key]
+        # bool is an int subclass; reject it explicitly for numeric fields
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"span field {key!r} must be {expected.__name__}, got {value!r}"
+            )
+    if record["kind"] not in _KIND_SET:
+        raise ConfigurationError(f"unknown span kind {record['kind']!r}")
+    if record["cycle"] < 0:  # type: ignore[operator]
+        raise ConfigurationError(f"negative span cycle in {record!r}")
+    attrs = record.get("attrs")
+    if attrs is not None and not isinstance(attrs, Mapping):
+        raise ConfigurationError(f"span attrs must be an object, got {attrs!r}")
+
+
+class TraceRecorder:
+    """Bounded ring of spans: the newest ``capacity`` survive."""
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"recorder capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def record(self, span: Span) -> None:
+        self._ring.append(span)
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring bound."""
+        return self.emitted - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def spans(self, rid: int | None = None) -> list[Span]:
+        """All retained spans in emission order (optionally one request's)."""
+        if rid is None:
+            return list(self._ring)
+        return [span for span in self._ring if span.rid == rid]
+
+    def request_ids(self) -> list[int]:
+        """Distinct rids with retained spans, in first-seen order."""
+        seen: dict[int, None] = {}
+        for span in self._ring:
+            seen.setdefault(span.rid, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.emitted = 0
+
+    # -- export ------------------------------------------------------------
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write retained spans as JSON lines; returns the count written."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self._ring:
+                handle.write(json.dumps(span.as_dict()) + "\n")
+                count += 1
+        return count
+
+
+def _iter_jsonl(path: str | Path) -> Iterator[tuple[int, Mapping[str, object]]]:
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield line_number, json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: malformed JSON ({exc})"
+                ) from exc
+
+
+def load_spans_jsonl(path: str | Path) -> list[Span]:
+    """Read an exported span file back, preserving order."""
+    spans: list[Span] = []
+    for line_number, record in _iter_jsonl(path):
+        try:
+            spans.append(Span.from_dict(record))
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{path}:{line_number}: {exc}") from exc
+    return spans
+
+
+def validate_spans_jsonl(path: str | Path) -> int:
+    """Validate an exported file against the span schema.
+
+    Checks every line parses, carries the required typed fields and a
+    known kind, and that each request's spans appear in non-decreasing
+    cycle order (emission order is simulation order, so a traced run
+    can never export a time-travelling request).  Returns the number of
+    valid spans; raises :class:`ConfigurationError` on the first bad line.
+    """
+    last_cycle: dict[int, int] = {}
+    count = 0
+    for line_number, record in _iter_jsonl(path):
+        try:
+            _validate_record(record)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{path}:{line_number}: {exc}") from exc
+        rid = record["rid"]
+        cycle = record["cycle"]
+        previous = last_cycle.get(rid)
+        if previous is not None and cycle < previous:  # type: ignore[operator]
+            raise ConfigurationError(
+                f"{path}:{line_number}: request {rid} goes back in time "
+                f"({previous} -> {cycle})"
+            )
+        last_cycle[rid] = cycle  # type: ignore[assignment]
+        count += 1
+    return count
+
+
+def spans_by_request(spans: Iterable[Span]) -> dict[int, list[Span]]:
+    """Group spans per request id, preserving emission order."""
+    grouped: dict[int, list[Span]] = {}
+    for span in spans:
+        grouped.setdefault(span.rid, []).append(span)
+    return grouped

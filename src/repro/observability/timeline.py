@@ -1,0 +1,165 @@
+"""Reconstruct and render one request's per-hop journey.
+
+Input is any span stream — a live :class:`TraceRecorder` or a list
+loaded back from an exported JSONL file — and the output is what the
+``repro trace`` CLI subcommand prints: the request's lifecycle events
+in order, with per-hop queue-waiting attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.observability.spans import Span
+
+#: span kinds that open a queue residency at a site
+_ENTER_KINDS = frozenset({"enqueue"})
+#: span kinds that close it (the arbiter granted the hop)
+_GRANT_KINDS = frozenset({"arbitration_win", "service_start"})
+
+
+@dataclass(frozen=True)
+class HopResidency:
+    """Time one request spent buffered at one site."""
+
+    site: str
+    enqueue_cycle: int
+    grant_cycle: int | None
+
+    @property
+    def wait_cycles(self) -> int | None:
+        if self.grant_cycle is None:
+            return None
+        return self.grant_cycle - self.enqueue_cycle
+
+
+@dataclass(frozen=True)
+class RequestTimeline:
+    """One request's ordered lifecycle events plus derived hop waits."""
+
+    rid: int
+    client_id: int
+    spans: tuple[Span, ...]
+
+    @property
+    def inject_cycle(self) -> int | None:
+        for span in self.spans:
+            if span.kind == "inject":
+                return span.cycle
+        return None
+
+    @property
+    def deliver_cycle(self) -> int | None:
+        for span in reversed(self.spans):
+            if span.kind == "deliver":
+                return span.cycle
+        return None
+
+    @property
+    def latency(self) -> int | None:
+        """Inject-to-deliver cycles (None while either end is missing)."""
+        start, end = self.inject_cycle, self.deliver_cycle
+        if start is None or end is None:
+            return None
+        return end - start
+
+    @property
+    def complete(self) -> bool:
+        """True when the trace covers injection through delivery."""
+        return self.inject_cycle is not None and self.deliver_cycle is not None
+
+    def hops(self) -> list[HopResidency]:
+        """Per-site queue residencies in the order the request met them."""
+        residencies: list[HopResidency] = []
+        open_index: dict[str, int] = {}
+        for span in self.spans:
+            if span.kind in _ENTER_KINDS:
+                open_index[span.site] = len(residencies)
+                residencies.append(
+                    HopResidency(span.site, span.cycle, None)
+                )
+            elif span.kind in _GRANT_KINDS:
+                index = open_index.pop(span.site, None)
+                if index is not None:
+                    entered = residencies[index]
+                    residencies[index] = HopResidency(
+                        entered.site, entered.enqueue_cycle, span.cycle
+                    )
+        return residencies
+
+
+def build_timeline(spans: Iterable[Span], rid: int) -> RequestTimeline:
+    """Assemble request ``rid``'s timeline from any span stream.
+
+    Emission order is simulation order, so the stream's relative order
+    is kept for same-cycle events; a stable sort on cycle tolerates
+    streams that were concatenated or filtered out of order.
+    """
+    mine = [span for span in spans if span.rid == rid]
+    if not mine:
+        raise ConfigurationError(f"no spans recorded for request {rid}")
+    mine.sort(key=lambda span: span.cycle)  # stable: keeps emission order
+    return RequestTimeline(
+        rid=rid, client_id=mine[0].client_id, spans=tuple(mine)
+    )
+
+
+def format_timeline(timeline: RequestTimeline) -> str:
+    """Human-readable rendering (what ``repro trace`` prints)."""
+    lines: list[str] = []
+    latency = timeline.latency
+    header = f"request {timeline.rid} (client {timeline.client_id})"
+    if latency is not None:
+        header += (
+            f": injected @{timeline.inject_cycle}, "
+            f"delivered @{timeline.deliver_cycle}, "
+            f"latency {latency} cycles"
+        )
+    else:
+        header += ": partial trace (ring may have evicted early spans)"
+    lines.append(header)
+    base = timeline.spans[0].cycle
+    lines.append(f"  {'cycle':>8} {'+rel':>6}  {'site':<14} event")
+    for span in timeline.spans:
+        attrs = ""
+        if span.attrs:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            attrs = f"  ({rendered})"
+        lines.append(
+            f"  {span.cycle:>8} {span.cycle - base:>6}  "
+            f"{span.site:<14} {span.kind}{attrs}"
+        )
+    hops = timeline.hops()
+    if hops:
+        lines.append("  hop waits:")
+        for hop in hops:
+            wait = hop.wait_cycles
+            shown = f"{wait} cycles" if wait is not None else "still queued"
+            lines.append(
+                f"    {hop.site:<14} enqueued @{hop.enqueue_cycle}, {shown}"
+            )
+    return "\n".join(lines)
+
+
+def worst_blocking_rid(spans: Sequence[Span]) -> int | None:
+    """The traced request with the largest recorded blocking time.
+
+    ``deliver`` spans carry ``blocking`` in their attrs; this is the
+    default subject of ``repro trace`` when no ``--rid`` is given.
+    """
+    best_rid: int | None = None
+    best_blocking = -1
+    for span in spans:
+        if span.kind != "deliver" or not span.attrs:
+            continue
+        blocking = span.attrs.get("blocking")
+        if blocking is None:
+            continue
+        if int(blocking) > best_blocking:  # type: ignore[call-overload]
+            best_blocking = int(blocking)  # type: ignore[call-overload]
+            best_rid = span.rid
+    return best_rid

@@ -33,6 +33,11 @@ from repro.interconnects.base import Interconnect
 from repro.memory.controller import ArbitrationPolicy, MemoryController
 from repro.memory.dram import FixedLatencyDevice
 from repro.memory.request import MemoryRequest, reset_request_ids
+from repro.observability.tracer import (
+    ObservabilityConfig,
+    Tracer,
+    make_tracer,
+)
 from repro.sim.clock import Clock
 from repro.sim.engine import Engine
 from repro.sim.stats import CycleAccounting, LatencyRecorder, SummaryStatistics
@@ -105,10 +110,13 @@ class _ClientStage:
         horizon: int,
         clock: Clock,
         fast_path: bool = False,
+        inject=None,
     ) -> None:
         self._clients = clients
         self._interconnect = interconnect
-        self._inject = interconnect.try_inject
+        # The tracer shims the inject callable to attach trace contexts;
+        # untraced runs use the interconnect's bound method directly.
+        self._inject = inject if inject is not None else interconnect.try_inject
         self._horizon = horizon
         self._clock = clock
         # Clients outside the quiescence contract (e.g. trace replayers)
@@ -254,15 +262,18 @@ class _ResponseStage:
         client_by_id: dict[int, TrafficGenerator],
         recorder: LatencyRecorder,
         warmup: int,
+        tracer: Tracer | None = None,
     ) -> None:
         self._interconnect = interconnect
         self._client_by_id = client_by_id
         self._recorder = recorder
         self._warmup = warmup
+        self._tracer = tracer
         self.completed_total = 0
         self._hasher = hashlib.sha256()
 
     def tick(self, cycle: int) -> None:
+        tracer = self._tracer
         for request in self._interconnect.tick_response_path(cycle):
             self.completed_total += 1
             self._hasher.update(self._trace_record(request))
@@ -273,6 +284,8 @@ class _ResponseStage:
                     met_deadline=request.complete_cycle
                     <= request.absolute_deadline,
                 )
+            if tracer is not None:
+                tracer.on_completion(request, cycle)
             client = self._client_by_id.get(request.client_id)
             if client is None:
                 raise SimulationError(
@@ -314,6 +327,7 @@ class SoCSimulation:
         clock: Clock | None = None,
         fast_path: bool = True,
         accounting: CycleAccounting | None = None,
+        observability: "bool | ObservabilityConfig | Tracer | None" = None,
     ) -> None:
         if not clients:
             raise ConfigurationError("need at least one client")
@@ -340,6 +354,10 @@ class SoCSimulation:
         self.recorder = LatencyRecorder()
         self.fast_path = fast_path
         self.accounting = accounting
+        #: opt-in request tracing (None = off, zero overhead); see
+        #: repro.observability — the tracer owns the span ring and the
+        #: metrics registry for this trial.
+        self.tracer = make_tracer(observability)
         #: engine counters from the last run() (see TrialResult)
         self.cycles_executed = 0
         self.cycles_skipped = 0
@@ -381,8 +399,15 @@ class SoCSimulation:
         # their quiescence contracts prove to be pure no-ops (empty mux
         # nodes / SEs, idle clients); results are identical either way.
         self.interconnect.fast_tick = self.fast_path
+        inject = None
+        if self.tracer is not None:
+            inject = self.tracer.wrap_inject(self.interconnect.try_inject)
         response_stage = _ResponseStage(
-            self.interconnect, self._client_by_id, self.recorder, warmup
+            self.interconnect,
+            self._client_by_id,
+            self.recorder,
+            warmup,
+            tracer=self.tracer,
         )
         engine.register(
             _ClientStage(
@@ -391,6 +416,7 @@ class SoCSimulation:
                 horizon,
                 engine.clock,
                 fast_path=self.fast_path,
+                inject=inject,
             ),
             name="clients",
         )
@@ -404,6 +430,8 @@ class SoCSimulation:
         self.cycles_skipped = engine.cycles_skipped
         self.leaps = engine.leaps
         self.clock.now = horizon + drain
+        if self.tracer is not None:
+            self.tracer.record_controller_stats(self.controller)
         return self._collect(horizon, response_stage)
 
     def _collect(

@@ -155,12 +155,23 @@ class TestDbfStepPoints:
         assert points == sorted(set(points))
         assert all(p % 40 == 0 or p % 100 == 0 for p in points)
         assert 40 in points and 100 in points
-        assert all(p < 200 for p in points)
+        # The scan covers (0, horizon]: a horizon landing exactly on a
+        # demand step (200 = 5·40 = 2·100) must be included — Theorem
+        # 1's bound β is part of the range the theorem requires.
+        assert all(0 < p <= 200 for p in points)
+        assert 200 in points
+
+    def test_horizon_on_step_is_included(self, small_taskset):
+        # Regression for the Theorem-1 boundary bug: with the old
+        # exclusive scan (`while multiple < horizon`) a horizon equal
+        # to a period multiple silently dropped the boundary point.
+        assert 40 in dbf_step_points(small_taskset, 40)
+        assert dbf_step_points(small_taskset, 39) == []
 
     def test_captures_every_dbf_change(self, small_taskset):
         points = set(dbf_step_points(small_taskset, 250))
         previous = dbf(0, small_taskset)
-        for t in range(1, 250):
+        for t in range(1, 251):
             current = dbf(t, small_taskset)
             if current != previous:
                 assert t in points, f"dbf changed at {t} but not a step point"

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.prm import ResourceInterface, dbf, sbf
+from repro.analysis.prm import ResourceInterface, dbf, dbf_step_points, sbf
 from repro.analysis.schedulability import (
     is_schedulable,
     is_schedulable_exhaustive,
@@ -65,6 +65,123 @@ class TestTheorem1Bound:
                     f"({period},{budget}), beta={beta}"
                 )
             checked += 1
+
+
+class TestTheorem1BoundaryRegression:
+    """The scan must cover t ∈ (0, β] — including β itself.
+
+    ``theorem1_bound`` returns ceil(β); when β lands exactly on a
+    demand step (a period multiple), the pre-fix exclusive scan
+    (`while multiple < horizon`) silently never checked ``t == β``.
+    These cases are crafted so β is integral AND a period multiple.
+    """
+
+    # (interface, task): each yields an integral β equal to the task
+    # period, so the boundary point is the ONLY demand step in range.
+    BOUNDARY_CASES = [
+        # Π=2, Θ=1 → bw=1/2, slack=1; task (4,1) → U=1/4, β=4=T
+        (ResourceInterface(2, 1), PeriodicTask(period=4, wcet=1)),
+        # Π=3, Θ=1 → bw=1/3, slack=2; task (16,4) → U=1/4, β=16=T
+        (ResourceInterface(3, 1), PeriodicTask(period=16, wcet=4)),
+    ]
+
+    @pytest.mark.parametrize("iface,task", BOUNDARY_CASES)
+    def test_scan_includes_integral_beta(self, iface, task):
+        taskset = TaskSet([task])
+        beta = theorem1_bound(iface, taskset.utilization)
+        assert beta == task.period, "case must put β exactly on a step"
+        points = dbf_step_points(taskset, beta)
+        # Pre-fix this was [] — the single step point in (0, β] is β.
+        assert beta in points
+
+    @pytest.mark.parametrize("iface,task", BOUNDARY_CASES)
+    def test_boundary_verdict_matches_exhaustive(self, iface, task):
+        taskset = TaskSet([task])
+        beta = theorem1_bound(iface, taskset.utilization)
+        result = is_schedulable(taskset, iface)
+        horizon = 4 * taskset.hyperperiod() + 4 * iface.period + beta
+        assert result.schedulable == is_schedulable_exhaustive(
+            taskset, iface, horizon
+        )
+        if not result.schedulable:
+            t = result.violation_time
+            assert t is not None and 0 < t <= beta
+
+    def test_integer_beta_sweep_agrees_with_exhaustive(self):
+        """Directed sweep over interfaces/tasks that make β integral and
+        a period multiple — the exact shape the old scan mishandled."""
+        covered = 0
+        for period in range(2, 8):
+            for budget in range(1, period):
+                iface = ResourceInterface(period, budget)
+                for task_period in range(2, 33):
+                    for wcet in range(1, task_period + 1):
+                        taskset = TaskSet(
+                            [PeriodicTask(period=task_period, wcet=wcet)]
+                        )
+                        if iface.bandwidth <= taskset.utilization:
+                            continue
+                        beta = theorem1_bound(iface, taskset.utilization)
+                        if beta % task_period != 0:
+                            continue  # β not on a demand step
+                        covered += 1
+                        fast = is_schedulable(taskset, iface).schedulable
+                        horizon = 3 * task_period * period + beta
+                        slow = is_schedulable_exhaustive(
+                            taskset, iface, horizon
+                        )
+                        assert fast == slow, (
+                            f"disagreement for ({task_period},{wcet}) on "
+                            f"({period},{budget}), β={beta}"
+                        )
+        assert covered > 50  # the sweep genuinely exercises the boundary
+
+
+class TestBandwidthFailureWitness:
+    """The bandwidth-failure branch must return a real violation witness."""
+
+    def test_witness_is_concrete_and_real(self, tight_taskset):
+        # U = 0.9 but bandwidth 0.5: long-run demand outpaces supply.
+        iface = ResourceInterface(10, 5)
+        result = is_schedulable(tight_taskset, iface)
+        assert not result.schedulable
+        assert result.violation_time is not None
+        t = result.violation_time
+        assert result.demand_at_violation == dbf(t, tight_taskset)
+        assert result.supply_at_violation == sbf(t, iface)
+        assert result.demand_at_violation > result.supply_at_violation
+
+    def test_witness_is_first_step_violation(self):
+        taskset = TaskSet([PeriodicTask(period=4, wcet=3)])  # U = 3/4
+        iface = ResourceInterface(2, 1)  # bw = 1/2
+        result = is_schedulable(taskset, iface)
+        assert not result.schedulable
+        t = result.violation_time
+        assert t is not None
+        # no earlier instant violates (the witness is the first)
+        for earlier in range(1, t):
+            assert dbf(earlier, taskset) <= sbf(earlier, iface)
+
+    def test_equal_bandwidth_with_slack_fails_with_witness(self):
+        # bw == U == 1/2 but Π−Θ > 0: sbf lags by the blackout, so the
+        # hyperperiod (or earlier) witnesses the violation.
+        taskset = TaskSet([PeriodicTask(period=4, wcet=2)])
+        iface = ResourceInterface(8, 4)
+        result = is_schedulable(taskset, iface)
+        assert not result.schedulable
+        assert result.violation_time is not None
+        t = result.violation_time
+        assert dbf(t, taskset) > sbf(t, iface)
+
+    def test_dedicated_resource_full_utilization_is_schedulable(self):
+        # Degenerate Θ == Π with U exactly 1: dbf(t) <= t = sbf(t).
+        taskset = TaskSet(
+            [PeriodicTask(period=2, wcet=1), PeriodicTask(period=4, wcet=2)]
+        )
+        iface = ResourceInterface(5, 5)
+        result = is_schedulable(taskset, iface)
+        assert result.schedulable
+        assert is_schedulable_exhaustive(taskset, iface, 1000)
 
 
 class TestIsSchedulable:

@@ -1,0 +1,131 @@
+"""Differential tests: tracing is observation-only on both engine paths.
+
+The claim under test is ISSUE acceptance-grade: a traced trial produces
+bit-for-bit the same completion-trace digest as an untraced one, on both
+the quiescence fast path and the cycle-by-cycle path — and a traced
+fast-path run records the *same span stream* as a traced slow-path run.
+Workloads here are real fig6/fig7 trials (re-derived through
+``repro.experiments.trace_replay``), just at CI-sized horizons.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.fig6 import Fig6Config, build_fig6_specs, run_fig6_trial
+from repro.experiments.fig7 import Fig7Config, build_fig7_specs, run_fig7_trial
+from repro.experiments.trace_replay import trace_fig6_trial, trace_fig7_trial
+from repro.observability import load_spans_jsonl, validate_spans_jsonl
+from repro.runtime import SerialExecutor, make_executor
+
+# one design per arbitration code path: SE tree, mux tree, AXI switch
+DESIGNS = ("BlueScale", "GSMTree-TDM", "AXI-IC^RT")
+
+FIG7_CONFIG = Fig7Config(trials=1, horizon=1_500, drain=800, utilizations=(0.8,))
+FIG6_CONFIG = Fig6Config(trials=1, horizon=1_500, drain=800)
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_fig7_traced_equals_untraced_on_both_paths(name):
+    digests = {}
+    streams = {}
+    for fast in (True, False):
+        config = dataclasses.replace(FIG7_CONFIG, fast_path=fast)
+        untraced = run_fig7_trial(build_fig7_specs(config, (name,))[0])
+        traced = trace_fig7_trial(config, 0, name)
+        # tracing did not perturb the simulation
+        assert traced.trace_digest == untraced.tags[f"{name}/trace"]
+        digests[fast] = traced.trace_digest
+        streams[fast] = [
+            span.as_dict() for span in traced.tracer.recorder.spans()
+        ]
+    # both engine paths agree — on results AND on the observed spans
+    assert digests[True] == digests[False]
+    assert streams[True] == streams[False]
+    assert streams[True], "trial recorded no spans"
+
+
+def test_fig6_traced_equals_untraced_on_both_paths():
+    name = "BlueScale"
+    digests = {}
+    streams = {}
+    for fast in (True, False):
+        config = dataclasses.replace(FIG6_CONFIG, fast_path=fast)
+        untraced = run_fig6_trial(build_fig6_specs(config, (name,))[0])
+        traced = trace_fig6_trial(config, 0, name)
+        assert traced.trace_digest == untraced.tags[f"{name}/trace"]
+        digests[fast] = traced.trace_digest
+        streams[fast] = [
+            span.as_dict() for span in traced.tracer.recorder.spans()
+        ]
+    assert digests[True] == digests[False]
+    assert streams[True] == streams[False]
+
+
+def test_sampled_tracing_is_deterministic_across_paths():
+    """Sampling counts issue attempts in rid order, so fast and slow
+    runs must trace the identical request subset."""
+    streams = {}
+    for fast in (True, False):
+        config = dataclasses.replace(FIG6_CONFIG, fast_path=fast)
+        traced = trace_fig6_trial(config, 0, "BlueScale", sample_every=5)
+        streams[fast] = [
+            span.as_dict() for span in traced.tracer.recorder.spans()
+        ]
+    assert streams[True] == streams[False]
+    full = trace_fig6_trial(FIG6_CONFIG, 0, "BlueScale")
+    sampled_rids = {span["rid"] for span in streams[True]}
+    full_rids = {span.rid for span in full.tracer.recorder.spans()}
+    assert sampled_rids < full_rids
+
+
+def test_observability_flag_through_trial_function():
+    """``Fig6Config(observability=True)`` folds obs scalars into the
+    metric set without changing any measured result."""
+    plain = run_fig6_trial(build_fig6_specs(FIG6_CONFIG, ("BlueScale",))[0])
+    config = dataclasses.replace(FIG6_CONFIG, observability=True)
+    traced = run_fig6_trial(build_fig6_specs(config, ("BlueScale",))[0])
+    assert traced.tags["BlueScale/trace"] == plain.tags["BlueScale/trace"]
+    assert traced.scalars["BlueScale/blocking"] == plain.scalars["BlueScale/blocking"]
+    assert traced.scalars["BlueScale/miss"] == plain.scalars["BlueScale/miss"]
+    obs = {k: v for k, v in traced.scalars.items() if "/obs/" in k}
+    assert obs["BlueScale/obs/requests/traced"] > 0
+    assert obs["BlueScale/obs/spans_dropped"] >= 0.0
+    assert all(isinstance(v, float) for v in obs.values())
+
+
+def test_obs_scalars_survive_process_fanout():
+    """Traced trials fan out over processes bit-identically to serial."""
+    config = dataclasses.replace(
+        FIG6_CONFIG, trials=2, horizon=800, drain=400, observability=True
+    )
+    specs = build_fig6_specs(config, ("BlueScale",))
+    serial = SerialExecutor().map(run_fig6_trial, specs, None)
+    parallel = make_executor(2).map(run_fig6_trial, specs, None)
+    for left, right in zip(serial, parallel):
+        assert left.metrics == right.metrics
+
+
+def test_trace_cli_reconstructs_timeline_and_validates_export(tmp_path, capsys):
+    from repro.cli import main
+
+    export = tmp_path / "spans.jsonl"
+    code = main(
+        [
+            "trace",
+            "--figure",
+            "fig6",
+            "--horizon",
+            "1500",
+            "--export",
+            str(export),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "spans recorded" in out
+    assert "hop waits:" in out
+    assert "deliver" in out
+    spans = load_spans_jsonl(export)
+    assert spans
+    assert validate_spans_jsonl(export) == len(spans)

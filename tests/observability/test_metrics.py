@@ -1,0 +1,107 @@
+"""Unit tests for the counter/histogram registry and cross-trial merge."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    merge_registry_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_is_monotone(self):
+        counter = Counter("events")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+        with pytest.raises(ConfigurationError):
+            counter.increment(-1)
+
+    def test_histogram_summary_uses_nearest_rank(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        stats = histogram.summary()
+        assert histogram.count == 100
+        assert stats.mean == pytest.approx(50.5)
+        assert stats.p95 == 95.0
+        assert stats.p99 == 99.0
+        assert stats.maximum == 100.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError, match="already a counter"):
+            registry.histogram("x")
+        registry.histogram("y")
+        with pytest.raises(ConfigurationError, match="already a histogram"):
+            registry.counter("y")
+
+    def test_snapshot_is_plain_json_dicts(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").increment(3)
+        registry.histogram("wait").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot == {
+            "counters": {"hits": 3},
+            "histograms": {"wait": [2.0]},
+        }
+        # the snapshot is detached from the live instruments
+        registry.histogram("wait").observe(9.0)
+        assert snapshot["histograms"]["wait"] == [2.0]
+
+    def test_merge_snapshot_adds_and_concatenates(self):
+        a = MetricsRegistry()
+        a.counter("hits").increment(2)
+        a.histogram("wait").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("hits").increment(5)
+        b.histogram("wait").observe(3.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("hits").value == 7
+        assert a.histogram("wait").samples == [1.0, 3.0]
+
+    def test_merge_rejects_malformed_sections(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.merge_snapshot({"counters": [1, 2]})
+        with pytest.raises(ConfigurationError):
+            registry.merge_snapshot({"histograms": "nope"})
+
+    def test_summary_scalars_shape_and_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("requests/traced").increment(4)
+        for value in (1.0, 3.0):
+            registry.histogram("client/0/latency").observe(value)
+        scalars = registry.summary_scalars(prefix="obs/")
+        assert scalars["obs/requests/traced"] == 4.0
+        assert scalars["obs/client/0/latency_count"] == 2.0
+        assert scalars["obs/client/0/latency_mean"] == pytest.approx(2.0)
+        assert scalars["obs/client/0/latency_max"] == 3.0
+        assert all(isinstance(v, float) for v in scalars.values())
+
+
+def test_merge_registry_snapshots_pools_percentiles():
+    """Merged percentiles equal percentiles of the pooled sample."""
+    trials = []
+    for offset in range(4):
+        registry = MetricsRegistry()
+        registry.counter("n").increment(1)
+        for value in range(25):
+            registry.histogram("lat").observe(float(offset * 25 + value))
+        trials.append(registry.snapshot())
+    merged = merge_registry_snapshots(trials)
+    assert merged.counter("n").value == 4
+    assert merged.histogram("lat").count == 100
+    pooled = Histogram("lat", samples=[float(v) for v in range(100)])
+    assert merged.histogram("lat").summary() == pooled.summary()

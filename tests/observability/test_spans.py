@@ -1,0 +1,174 @@
+"""Unit tests for span records, the ring recorder, and the JSONL schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.spans import (
+    SPAN_KINDS,
+    Span,
+    TraceRecorder,
+    load_spans_jsonl,
+    spans_by_request,
+    validate_spans_jsonl,
+)
+
+
+def span(rid=0, kind="enqueue", cycle=0, site="se:0:0", attrs=None):
+    return Span(rid=rid, client_id=rid % 4, site=site, kind=kind, cycle=cycle, attrs=attrs)
+
+
+class TestSpan:
+    def test_wire_roundtrip_with_attrs(self):
+        original = span(rid=7, kind="inject", cycle=12, attrs={"release": 3})
+        assert Span.from_dict(original.as_dict()) == original
+
+    def test_wire_roundtrip_without_attrs(self):
+        original = span(rid=7, kind="service_end", cycle=12)
+        record = original.as_dict()
+        assert "attrs" not in record
+        assert Span.from_dict(record) == original
+
+    def test_wire_key_is_client_not_client_id(self):
+        assert span().as_dict()["client"] == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            span(kind="teleport")
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            span(cycle=-1)
+
+    @pytest.mark.parametrize("missing", ["rid", "client", "site", "kind", "cycle"])
+    def test_from_dict_missing_field(self, missing):
+        record = span(cycle=5).as_dict()
+        del record[missing]
+        with pytest.raises(ConfigurationError, match=missing):
+            Span.from_dict(record)
+
+    def test_from_dict_rejects_bool_as_int(self):
+        # bool is an int subclass; the schema must still reject it
+        record = span().as_dict()
+        record["cycle"] = True
+        with pytest.raises(ConfigurationError):
+            Span.from_dict(record)
+
+    def test_from_dict_rejects_wrong_types(self):
+        record = span().as_dict()
+        record["site"] = 9
+        with pytest.raises(ConfigurationError):
+            Span.from_dict(record)
+
+    def test_every_declared_kind_constructs(self):
+        for kind in SPAN_KINDS:
+            assert span(kind=kind).kind == kind
+
+
+class TestTraceRecorder:
+    def test_records_in_emission_order(self):
+        recorder = TraceRecorder(capacity=8)
+        for cycle in range(5):
+            recorder.record(span(rid=1, cycle=cycle))
+        assert [s.cycle for s in recorder.spans()] == list(range(5))
+        assert recorder.emitted == 5
+        assert recorder.dropped == 0
+
+    def test_ring_keeps_newest_and_counts_dropped(self):
+        recorder = TraceRecorder(capacity=4)
+        for cycle in range(10):
+            recorder.record(span(rid=1, cycle=cycle))
+        assert len(recorder) == 4
+        assert recorder.dropped == 6
+        assert [s.cycle for s in recorder.spans()] == [6, 7, 8, 9]
+
+    def test_per_request_filter_and_first_seen_order(self):
+        recorder = TraceRecorder()
+        for rid in (3, 1, 3, 2, 1):
+            recorder.record(span(rid=rid, cycle=rid))
+        assert [s.rid for s in recorder.spans(rid=3)] == [3, 3]
+        assert recorder.request_ids() == [3, 1, 2]
+
+    def test_clear_resets_counters(self):
+        recorder = TraceRecorder(capacity=2)
+        for cycle in range(5):
+            recorder.record(span(cycle=cycle))
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.emitted == 0
+        assert recorder.dropped == 0
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(capacity=0)
+
+
+class TestJsonlExport:
+    def _recorder(self):
+        recorder = TraceRecorder()
+        recorder.record(span(rid=1, kind="inject", cycle=0, site="client:1"))
+        recorder.record(span(rid=1, kind="enqueue", cycle=0, attrs={"port": 2}))
+        recorder.record(span(rid=2, kind="inject", cycle=1, site="client:2"))
+        recorder.record(span(rid=1, kind="arbitration_win", cycle=4))
+        return recorder
+
+    def test_export_load_roundtrip(self, tmp_path):
+        recorder = self._recorder()
+        path = tmp_path / "spans.jsonl"
+        assert recorder.export_jsonl(path) == 4
+        assert load_spans_jsonl(path) == recorder.spans()
+
+    def test_validate_counts_valid_spans(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        self._recorder().export_jsonl(path)
+        assert validate_spans_jsonl(path) == 4
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        self._recorder().export_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert validate_spans_jsonl(path) == 4
+
+    def test_malformed_json_names_the_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        self._recorder().export_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ConfigurationError, match=r":5"):
+            validate_spans_jsonl(path)
+
+    def test_unknown_kind_rejected_on_validate(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        record = span().as_dict()
+        record["kind"] = "warp"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ConfigurationError, match="warp"):
+            validate_spans_jsonl(path)
+
+    def test_time_travel_rejected(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        lines = [
+            json.dumps(span(rid=9, cycle=10).as_dict()),
+            json.dumps(span(rid=9, kind="arbitration_win", cycle=4).as_dict()),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="goes back in time"):
+            validate_spans_jsonl(path)
+
+    def test_interleaved_requests_each_monotone_passes(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        lines = [
+            json.dumps(span(rid=1, cycle=5).as_dict()),
+            json.dumps(span(rid=2, cycle=0).as_dict()),
+            json.dumps(span(rid=1, kind="arbitration_win", cycle=6).as_dict()),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert validate_spans_jsonl(path) == 3
+
+
+def test_spans_by_request_groups_in_order():
+    spans = [span(rid=2, cycle=0), span(rid=1, cycle=1), span(rid=2, cycle=3)]
+    grouped = spans_by_request(spans)
+    assert list(grouped) == [2, 1]
+    assert [s.cycle for s in grouped[2]] == [0, 3]

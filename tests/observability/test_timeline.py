@@ -1,0 +1,119 @@
+"""Unit tests for per-request timeline reconstruction and rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.spans import Span
+from repro.observability.timeline import (
+    build_timeline,
+    format_timeline,
+    worst_blocking_rid,
+)
+
+
+def _journey(rid=5, client=1):
+    """A complete inject-to-deliver span stream for one request."""
+    mk = lambda site, kind, cycle, attrs=None: Span(
+        rid=rid, client_id=client, site=site, kind=kind, cycle=cycle, attrs=attrs
+    )
+    return [
+        mk(f"client:{client}", "inject", 2, {"release": 0}),
+        mk("se:1:0", "enqueue", 2, {"port": 1, "occupancy": 3}),
+        mk("se:1:0", "arbitration_win", 8, {"port": 1}),
+        mk("se:0:0", "enqueue", 8, {"port": 0, "occupancy": 1}),
+        mk("se:0:0", "arbitration_win", 9, {"port": 0}),
+        mk("mc", "enqueue", 10, {"occupancy": 2}),
+        mk("mc", "service_start", 14, {"cost": 3}),
+        mk("mc", "service_end", 17),
+        mk("response-path", "response_enqueue", 17, {"deliver_at": 20}),
+        mk(f"client:{client}", "deliver", 20, {"blocking": 4}),
+    ]
+
+
+class TestBuildTimeline:
+    def test_unknown_rid_rejected(self):
+        with pytest.raises(ConfigurationError, match="request 99"):
+            build_timeline(_journey(), 99)
+
+    def test_filters_to_one_request(self):
+        spans = _journey(rid=5) + _journey(rid=6)
+        timeline = build_timeline(spans, 5)
+        assert timeline.rid == 5
+        assert all(s.rid == 5 for s in timeline.spans)
+
+    def test_endpoints_and_latency(self):
+        timeline = build_timeline(_journey(), 5)
+        assert timeline.inject_cycle == 2
+        assert timeline.deliver_cycle == 20
+        assert timeline.latency == 18
+        assert timeline.complete
+
+    def test_partial_trace_has_no_latency(self):
+        spans = [s for s in _journey() if s.kind != "inject"]
+        timeline = build_timeline(spans, 5)
+        assert timeline.inject_cycle is None
+        assert timeline.latency is None
+        assert not timeline.complete
+
+    def test_out_of_order_stream_is_sorted_stably(self):
+        spans = list(reversed(_journey()))
+        timeline = build_timeline(spans, 5)
+        assert [s.cycle for s in timeline.spans] == sorted(
+            s.cycle for s in spans
+        )
+
+
+class TestHops:
+    def test_hop_waits_per_site(self):
+        hops = build_timeline(_journey(), 5).hops()
+        assert [(h.site, h.wait_cycles) for h in hops] == [
+            ("se:1:0", 6),
+            ("se:0:0", 1),
+            ("mc", 4),
+        ]
+
+    def test_ungranted_hop_reports_none(self):
+        spans = [
+            s
+            for s in _journey()
+            if not (s.site == "mc" and s.kind == "service_start")
+        ]
+        hops = build_timeline(spans, 5).hops()
+        mc = [h for h in hops if h.site == "mc"][0]
+        assert mc.grant_cycle is None
+        assert mc.wait_cycles is None
+
+
+class TestFormatTimeline:
+    def test_render_contains_header_events_and_waits(self):
+        rendered = format_timeline(build_timeline(_journey(), 5))
+        assert "request 5 (client 1)" in rendered
+        assert "latency 18 cycles" in rendered
+        assert "service_start" in rendered
+        assert "hop waits:" in rendered
+        assert "se:1:0" in rendered
+
+    def test_partial_trace_is_flagged(self):
+        spans = [s for s in _journey() if s.kind != "inject"]
+        rendered = format_timeline(build_timeline(spans, 5))
+        assert "partial trace" in rendered
+
+
+class TestWorstBlockingRid:
+    def test_picks_max_blocking_deliver(self):
+        spans = _journey(rid=1) + _journey(rid=2)
+        spans.append(
+            Span(
+                rid=2,
+                client_id=0,
+                site="client:0",
+                kind="deliver",
+                cycle=50,
+                attrs={"blocking": 99},
+            )
+        )
+        assert worst_blocking_rid(spans) == 2
+
+    def test_none_without_deliver_spans(self):
+        spans = [s for s in _journey() if s.kind != "deliver"]
+        assert worst_blocking_rid(spans) is None

@@ -1,0 +1,178 @@
+"""Unit tests for the opt-in tracer: attach/sampling, span fan-in, metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.request import reset_request_ids
+from repro.observability.tracer import (
+    ObservabilityConfig,
+    TraceContext,
+    Tracer,
+    make_tracer,
+)
+from tests.conftest import make_request
+
+
+class TestMakeTracer:
+    def test_off_values_mean_no_tracer(self):
+        assert make_tracer(None) is None
+        assert make_tracer(False) is None
+
+    def test_true_builds_default_tracer(self):
+        tracer = make_tracer(True)
+        assert isinstance(tracer, Tracer)
+        assert tracer.config == ObservabilityConfig()
+
+    def test_config_and_tracer_pass_through(self):
+        config = ObservabilityConfig(ring_capacity=8, sample_every=2)
+        tracer = make_tracer(config)
+        assert tracer.config is config
+        assert make_tracer(tracer) is tracer
+
+    def test_junk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tracer("yes please")
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ObservabilityConfig(sample_every=0)
+
+
+class TestAttachAndSampling:
+    def test_attach_every_request_by_default(self):
+        tracer = Tracer()
+        requests = [make_request(deadline=100) for _ in range(4)]
+        assert all(tracer.attach(r) is not None for r in requests)
+
+    def test_sampling_by_request_id(self):
+        reset_request_ids()
+        tracer = Tracer(ObservabilityConfig(sample_every=3))
+        requests = [make_request(deadline=100) for _ in range(9)]
+        traced = [tracer.attach(r) is not None for r in requests]
+        assert traced == [True, False, False] * 3
+
+    def test_sampling_is_stateless_across_retries(self):
+        # a refused injection retries attach(); the sampling decision is
+        # a pure function of the rid, so retries cannot skew it
+        reset_request_ids()
+        tracer = Tracer(ObservabilityConfig(sample_every=2))
+        sampled = make_request(deadline=100)  # rid 0
+        unsampled = make_request(deadline=100)  # rid 1
+        third = make_request(deadline=100)  # rid 2
+        ctx = tracer.attach(sampled)
+        assert tracer.attach(sampled) is ctx
+        for _ in range(3):  # refused offers retry attach every cycle
+            assert tracer.attach(unsampled) is None
+        assert tracer.attach(third) is not None
+
+
+class TestWrapInject:
+    def test_inject_span_lands_on_acceptance_cycle(self):
+        tracer = Tracer()
+        outcomes = iter([False, False, True])
+        inject = tracer.wrap_inject(lambda request, cycle: next(outcomes))
+        request = make_request(client_id=3, deadline=100)
+        assert not inject(request, 5)
+        assert not inject(request, 6)
+        assert inject(request, 7)
+        spans = tracer.recorder.spans()
+        assert len(spans) == 1
+        assert spans[0].kind == "inject"
+        assert spans[0].site == "client:3"
+        assert spans[0].cycle == 7
+        assert spans[0].attrs == {"release": request.release_cycle}
+
+    def test_unsampled_requests_pass_through_untraced(self):
+        reset_request_ids()
+        tracer = Tracer(ObservabilityConfig(sample_every=2))
+        inject = tracer.wrap_inject(lambda request, cycle: True)
+        first = make_request(deadline=100)  # rid 0: sampled
+        second = make_request(deadline=100)  # rid 1: not
+        assert inject(first, 0) and inject(second, 0)
+        assert first.trace_ctx is not None
+        assert second.trace_ctx is None
+        assert len(tracer.recorder.spans()) == 1
+
+
+class TestEmissionFanIn:
+    def test_enqueue_then_grant_attributes_wait(self):
+        tracer = Tracer()
+        request = make_request(deadline=100)
+        ctx = tracer.attach(request)
+        ctx.emit("se:1:0", "enqueue", 10, {"port": 2, "occupancy": 5})
+        ctx.emit("se:1:0", "arbitration_win", 17, {"port": 2})
+        registry = tracer.registry
+        assert registry.histogram("site/se:1:0/wait").samples == [7.0]
+        assert registry.histogram("site/se:1:0/occupancy").samples == [5.0]
+
+    def test_service_start_also_closes_enqueue(self):
+        tracer = Tracer()
+        ctx = tracer.attach(make_request(deadline=100))
+        ctx.emit("mc", "enqueue", 4, {"occupancy": 1})
+        ctx.emit("mc", "service_start", 9)
+        assert tracer.registry.histogram("site/mc/wait").samples == [5.0]
+
+    def test_grant_without_enqueue_is_tolerated(self):
+        # ring eviction or sampling can orphan a grant; no metric emitted
+        tracer = Tracer()
+        ctx = tracer.attach(make_request(deadline=100))
+        ctx.emit("se:0:0", "arbitration_win", 3)
+        assert "site/se:0:0/wait" not in tracer.registry.histograms
+
+    def test_collect_metrics_off_still_records_spans(self):
+        tracer = Tracer(ObservabilityConfig(collect_metrics=False))
+        ctx = tracer.attach(make_request(deadline=100))
+        ctx.emit("mc", "enqueue", 0, {"occupancy": 1})
+        ctx.emit("mc", "service_start", 2)
+        assert len(tracer.recorder.spans()) == 2
+        assert not tracer.registry.histograms
+        assert not tracer.registry.counters
+
+
+class TestCompletionAndTrialEnd:
+    def test_on_completion_emits_deliver_and_metrics(self):
+        tracer = Tracer()
+        request = make_request(client_id=2, deadline=100)
+        request.blocking_cycles = 6
+        tracer.attach(request)
+        request.mark_complete(40)
+        tracer.on_completion(request, 40)
+        deliver = tracer.recorder.spans()[-1]
+        assert deliver.kind == "deliver"
+        assert deliver.site == "client:2"
+        assert deliver.attrs == {"blocking": 6}
+        registry = tracer.registry
+        assert registry.counter("requests/traced").value == 1
+        assert registry.histogram("client/2/latency").samples == [40.0]
+        assert registry.histogram("client/2/blocking").samples == [6.0]
+
+    def test_on_completion_ignores_untraced_requests(self):
+        tracer = Tracer()
+        request = make_request(deadline=100)
+        request.mark_complete(10)
+        tracer.on_completion(request, 10)
+        assert tracer.recorder.emitted == 0
+
+    def test_controller_stats_fold_in_reorders(self):
+        class FakeController:
+            reorder_count = 11
+
+        tracer = Tracer()
+        tracer.record_controller_stats(FakeController())
+        assert tracer.registry.counter("controller/reorder_total").value == 11
+        tracer.record_controller_stats(object())  # no counter attr: no-op
+        assert tracer.registry.counter("controller/reorder_total").value == 11
+
+    def test_summary_scalars_report_ring_health(self):
+        tracer = Tracer(ObservabilityConfig(ring_capacity=2))
+        ctx = tracer.attach(make_request(deadline=100))
+        for cycle in range(5):
+            ctx.emit("mc", "enqueue", cycle)
+        scalars = tracer.summary_scalars(prefix="obs/")
+        assert scalars["obs/spans_emitted"] == 5.0
+        assert scalars["obs/spans_dropped"] == 3.0
+
+
+def test_trace_context_is_slotted():
+    """The per-request handle must stay allocation-light."""
+    assert not hasattr(TraceContext(0, 0, Tracer()), "__dict__")
