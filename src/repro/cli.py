@@ -18,6 +18,10 @@ Examples::
     python -m repro dram
     python -m repro update-latency
     python -m repro trace --figure fig6 --trial 2 --export spans.jsonl
+    python -m repro faults --trials 5 --workers 2
+
+``--seed S`` is accepted by every subcommand (the analytical ones
+ignore it) and pins the base seed of simulation-backed experiments.
 """
 
 from __future__ import annotations
@@ -50,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print trial progress/timing to stderr",
     )
+    common.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="override the experiment's base seed (simulation-backed "
+        "subcommands; ignored by the purely analytical ones)",
+    )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     sub.add_parser(
@@ -69,9 +81,6 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--clients", type=int, default=16, choices=(16, 64))
     fig6.add_argument("--trials", type=int, default=5)
     fig6.add_argument("--horizon", type=int, default=20_000)
-    fig6.add_argument(
-        "--seed", type=int, default=None, help="override the config seed"
-    )
 
     fig7 = sub.add_parser(
         "fig7", help="Fig. 7: automotive case study", parents=[common]
@@ -79,8 +88,34 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--processors", type=int, default=16, choices=(16, 64))
     fig7.add_argument("--trials", type=int, default=4)
     fig7.add_argument("--horizon", type=int, default=15_000)
-    fig7.add_argument(
-        "--seed", type=int, default=None, help="override the config seed"
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: temporal isolation under a "
+        "rogue client, checked against the analytical bounds",
+        parents=[common],
+    )
+    faults.add_argument("--clients", type=int, default=8)
+    faults.add_argument("--trials", type=int, default=5)
+    faults.add_argument("--horizon", type=int, default=4_000)
+    faults.add_argument(
+        "--aggressor",
+        type=int,
+        default=0,
+        metavar="ID",
+        help="client turned rogue (default: 0)",
+    )
+    faults.add_argument(
+        "--burst-size",
+        type=int,
+        default=24,
+        help="rogue transactions per burst (default: 24)",
+    )
+    faults.add_argument(
+        "--burst-every",
+        type=int,
+        default=60,
+        help="cycles between rogue bursts (default: 60)",
     )
 
     ablation = sub.add_parser(
@@ -167,9 +202,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--horizon", type=int, default=5_000)
     trace.add_argument(
-        "--seed", type=int, default=None, help="override the config seed"
-    )
-    trace.add_argument(
         "--export",
         metavar="PATH",
         help="also export the full span stream as JSONL (schema-validated)",
@@ -184,6 +216,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     executor = make_executor(args.workers)
     hooks = ProgressPrinter() if args.progress else None
+    failed = False
     if args.experiment == "table1":
         from repro.experiments.table1 import format_table1, run_table1
 
@@ -216,16 +249,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             kwargs["seed"] = args.seed
         result = run_fig7(Fig7Config(**kwargs), executor=executor, hooks=hooks)
         print(format_fig7(result))
+    elif args.experiment == "faults":
+        from repro.experiments.isolation import (
+            IsolationConfig,
+            format_isolation,
+            run_isolation,
+        )
+
+        kwargs = dict(
+            n_clients=args.clients,
+            trials=args.trials,
+            horizon=args.horizon,
+            aggressor=args.aggressor,
+            burst_size=args.burst_size,
+            burst_every=args.burst_every,
+        )
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = run_isolation(
+            IsolationConfig(**kwargs), executor=executor, hooks=hooks
+        )
+        print(format_isolation(result))
+        failed = result.total_bound_violations > 0
     elif args.experiment == "ablation":
         from repro.experiments.ablation import run_ablation
         from repro.experiments.reporting import format_table
 
+        seed_kwargs = {}
+        if args.seed is not None:
+            seed_kwargs["seeds"] = (args.seed,)
         if args.quick:
             result = run_ablation(
-                seeds=(1,), horizon=5_000, executor=executor, hooks=hooks
+                seeds=(args.seed if args.seed is not None else 1,),
+                horizon=5_000,
+                executor=executor,
+                hooks=hooks,
             )
         else:
-            result = run_ablation(executor=executor, hooks=hooks)
+            result = run_ablation(executor=executor, hooks=hooks, **seed_kwargs)
         rows = [
             [
                 p.variant,
@@ -248,12 +309,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             run_dram_sensitivity,
         )
 
+        seed_kwargs = {}
+        if args.seed is not None:
+            seed_kwargs["seeds"] = (args.seed,)
         if args.quick:
             result = run_dram_sensitivity(
-                seeds=(1,), horizon=5_000, executor=executor, hooks=hooks
+                seeds=(args.seed if args.seed is not None else 1,),
+                horizon=5_000,
+                executor=executor,
+                hooks=hooks,
             )
         else:
-            result = run_dram_sensitivity(executor=executor, hooks=hooks)
+            result = run_dram_sensitivity(
+                executor=executor, hooks=hooks, **seed_kwargs
+            )
         print(format_dram_sensitivity(result))
     elif args.experiment == "update-latency":
         from repro.experiments.update_latency import (
@@ -274,18 +343,27 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         counts = tuple(c for c in (4, 16, 64, 256) if c <= args.max_clients)
         result = run_scalability_sweep(
-            counts, seeds=(1,), executor=executor, hooks=hooks
+            counts,
+            seeds=(args.seed if args.seed is not None else 1,),
+            executor=executor,
+            hooks=hooks,
         )
         print(format_scalability(result))
     elif args.experiment == "fairness":
         from repro.experiments.fairness import format_fairness, run_fairness
 
+        seed_kwargs = {}
+        if args.seed is not None:
+            seed_kwargs["seeds"] = (args.seed,)
         if args.quick:
             result = run_fairness(
-                seeds=(1,), horizon=8_000, executor=executor, hooks=hooks
+                seeds=(args.seed if args.seed is not None else 1,),
+                horizon=8_000,
+                executor=executor,
+                hooks=hooks,
             )
         else:
-            result = run_fairness(executor=executor, hooks=hooks)
+            result = run_fairness(executor=executor, hooks=hooks, **seed_kwargs)
         print(format_fairness(result))
     elif args.experiment == "trace":
         from repro.observability import (
@@ -382,7 +460,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         path = save_json(result, args.output, label=args.experiment)
         print(f"\nresult saved to {path}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -114,6 +114,11 @@ class TrafficGenerator:
         self.released_jobs = 0
         self.released_requests = 0
         self.dropped_requests = 0
+        # Per-task worst observed response and worst blocking, updated
+        # on every completion — the isolation harness compares these
+        # against the analytical bounds (repro.faults.verify).
+        self.max_response_by_task: dict[str, int] = {}
+        self.max_blocking = 0
 
     def _queue_key(self, request: MemoryRequest, task) -> tuple[int, int]:  # noqa: ANN001
         """Pending-queue ordering key under the configured policy."""
@@ -238,9 +243,63 @@ class TrafficGenerator:
         for entry in skipped:
             heapq.heappush(self._pending, entry)
 
+    # -- fault hook ------------------------------------------------------------
+    def inject_rogue_burst(
+        self,
+        cycle: int,
+        count: int,
+        deadline_slack: int,
+        task_name: str = "!rogue",
+    ) -> int:
+        """Misbehave: release ``count`` contract-violating transactions.
+
+        The fault orchestrator's rogue-client model — transactions
+        beyond the declared task set, released straight into the
+        pending queue with a tight absolute deadline (``cycle +
+        deadline_slack``).  They carry no :class:`JobRecord`, so the
+        client's monitored job statistics keep describing its *declared*
+        workload; ``released_requests`` does count them (conservation).
+        Overflowing transactions are dropped like any other release.
+        Returns the number actually queued.
+        """
+        if count < 1:
+            raise ConfigurationError(f"burst count must be >= 1, got {count}")
+        if deadline_slack < 1:
+            raise ConfigurationError(
+                f"deadline slack must be >= 1, got {deadline_slack}"
+            )
+        injected = 0
+        base = self.address_base + (0xF << 20)
+        for index in range(count):
+            request = MemoryRequest(
+                client_id=self.client_id,
+                release_cycle=cycle,
+                absolute_deadline=cycle + deadline_slack,
+                address=base + index * self.BURST_STRIDE,
+                task_name=task_name,
+            )
+            self.released_requests += 1
+            if len(self._pending) >= self.pending_capacity:
+                self.dropped_requests += 1
+                continue
+            if self.queue_policy == "edf":
+                key = request.priority_key
+            elif self.queue_policy == "fifo":
+                key = (request.release_cycle, request.rid)
+            else:  # rm: a contract violator masquerades as the hottest task
+                key = (1, request.rid)
+            heapq.heappush(self._pending, (key, request))
+            injected += 1
+        return injected
+
     # -- completion ------------------------------------------------------------
     def on_response(self, request: MemoryRequest) -> None:
         """Account a completed transaction against its job."""
+        response = request.response_time
+        if response > self.max_response_by_task.get(request.task_name, -1):
+            self.max_response_by_task[request.task_name] = response
+        if request.blocking_cycles > self.max_blocking:
+            self.max_blocking = request.blocking_cycles
         job = self._job_of_request.pop(request.rid, None)
         if job is None:
             return

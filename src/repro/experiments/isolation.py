@@ -1,0 +1,375 @@
+"""Experiment FI — temporal isolation under a misbehaving client.
+
+The fault-injection companion to Fig. 6: every design faces the *same*
+workload twice — once fault-free, once with client 0 turned rogue
+(periodic bursts of tight-deadline transactions far beyond its declared
+task set, via :meth:`repro.faults.plan.FaultPlan.rogue_client`) — and
+the question is what happens to everyone *else*.  Reported per design:
+
+* the victims' deadline-miss ratio without and with the aggressor
+  (aggressor jobs are excluded from both, so the aggressor's
+  self-inflicted misses never count);
+* an **isolation score** ``1 - max(0, miss_fault - miss_base)`` —
+  1.0 means the aggressor could not move the victims at all;
+* for BlueScale, the victims' observed worst responses checked against
+  the fault-oblivious analytical bounds of
+  :mod:`repro.analysis.response_time` (``bound_violations`` must be 0
+  for the paper's compositional claim to survive the fault campaign).
+
+The workload is drawn at *low* utilization (default 40–55%) so that
+fault-free runs are comfortably schedulable everywhere: any victim
+degradation in the faulted run is then attributable to the aggressor,
+not to overload.  Structured as the standard runtime triple
+(:func:`build_isolation_specs` / :func:`run_isolation_trial` /
+:func:`reduce_isolation`).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.errors import ConfigurationError
+from repro.experiments.factory import (
+    DEFAULT_FACTORY_CONFIG,
+    FactoryConfig,
+    build_interconnect,
+)
+from repro.experiments.reporting import format_table
+from repro.faults.plan import FaultPlan
+from repro.faults.verify import verify_isolation, victim_miss_ratio
+from repro.runtime import (
+    Executor,
+    ExecutionHooks,
+    MetricSet,
+    SerialExecutor,
+    TrialOutcome,
+    TrialSpec,
+    derive_seeds,
+)
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+
+#: designs compared by default — one per arbitration family, kept small
+#: so the CI campaign stays fast; pass the full Fig. 6 tuple for papers
+ISOLATION_INTERCONNECTS = (
+    "AXI-IC^RT",
+    "BlueTree",
+    "GSMTree-TDM",
+    "BlueScale",
+)
+
+
+@dataclass(frozen=True)
+class IsolationConfig:
+    """Scale and aggressor model of the isolation campaign."""
+
+    n_clients: int = 8
+    trials: int = 5
+    horizon: int = 4_000
+    drain: int = 2_000
+    #: deliberately below Fig. 6's 70–90%: fault-free runs must be
+    #: schedulable so victim degradation is attributable to the fault
+    utilization_low: float = 0.40
+    utilization_high: float = 0.55
+    tasks_per_client: int = 3
+    period_min: int = 100
+    period_max: int = 1_500
+    #: the rogue client and its burst model (see FaultPlan.rogue_client)
+    aggressor: int = 0
+    rogue_start: int = 400
+    burst_size: int = 24
+    burst_every: int = 60
+    burst_deadline_slack: int = 16
+    seed: int = 2022
+    factory: FactoryConfig = DEFAULT_FACTORY_CONFIG
+    fast_path: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization_low <= self.utilization_high:
+            raise ConfigurationError("invalid utilization range")
+        if self.trials < 1 or self.horizon < 1:
+            raise ConfigurationError("trials and horizon must be positive")
+        if not 0 <= self.aggressor < self.n_clients:
+            raise ConfigurationError(
+                f"aggressor {self.aggressor} not among {self.n_clients} clients"
+            )
+        if self.rogue_start >= self.horizon:
+            raise ConfigurationError("rogue window starts beyond the horizon")
+
+    def fault_plan(self) -> FaultPlan:
+        """The aggressor's misbehaviour for one trial."""
+        return FaultPlan.rogue_client(
+            self.aggressor,
+            self.rogue_start,
+            self.horizon,
+            burst_size=self.burst_size,
+            burst_every=self.burst_every,
+            deadline_slack=self.burst_deadline_slack,
+        )
+
+
+def build_isolation_specs(
+    config: IsolationConfig = IsolationConfig(),
+    interconnects: tuple[str, ...] = ISOLATION_INTERCONNECTS,
+) -> list[TrialSpec]:
+    """One spec per trial; each trial runs every design twice."""
+    seeds = derive_seeds(
+        f"isolation/{config.seed}/{config.n_clients}", config.trials
+    )
+    return [
+        TrialSpec.make(
+            "isolation",
+            trial,
+            seed,
+            config=config,
+            interconnects=tuple(interconnects),
+        )
+        for trial, seed in enumerate(seeds)
+    ]
+
+
+def _simulate(
+    config: IsolationConfig,
+    spec: TrialSpec,
+    name: str,
+    tasksets,  # noqa: ANN001
+    faults: FaultPlan | None,
+):
+    """One run; returns (clients, interconnect, result)."""
+    interconnect = build_interconnect(
+        name, config.n_clients, tasksets, config.factory
+    )
+    clients = [
+        TrafficGenerator(
+            client_id,
+            taskset,
+            rng=random.Random(spec.client_seed(client_id)),
+        )
+        for client_id, taskset in tasksets.items()
+    ]
+    simulation = SoCSimulation(
+        clients, interconnect, fast_path=config.fast_path, faults=faults
+    )
+    result = simulation.run(config.horizon, drain=config.drain)
+    return clients, interconnect, result
+
+
+def run_isolation_trial(spec: TrialSpec) -> MetricSet:
+    """Baseline + faulted run of one workload draw, per design."""
+    config: IsolationConfig = spec.param("config")
+    interconnects: tuple[str, ...] = spec.param("interconnects")
+    trial_rng = random.Random(spec.seed)
+    utilization = trial_rng.uniform(
+        config.utilization_low, config.utilization_high
+    )
+    tasksets = generate_client_tasksets(
+        trial_rng,
+        config.n_clients,
+        config.tasks_per_client,
+        utilization,
+        period_min=config.period_min,
+        period_max=config.period_max,
+    )
+    victims = set(range(config.n_clients)) - {config.aggressor}
+    plan = config.fault_plan()
+    scalars: dict[str, float] = {}
+    tags = {"experiment": "isolation", "trial": str(spec.index)}
+    for name in interconnects:
+        base_clients, _, base_result = _simulate(
+            config, spec, name, tasksets, None
+        )
+        fault_clients, fault_ic, fault_result = _simulate(
+            config, spec, name, tasksets, plan
+        )
+        miss_base = victim_miss_ratio(base_clients, config.horizon, victims)
+        miss_fault = victim_miss_ratio(fault_clients, config.horizon, victims)
+        scalars[f"{name}/victim_miss_base"] = miss_base
+        scalars[f"{name}/victim_miss_fault"] = miss_fault
+        scalars[f"{name}/isolation"] = 1.0 - max(0.0, miss_fault - miss_base)
+        scalars[f"{name}/rogue_requests"] = float(
+            fault_result.fault_counters.get("rogue_requests", 0)
+        )
+        composition = getattr(fault_ic, "composition", None)
+        if composition is not None:
+            # Only BlueScale carries an interface composition, hence
+            # analytical per-client bounds to hold the faulted run to.
+            verdict = verify_isolation(
+                fault_clients,
+                tasksets,
+                composition,
+                end_cycle=config.horizon,
+                victims=victims,
+            )
+            scalars[f"{name}/bounds_checked"] = float(verdict.bounds_checked)
+            scalars[f"{name}/bound_violations"] = float(
+                len(verdict.violations)
+            )
+            scalars[f"{name}/worst_victim_response"] = float(
+                verdict.worst_observed
+            )
+            scalars[f"{name}/tightest_bound"] = float(verdict.tightest_bound)
+            if verdict.violations:
+                tags[f"{name}/violation"] = verdict.violations[0].describe()
+    return MetricSet(scalars=scalars, tags=tags)
+
+
+@dataclass
+class DesignIsolation:
+    """Per-design isolation measurements across trials."""
+
+    name: str
+    miss_base: list[float] = field(default_factory=list)
+    miss_fault: list[float] = field(default_factory=list)
+    isolation_scores: list[float] = field(default_factory=list)
+    bound_violations: int = 0
+    bounds_checked_trials: int = 0
+
+    @property
+    def mean_miss_base(self) -> float:
+        return statistics.fmean(self.miss_base) if self.miss_base else 0.0
+
+    @property
+    def mean_miss_fault(self) -> float:
+        return statistics.fmean(self.miss_fault) if self.miss_fault else 0.0
+
+    @property
+    def mean_isolation(self) -> float:
+        if not self.isolation_scores:
+            return 1.0
+        return statistics.fmean(self.isolation_scores)
+
+    @property
+    def degraded(self) -> bool:
+        """Did the aggressor measurably hurt the victims?"""
+        return self.mean_miss_fault > self.mean_miss_base + 1e-9
+
+
+@dataclass
+class IsolationResult:
+    config: IsolationConfig
+    metrics: dict[str, DesignIsolation]
+    #: trials whose runner raised (captured by the executor, skipped here)
+    failed_trials: int = 0
+
+    @property
+    def total_bound_violations(self) -> int:
+        return sum(m.bound_violations for m in self.metrics.values())
+
+    def metric_set(self) -> MetricSet:
+        scalars: dict[str, float] = {}
+        for name, m in self.metrics.items():
+            scalars[f"{name}/victim_miss_base"] = m.mean_miss_base
+            scalars[f"{name}/victim_miss_fault"] = m.mean_miss_fault
+            scalars[f"{name}/isolation"] = m.mean_isolation
+        scalars["bound_violations"] = float(self.total_bound_violations)
+        return MetricSet(
+            scalars=scalars,
+            tags={
+                "experiment": "isolation",
+                "n_clients": str(self.config.n_clients),
+            },
+        )
+
+
+def reduce_isolation(
+    config: IsolationConfig,
+    interconnects: tuple[str, ...],
+    outcomes: list[TrialOutcome],
+) -> IsolationResult:
+    """Fold trial metric sets; failed trials are counted, not folded."""
+    metrics = {name: DesignIsolation(name) for name in interconnects}
+    failed = 0
+    for outcome in outcomes:
+        if outcome.failed:
+            failed += 1
+            continue
+        for name in interconnects:
+            m = metrics[name]
+            m.miss_base.append(outcome.metrics[f"{name}/victim_miss_base"])
+            m.miss_fault.append(outcome.metrics[f"{name}/victim_miss_fault"])
+            m.isolation_scores.append(outcome.metrics[f"{name}/isolation"])
+            if f"{name}/bounds_checked" in outcome.metrics:
+                m.bounds_checked_trials += int(
+                    outcome.metrics[f"{name}/bounds_checked"]
+                )
+                m.bound_violations += int(
+                    outcome.metrics[f"{name}/bound_violations"]
+                )
+    return IsolationResult(
+        config=config, metrics=metrics, failed_trials=failed
+    )
+
+
+def run_isolation(
+    config: IsolationConfig = IsolationConfig(),
+    interconnects: tuple[str, ...] = ISOLATION_INTERCONNECTS,
+    executor: Executor | None = None,
+    hooks: ExecutionHooks | None = None,
+) -> IsolationResult:
+    """Run the isolation campaign through any executor."""
+    executor = executor or SerialExecutor()
+    interconnects = tuple(interconnects)
+    specs = build_isolation_specs(config, interconnects)
+    outcomes = executor.map(run_isolation_trial, specs, hooks)
+    return reduce_isolation(config, interconnects, outcomes)
+
+
+def format_isolation(result: IsolationResult) -> str:
+    """Render the per-design isolation report."""
+    rows = []
+    for name, m in result.metrics.items():
+        checked = (
+            f"{m.bound_violations} in {m.bounds_checked_trials} trials"
+            if m.bounds_checked_trials
+            else "-"
+        )
+        rows.append(
+            [
+                name,
+                f"{100 * m.mean_miss_base:.2f}",
+                f"{100 * m.mean_miss_fault:.2f}",
+                f"{m.mean_isolation:.3f}",
+                checked,
+            ]
+        )
+    config = result.config
+    table = format_table(
+        [
+            "Interconnect",
+            "Victim miss, fault-free (%)",
+            "Victim miss, rogue client (%)",
+            "Isolation score",
+            "Bound violations",
+        ],
+        rows,
+        title=(
+            f"Isolation — {config.n_clients} clients, client "
+            f"{config.aggressor} rogue (bursts of {config.burst_size} every "
+            f"{config.burst_every} cycles), {config.trials} trials"
+        ),
+    )
+    lines = [table]
+    if result.failed_trials:
+        lines.append(f"WARNING: {result.failed_trials} trial(s) failed")
+    if result.total_bound_violations:
+        lines.append(
+            f"FAIL: {result.total_bound_violations} analytical-bound "
+            "violation(s) — temporal isolation does not hold"
+        )
+    else:
+        lines.append(
+            "All victim responses within fault-oblivious analytical bounds."
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run_isolation()
+    print(format_isolation(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -90,6 +90,8 @@ class MemoryController:
         self.refresh_duration = refresh_duration
         self._refresh_remaining = 0
         self.refresh_stall_cycles = 0
+        #: stall cycles injected through the fault hook (inject_stall)
+        self.fault_stall_cycles = 0
         self.reorder_cap = reorder_cap
         #: FR-FCFS picks that bypassed the oldest queued request
         self.reorder_count = 0
@@ -141,16 +143,34 @@ class MemoryController:
         self._head_bypasses = 0
         return self._queue.popleft()
 
+    # -- fault hook ---------------------------------------------------------
+    def inject_stall(self, cycles: int) -> None:
+        """Freeze the controller for ``cycles`` (refresh-storm model).
+
+        Extends the same stall window the refresh logic uses, so the
+        behaviour — in-flight service pauses, nothing new is picked up,
+        quiescence is vetoed for the duration — is identical to a
+        (fault-length) refresh.  Stacks with a pending refresh stall.
+        """
+        if cycles < 1:
+            raise ConfigurationError(f"stall must be >= 1 cycles, got {cycles}")
+        self._refresh_remaining += cycles
+        self.fault_stall_cycles += cycles
+
     # -- per-cycle ------------------------------------------------------------
     def tick(self, cycle: int) -> None:
-        # DRAM refresh: a periodic all-banks stall (tREFI / tRFC).
-        if self.refresh_interval:
-            if cycle > 0 and cycle % self.refresh_interval == 0:
-                self._refresh_remaining = self.refresh_duration
-            if self._refresh_remaining > 0:
-                self._refresh_remaining -= 1
-                self.refresh_stall_cycles += 1
-                return
+        # DRAM refresh: a periodic all-banks stall (tREFI / tRFC).  The
+        # stall countdown is shared with the fault hook above, so it is
+        # honoured even when refresh itself is disabled; max() keeps a
+        # refresh trigger from truncating an injected stall.
+        if self.refresh_interval and cycle > 0 and cycle % self.refresh_interval == 0:
+            self._refresh_remaining = max(
+                self._refresh_remaining, self.refresh_duration
+            )
+        if self._refresh_remaining > 0:
+            self._refresh_remaining -= 1
+            self.refresh_stall_cycles += 1
+            return
         if self._in_service is None and self._queue:
             request = self._pick_next()
             request.service_start_cycle = cycle

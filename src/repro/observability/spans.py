@@ -42,6 +42,9 @@ SPAN_KINDS = (
     "service_end",
     "response_enqueue",
     "deliver",
+    # out-of-band perturbation by the fault-injection subsystem
+    # (repro.faults); rid is -1 for events not tied to one request
+    "fault",
 )
 
 _KIND_SET = frozenset(SPAN_KINDS)

@@ -32,11 +32,17 @@ from repro.runtime.executor import (
     TrialOutcome,
     make_executor,
 )
-from repro.runtime.metrics import MetricSet, extract_metric_set
+from repro.runtime.metrics import (
+    FAILURE_METRIC,
+    MetricSet,
+    extract_metric_set,
+    failure_metric_set,
+)
 from repro.runtime.seeding import derive_seeds, seed_stream, spawn_rng
 from repro.runtime.spec import TrialSpec
 
 __all__ = [
+    "FAILURE_METRIC",
     "Executor",
     "ExecutionHooks",
     "MetricSet",
@@ -47,6 +53,7 @@ __all__ = [
     "TrialSpec",
     "derive_seeds",
     "extract_metric_set",
+    "failure_metric_set",
     "make_executor",
     "seed_stream",
     "spawn_rng",

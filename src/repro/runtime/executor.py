@@ -25,7 +25,7 @@ from functools import partial
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ConfigurationError
-from repro.runtime.metrics import MetricSet
+from repro.runtime.metrics import MetricSet, failure_metric_set
 from repro.runtime.spec import TrialSpec
 
 #: a per-trial runner: pure function of the spec
@@ -34,11 +34,23 @@ TrialRunner = Callable[[TrialSpec], MetricSet]
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """One executed trial: its spec, metrics, and worker wall-clock."""
+    """One executed trial: its spec, metrics, and worker wall-clock.
+
+    A trial whose runner raised still yields an outcome — ``error``
+    carries ``"ExcType: message"`` and ``metrics`` is the structured
+    failure record from :func:`repro.runtime.metrics.failure_metric_set`
+    — so a crashing trial occupies its slot in the (spec-ordered) result
+    list instead of aborting the whole campaign.
+    """
 
     spec: TrialSpec
     metrics: MetricSet
     seconds: float
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 class ExecutionHooks:
@@ -81,6 +93,12 @@ class ProgressPrinter(ExecutionHooks):
     def on_trial_done(
         self, outcome: TrialOutcome, done: int, total: int
     ) -> None:
+        if outcome.failed:
+            print(
+                f"[{outcome.spec.experiment}] trial {outcome.spec.index} "
+                f"FAILED: {outcome.error}",
+                file=self.stream,
+            )
         if done == total or done % max(1, total // 10) == 0:
             elapsed = time.perf_counter() - self._started
             print(
@@ -106,9 +124,24 @@ class Executor(Protocol):
 
 
 def _execute_one(runner: TrialRunner, spec: TrialSpec) -> TrialOutcome:
-    """Run one trial and time it; module-level so workers can pickle it."""
+    """Run one trial and time it; module-level so workers can pickle it.
+
+    A raising runner is captured *inside the worker* — the exception is
+    folded into a failure outcome rather than propagated, so one bad
+    trial cannot poison a parallel batch (and serial and parallel
+    executors degrade identically).  A runner returning the wrong type
+    is a programming error, not a trial failure, and still raises.
+    """
     started = time.perf_counter()
-    metrics = runner(spec)
+    try:
+        metrics = runner(spec)
+    except Exception as exc:  # noqa: BLE001 - the capture is the feature
+        return TrialOutcome(
+            spec=spec,
+            metrics=failure_metric_set(spec, exc),
+            seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
     if not isinstance(metrics, MetricSet):
         raise ConfigurationError(
             f"trial runner for {spec.experiment!r} returned "

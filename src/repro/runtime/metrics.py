@@ -69,6 +69,33 @@ class MetricSet:
         return {k: float(v) for k, v in self.scalars.items()}
 
 
+#: scalar present (== 1.0) in the metric set of a trial whose runner
+#: raised; reducers filter on it (or on ``TrialOutcome.failed``)
+FAILURE_METRIC = "trial/failed"
+
+
+def failure_metric_set(spec: Any, exc: BaseException) -> MetricSet:
+    """The structured failure record of a raising trial runner.
+
+    Campaign executors substitute this for the runner's result so one
+    crashing trial cannot abort a parallel batch: the outcome keeps its
+    slot (ordering and parallel ≡ serial are preserved) and carries the
+    exception type and message as tags for post-mortem triage.
+    """
+    message = str(exc) or type(exc).__name__
+    if len(message) > 500:
+        message = message[:500] + "..."
+    return MetricSet(
+        scalars={FAILURE_METRIC: 1.0},
+        tags={
+            "experiment": spec.experiment,
+            "trial": str(spec.index),
+            "error_type": type(exc).__name__,
+            "error": message,
+        },
+    )
+
+
 def extract_metric_set(result: Any) -> MetricSet:
     """Coerce an experiment result into a :class:`MetricSet`.
 

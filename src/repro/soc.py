@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 
 from repro.clients.traffic_generator import TrafficGenerator
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injectors import FaultOrchestrator, make_orchestrator
+from repro.faults.plan import FaultPlan
 from repro.interconnects.base import Interconnect
 from repro.memory.controller import ArbitrationPolicy, MemoryController
 from repro.memory.dram import FixedLatencyDevice
@@ -60,6 +62,9 @@ class TrialResult:
     cycles_skipped: int = 0
     #: sha256 over the completion stream; equal digests = equal traces
     trace_digest: str = ""
+    #: fault-injection ledger (empty when no orchestrator was attached);
+    #: see FaultOrchestrator.counters()
+    fault_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def deadline_miss_ratio(self) -> float:
@@ -119,6 +124,9 @@ class _ClientStage:
         self._inject = inject if inject is not None else interconnect.try_inject
         self._horizon = horizon
         self._clock = clock
+        self._index_of = {
+            client.client_id: index for index, client in enumerate(clients)
+        }
         # Clients outside the quiescence contract (e.g. trace replayers)
         # pin the stage non-quiescent until the horizon; leaps are still
         # possible during the drain, when clients no longer tick.
@@ -163,6 +171,21 @@ class _ClientStage:
             else:
                 wake[index] = cycle + 1
                 active.add(index)
+
+    def notify_external_activity(self, client_id: int) -> None:
+        """Invalidate a client's cached wake after out-of-band input.
+
+        The wake cache assumes a client's pending state only changes
+        inside its own tick; the fault orchestrator violates that by
+        pushing rogue traffic directly into a (possibly sleeping)
+        client's queue, so it must reset the cache or the burst would
+        sit unissued until the client's next declared release.
+        """
+        if not self._fast:
+            return
+        index = self._index_of.get(client_id)
+        if index is not None:
+            self._wake[index] = 0
 
     def is_quiescent(self) -> bool:
         # Past the horizon the stage never ticks a client again, so it
@@ -328,6 +351,7 @@ class SoCSimulation:
         fast_path: bool = True,
         accounting: CycleAccounting | None = None,
         observability: "bool | ObservabilityConfig | Tracer | None" = None,
+        faults: "FaultPlan | FaultOrchestrator | None" = None,
     ) -> None:
         if not clients:
             raise ConfigurationError("need at least one client")
@@ -358,6 +382,13 @@ class SoCSimulation:
         #: repro.observability — the tracer owns the span ring and the
         #: metrics registry for this trial.
         self.tracer = make_tracer(observability)
+        #: opt-in fault injection (None = off, zero overhead): a
+        #: FaultPlan (even an empty one) attaches a FaultOrchestrator
+        #: as an extra tick stage ahead of the clients — see
+        #: repro.faults.  An empty plan is observation-free: the
+        #: instrumented run is bit-for-bit identical to an
+        #: uninstrumented one (differential tests assert it).
+        self.faults = make_orchestrator(faults, tracer=self.tracer)
         #: engine counters from the last run() (see TrialResult)
         self.cycles_executed = 0
         self.cycles_skipped = 0
@@ -402,6 +433,13 @@ class SoCSimulation:
         inject = None
         if self.tracer is not None:
             inject = self.tracer.wrap_inject(self.interconnect.try_inject)
+        if self.faults is not None:
+            # The fault wrapper sits OUTSIDE the tracer's: perturbation
+            # happens at the port, before the fabric sees the request,
+            # while duplicated/re-injected requests still enter traced.
+            inject = self.faults.wrap_inject(
+                inject if inject is not None else self.interconnect.try_inject
+            )
         response_stage = _ResponseStage(
             self.interconnect,
             self._client_by_id,
@@ -409,17 +447,25 @@ class SoCSimulation:
             warmup,
             tracer=self.tracer,
         )
-        engine.register(
-            _ClientStage(
+        client_stage = _ClientStage(
+            self.clients,
+            self.interconnect,
+            horizon,
+            engine.clock,
+            fast_path=self.fast_path,
+            inject=inject,
+        )
+        if self.faults is not None:
+            self.faults.bind(
                 self.clients,
                 self.interconnect,
-                horizon,
-                engine.clock,
-                fast_path=self.fast_path,
-                inject=inject,
-            ),
-            name="clients",
-        )
+                self.controller,
+                client_stage=client_stage,
+            )
+            # First stage: a fault armed for cycle c perturbs that
+            # cycle's releases, arbitration and service.
+            engine.register(self.faults, name="faults")
+        engine.register(client_stage, name="clients")
         engine.register(
             _RequestPathStage(self.interconnect), name="request_path"
         )
@@ -439,6 +485,15 @@ class SoCSimulation:
     ) -> TrialResult:
         released = sum(client.released_requests for client in self.clients)
         dropped = sum(client.dropped_requests for client in self.clients)
+        fault_counters: dict[str, int] = {}
+        if self.faults is not None:
+            # The orchestrator's perturbations move requests between the
+            # ledger's columns: accepted duplicates were released by the
+            # fault (not a client), port drops vanished at the port, and
+            # delayed requests still in the hold queue are in flight.
+            fault_counters = self.faults.counters()
+            released += self.faults.requests_duplicated
+            dropped += self.faults.requests_dropped
         for _ in range(dropped):
             self.recorder.record_drop()
         in_flight = (
@@ -446,6 +501,7 @@ class SoCSimulation:
             + self.interconnect.responses_in_flight()
             + self.controller.in_flight
             + sum(client.pending_count for client in self.clients)
+            + (self.faults.requests_held if self.faults is not None else 0)
         )
         completed = response_stage.completed_total
         if completed + dropped + in_flight != released:
@@ -471,6 +527,7 @@ class SoCSimulation:
             cycles_executed=self.cycles_executed,
             cycles_skipped=self.cycles_skipped,
             trace_digest=response_stage.trace_digest,
+            fault_counters=fault_counters,
         )
 
 

@@ -126,3 +126,90 @@ class TestBudgetEnforcement:
         scheduler = scheduler_with([(10, 5)] * 4)
         scheduler.reprogram_port(2, ResourceInterface(3, 1), now=0)
         assert scheduler.servers[2].interface.period == 3
+
+
+class TestZeroBudgetBackgroundPath:
+    """Regression coverage for the background-server fallback.
+
+    A zero-budget interface (an idle VE) is a *background* server: it
+    must never displace a budgeted server that is ready, and it must
+    never starve when the budgeted servers leave the SE idle — the two
+    halves of the conservative-hardware-fallback contract in the module
+    docstring.
+    """
+
+    def test_background_never_preempts_ready_budgeted_server(self):
+        """Even with a far earlier request deadline, the background port
+        loses every cycle on which a budgeted server has budget."""
+        scheduler = scheduler_with([(1, 0), (4, 1), (1000, 1), (1000, 1)])
+        background = RandomAccessBuffer(capacity=64)
+        budgeted = RandomAccessBuffer(capacity=64)
+        for _ in range(40):
+            background.load(make_request(deadline=1))  # urgent
+            budgeted.load(make_request(deadline=10_000))  # relaxed
+        buffers = [background, budgeted] + buffers_with([], [])
+        for now in range(40):
+            port = scheduler.select_port(buffers)
+            assert port is not None
+            if scheduler.servers[1].has_budget:
+                assert port == 1, f"background preempted budget at {now}"
+            else:
+                assert port == 0
+            buffers[port].fetch_highest_priority()
+            scheduler.account_forward(port)
+            scheduler.tick(now)
+
+    def test_background_fills_budget_gaps_without_starving(self):
+        """With one (4, 1) budgeted port, the background port gets the
+        other 3 of every 4 cycles — bounded throughput for both."""
+        scheduler = scheduler_with([(1, 0), (4, 1), (1000, 1), (1000, 1)])
+        background = RandomAccessBuffer(capacity=64)
+        budgeted = RandomAccessBuffer(capacity=64)
+        for _ in range(64):
+            background.load(make_request(deadline=500))
+            budgeted.load(make_request(deadline=500))
+        buffers = [background, budgeted] + buffers_with([], [])
+        forwards = {0: 0, 1: 0}
+        for now in range(40):
+            port = scheduler.select_port(buffers)
+            assert port is not None
+            buffers[port].fetch_highest_priority()
+            scheduler.account_forward(port)
+            forwards[port] += 1
+            scheduler.tick(now)
+        assert forwards[1] == 10  # exactly its (4, 1) reservation
+        assert forwards[0] == 30  # every other cycle goes to background
+
+    def test_background_serves_when_tree_otherwise_idle(self):
+        """A lone background backlog drains one request per cycle."""
+        scheduler = scheduler_with([(1, 0), (10, 5), (10, 5), (10, 5)])
+        background = RandomAccessBuffer(capacity=64)
+        for _ in range(12):
+            background.load(make_request(deadline=900))
+        buffers = [background] + buffers_with([], [], [])
+        for now in range(12):
+            port = scheduler.select_port(buffers)
+            assert port == 0
+            buffers[0].fetch_highest_priority()
+            scheduler.account_forward(0)
+            scheduler.tick(now)
+        assert buffers[0].empty
+        assert scheduler.select_port(buffers) is None
+
+    def test_background_forward_leaves_budgeted_state_untouched(self):
+        """Serving background traffic spends no budget and moves no
+        server deadline on the budgeted ports."""
+        scheduler = scheduler_with([(1, 0), (8, 2), (8, 2), (8, 2)])
+        before = [
+            (s.deadline, s.counters.b_counter.value)
+            for s in scheduler.servers[1:]
+        ]
+        buffers = buffers_with([50], [], [], [])
+        assert scheduler.select_port(buffers) == 0
+        buffers[0].fetch_highest_priority()
+        scheduler.account_forward(0)
+        after = [
+            (s.deadline, s.counters.b_counter.value)
+            for s in scheduler.servers[1:]
+        ]
+        assert after == before

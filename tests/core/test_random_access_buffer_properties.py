@@ -1,0 +1,110 @@
+"""Property-based tests for the random access buffer (paper Sec. 4.1).
+
+Hypothesis drives randomized load/fetch sequences and checks the
+invariants the SE tree relies on: occupancy never exceeds capacity and
+``try_load`` succeeds iff there is room; the comparator tree is exact
+EDF with FIFO (request-id) tie-breaking among equal deadlines; and
+``is_quiescent`` is always the same statement as ``len(buffer) == 0``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.random_access_buffer import RandomAccessBuffer
+from repro.errors import CapacityError
+
+from tests.conftest import make_request
+
+#: a mixed workload: True = load (with a deadline), None = fetch
+operations = st.lists(
+    st.one_of(
+        st.integers(min_value=1, max_value=200),  # load with this deadline
+        st.none(),  # fetch
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+capacities = st.integers(min_value=1, max_value=12)
+
+
+@given(capacities, operations)
+@settings(max_examples=200)
+def test_capacity_and_try_load_invariants(capacity, ops):
+    """Occupancy stays within [0, capacity]; try_load accepts iff the
+    buffer reports a free slot, and refusals change nothing."""
+    buffer = RandomAccessBuffer(capacity)
+    loaded = 0
+    for op in ops:
+        if op is None:
+            if buffer.empty:
+                continue
+            before = len(buffer)
+            buffer.fetch_highest_priority()
+            assert len(buffer) == before - 1
+        else:
+            had_room = not buffer.full
+            before = len(buffer)
+            accepted = buffer.try_load(make_request(deadline=op))
+            assert accepted == had_room
+            assert len(buffer) == before + (1 if accepted else 0)
+            if accepted:
+                loaded += 1
+        assert 0 <= len(buffer) <= capacity
+        assert buffer.full == (len(buffer) == capacity)
+        assert buffer.empty == (len(buffer) == 0)
+    assert buffer.total_loaded == loaded
+    assert buffer.peak_occupancy <= capacity
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=24))
+@settings(max_examples=200)
+def test_fetch_order_is_edf_with_fifo_tie_break(deadlines):
+    """Draining the buffer yields (deadline, rid) sorted order: EDF,
+    and among equal deadlines the earlier-created request first."""
+    buffer = RandomAccessBuffer(capacity=len(deadlines))
+    requests = [make_request(deadline=d) for d in deadlines]
+    for request in requests:
+        buffer.load(request)
+    drained = [buffer.fetch_highest_priority() for _ in deadlines]
+    assert drained == sorted(
+        requests, key=lambda r: (r.absolute_deadline, r.rid)
+    )
+    # equal-deadline runs preserved arrival (rid) order
+    for earlier, later in zip(drained, drained[1:]):
+        if earlier.absolute_deadline == later.absolute_deadline:
+            assert earlier.rid < later.rid
+
+
+@given(capacities, operations)
+@settings(max_examples=200)
+def test_quiescence_tracks_len_exactly(capacity, ops):
+    """``is_quiescent`` must agree with ``__len__`` after every op —
+    the engine's fast path leaps on this equivalence."""
+    buffer = RandomAccessBuffer(capacity)
+    assert buffer.is_quiescent()
+    for op in ops:
+        if op is None:
+            if not buffer.empty:
+                buffer.fetch_highest_priority()
+        else:
+            buffer.try_load(make_request(deadline=op))
+        assert buffer.is_quiescent() == (len(buffer) == 0)
+        peeked = buffer.peek_highest_priority()
+        assert (peeked is None) == buffer.is_quiescent()
+        if peeked is not None:
+            assert buffer.earliest_deadline() == peeked.absolute_deadline
+
+
+@given(capacities)
+def test_empty_buffer_fetch_raises(capacity):
+    buffer = RandomAccessBuffer(capacity)
+    try:
+        buffer.fetch_highest_priority()
+    except CapacityError:
+        pass
+    else:  # pragma: no cover - failure branch
+        raise AssertionError("fetch from empty buffer must raise")
+    assert buffer.is_quiescent()

@@ -1,0 +1,245 @@
+"""FaultOrchestrator integration: determinism on both engine paths,
+inertness of the empty plan, conservation, and per-kind hook behaviour.
+
+The heavyweight guarantees here are the ISSUE acceptance criteria:
+
+* an instrumented run under ``FaultPlan.none()`` is **bit-for-bit**
+  identical (same completion-trace digest) to an uninstrumented run, on
+  both the quiescence fast path and the cycle-by-cycle path;
+* every seeded plan produces identical digests and fault counters on
+  the fast and slow paths (the orchestrator pins leaps across its
+  action cycles and port-fault windows).
+"""
+
+import random
+
+import pytest
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.errors import ConfigurationError
+from repro.experiments.factory import build_interconnect
+from repro.faults import FaultEvent, FaultKind, FaultPlan, make_orchestrator
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+
+HORIZON, DRAIN = 1_200, 700
+N_CLIENTS = 8
+
+# one design per arbitration code path: SE tree, mux tree, AXI switch
+DESIGNS = ("BlueScale", "GSMTree-TDM", "AXI-IC^RT")
+
+
+def run_design(name, faults, fast, workload_seed=7):
+    rng = random.Random(workload_seed)
+    tasksets = generate_client_tasksets(
+        rng, N_CLIENTS, 2, 0.6, period_min=100, period_max=900
+    )
+    interconnect = build_interconnect(name, N_CLIENTS, tasksets)
+    clients = [
+        TrafficGenerator(cid, ts, rng=random.Random(1_000 + cid))
+        for cid, ts in tasksets.items()
+    ]
+    simulation = SoCSimulation(
+        clients, interconnect, fast_path=fast, faults=faults
+    )
+    result = simulation.run(HORIZON, drain=DRAIN)
+    return simulation, result
+
+
+SEEDED_PLANS = {
+    "rogue": FaultPlan.rogue_client(0, 200, 900, burst_size=12, burst_every=100),
+    "drop": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.PORT_DROP,
+                cycle=200,
+                duration=400,
+                client_id=1,
+                ratio=0.5,
+                seed=3,
+            ),
+        )
+    ),
+    "duplicate": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.PORT_DUPLICATE,
+                cycle=300,
+                duration=300,
+                client_id=2,
+                ratio=0.4,
+                seed=5,
+            ),
+        )
+    ),
+    "delay": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.PORT_DELAY,
+                cycle=250,
+                duration=350,
+                client_id=3,
+                magnitude=9,
+                ratio=0.5,
+            ),
+        )
+    ),
+    "bit-flip": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.BUDGET_BIT_FLIP,
+                cycle=400,
+                node=(0, 0),
+                port=1,
+                bit=3,
+            ),
+        )
+    ),
+    "stall": FaultPlan(
+        (FaultEvent(kind=FaultKind.CONTROLLER_STALL, cycle=500, magnitude=40),)
+    ),
+    "mixed": FaultPlan.generate(
+        seed=11, horizon=HORIZON, n_clients=N_CLIENTS, events_per_kind=2
+    ),
+}
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_empty_plan_is_bit_for_bit_inert(name):
+    """Instrumented-with-nothing == uninstrumented, on both paths."""
+    digests = set()
+    for fast in (True, False):
+        _, bare = run_design(name, None, fast)
+        _, instrumented = run_design(name, FaultPlan.none(), fast)
+        assert instrumented.trace_digest == bare.trace_digest
+        assert instrumented.fault_counters["events_applied"] == 0
+        digests.add(bare.trace_digest)
+    assert len(digests) == 1  # fast == slow as well
+
+
+@pytest.mark.parametrize("label", sorted(SEEDED_PLANS))
+@pytest.mark.parametrize("name", DESIGNS)
+def test_fast_path_equals_slow_path_under_faults(name, label):
+    plan = SEEDED_PLANS[label]
+    _, fast = run_design(name, plan, True)
+    _, slow = run_design(name, plan, False)
+    assert fast.trace_digest == slow.trace_digest
+    assert fast.fault_counters == slow.fault_counters
+    assert fast.requests_released == slow.requests_released
+    assert fast.requests_dropped == slow.requests_dropped
+
+
+class TestConservation:
+    """Perturbed requests keep the conservation ledger balanced (run()
+    itself raises SimulationError on any imbalance, so these are also
+    regression anchors for the counter folding in _collect)."""
+
+    def test_drops_counted(self):
+        _, result = run_design("BlueScale", SEEDED_PLANS["drop"], True)
+        assert result.fault_counters["requests_dropped"] > 0
+        assert result.requests_dropped >= result.fault_counters["requests_dropped"]
+
+    def test_duplicates_add_released(self):
+        _, bare = run_design("BlueScale", None, True)
+        _, dup = run_design("BlueScale", SEEDED_PLANS["duplicate"], True)
+        extra = dup.fault_counters["requests_duplicated"]
+        assert extra > 0
+        assert dup.requests_released == bare.requests_released + extra
+
+    def test_delays_complete_eventually(self):
+        _, result = run_design("BlueScale", SEEDED_PLANS["delay"], True)
+        assert result.fault_counters["requests_delayed"] > 0
+        assert result.fault_counters["requests_held"] == 0  # all re-injected
+
+
+class TestPerKindHooks:
+    def test_rogue_burst_wakes_a_sleeping_client(self):
+        """A burst lands while the target client's pending queue is
+        empty (it would otherwise sleep past the injection on the fast
+        path); the extra transactions still flow and both paths agree."""
+        plan = FaultPlan.rogue_client(
+            5, 700, 800, burst_size=6, burst_every=200
+        )
+        sim_fast, fast = run_design("BlueScale", plan, True)
+        _, slow = run_design("BlueScale", plan, False)
+        assert fast.trace_digest == slow.trace_digest
+        assert fast.fault_counters["rogue_requests"] == 6
+        client = sim_fast.clients[5]
+        assert "!rogue" in client.max_response_by_task  # they completed
+
+    def test_controller_stall_freezes_service(self):
+        sim, result = run_design("BlueScale", SEEDED_PLANS["stall"], True)
+        assert result.fault_counters["stall_cycles"] == 40
+        assert sim.controller.fault_stall_cycles == 40
+        # stalling a loaded controller must cost throughput
+        _, bare = run_design("BlueScale", None, True)
+        assert result.trace_digest != bare.trace_digest
+
+    def test_bit_flip_reaches_the_scale_element(self):
+        sim, result = run_design("BlueScale", SEEDED_PLANS["bit-flip"], True)
+        assert result.fault_counters["bit_flips"] == 1
+        assert result.fault_counters["events_ignored"] == 0
+
+    @pytest.mark.parametrize("name", ("GSMTree-TDM", "AXI-IC^RT"))
+    def test_bit_flip_ignored_by_designs_without_scheduler(self, name):
+        _, result = run_design(name, SEEDED_PLANS["bit-flip"], True)
+        assert result.fault_counters["bit_flips"] == 0
+        assert result.fault_counters["events_ignored"] == 1
+        _, bare = run_design(name, None, True)
+        assert result.trace_digest == bare.trace_digest  # truly a no-op
+
+
+class TestObservability:
+    def test_fault_events_emit_spans_and_counters(self):
+        plan = SEEDED_PLANS["mixed"]
+        rng = random.Random(7)
+        tasksets = generate_client_tasksets(
+            rng, N_CLIENTS, 2, 0.6, period_min=100, period_max=900
+        )
+        interconnect = build_interconnect("BlueScale", N_CLIENTS, tasksets)
+        clients = [
+            TrafficGenerator(cid, ts, rng=random.Random(1_000 + cid))
+            for cid, ts in tasksets.items()
+        ]
+        simulation = SoCSimulation(
+            clients, interconnect, observability=True, faults=plan
+        )
+        simulation.run(HORIZON, drain=DRAIN)
+        spans = simulation.tracer.recorder.spans()
+        fault_spans = [s for s in spans if s.kind == "fault"]
+        assert fault_spans
+        assert {s.site.startswith("fault:") for s in fault_spans} == {True}
+        counters = simulation.tracer.registry.counters
+        assert any(k.startswith("faults/") for k in counters)
+
+    def test_tracing_does_not_perturb_a_faulted_run(self):
+        plan = SEEDED_PLANS["mixed"]
+        _, untraced = run_design("BlueScale", plan, True)
+        rng = random.Random(7)
+        tasksets = generate_client_tasksets(
+            rng, N_CLIENTS, 2, 0.6, period_min=100, period_max=900
+        )
+        interconnect = build_interconnect("BlueScale", N_CLIENTS, tasksets)
+        clients = [
+            TrafficGenerator(cid, ts, rng=random.Random(1_000 + cid))
+            for cid, ts in tasksets.items()
+        ]
+        traced = SoCSimulation(
+            clients, interconnect, observability=True, faults=plan
+        ).run(HORIZON, drain=DRAIN)
+        assert traced.trace_digest == untraced.trace_digest
+        assert traced.fault_counters == untraced.fault_counters
+
+
+class TestMakeOrchestrator:
+    def test_none_stays_none(self):
+        assert make_orchestrator(None) is None
+
+    def test_plan_is_wrapped(self):
+        orchestrator = make_orchestrator(FaultPlan.none())
+        assert orchestrator is not None
+        assert make_orchestrator(orchestrator) is orchestrator
+
+    def test_junk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_orchestrator([1, 2, 3])

@@ -1,0 +1,140 @@
+"""Isolation experiment acceptance: the ISSUE's headline claims.
+
+* BlueScale victims' deadline-miss ratio stays at its fault-free level
+  while at least one baseline interconnect measurably degrades under
+  the same rogue client;
+* every BlueScale victim response in the faulted runs stays within the
+  fault-oblivious analytical bounds (zero violations across trials);
+* the campaign replays identically on serial and parallel executors;
+* a raising trial is folded as a counted failure, not a crash, and the
+  report flags bound violations as a failure.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.isolation import (
+    ISOLATION_INTERCONNECTS,
+    DesignIsolation,
+    IsolationConfig,
+    IsolationResult,
+    build_isolation_specs,
+    format_isolation,
+    reduce_isolation,
+    run_isolation,
+    run_isolation_trial,
+)
+from repro.faults.verify import BoundViolation
+from repro.runtime import (
+    ParallelExecutor,
+    SerialExecutor,
+    TrialOutcome,
+    failure_metric_set,
+)
+
+CONFIG = IsolationConfig(trials=3)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_isolation(CONFIG)
+
+
+class TestIsolationClaim:
+    def test_bluescale_victims_unmoved_by_the_aggressor(self, campaign):
+        bluescale = campaign.metrics["BlueScale"]
+        assert bluescale.miss_fault == bluescale.miss_base  # exact, per trial
+        assert not bluescale.degraded
+        assert bluescale.mean_isolation == 1.0
+
+    def test_some_baseline_degrades(self, campaign):
+        baselines = [
+            campaign.metrics[name]
+            for name in ISOLATION_INTERCONNECTS
+            if name != "BlueScale"
+        ]
+        assert any(m.degraded for m in baselines)
+        # the mux-tree's FIFO arbitration is the known victim
+        assert campaign.metrics["BlueTree"].degraded
+
+    def test_bluescale_bounds_hold_in_every_trial(self, campaign):
+        bluescale = campaign.metrics["BlueScale"]
+        assert bluescale.bounds_checked_trials == CONFIG.trials
+        assert bluescale.bound_violations == 0
+        assert campaign.total_bound_violations == 0
+        # only BlueScale carries analytical bounds
+        for name in ISOLATION_INTERCONNECTS:
+            if name != "BlueScale":
+                assert campaign.metrics[name].bounds_checked_trials == 0
+
+    def test_report_reads_clean(self, campaign):
+        report = format_isolation(campaign)
+        assert "BlueScale" in report
+        assert "within fault-oblivious analytical bounds" in report
+        assert "FAIL" not in report
+
+
+class TestReplay:
+    def test_parallel_matches_serial_exactly(self):
+        config = IsolationConfig(trials=2)
+        specs = build_isolation_specs(config)
+        serial = SerialExecutor().map(run_isolation_trial, specs)
+        parallel = ParallelExecutor(workers=2, chunk_size=1).map(
+            run_isolation_trial, specs
+        )
+        assert len(serial) == len(parallel) == 2
+        for s, p in zip(serial, parallel):
+            assert s.spec == p.spec
+            assert s.metrics.scalars == p.metrics.scalars
+            assert s.metrics.tags == p.metrics.tags
+
+
+class TestRobustness:
+    def test_failed_trial_is_counted_not_folded(self):
+        config = IsolationConfig(trials=2)
+        specs = build_isolation_specs(config)
+        healthy = SerialExecutor().map(run_isolation_trial, specs[:1])[0]
+        broken = TrialOutcome(
+            spec=specs[1],
+            metrics=failure_metric_set(specs[1], ValueError("boom")),
+            seconds=0.0,
+            error="ValueError: boom",
+        )
+        result = reduce_isolation(
+            config, ISOLATION_INTERCONNECTS, [healthy, broken]
+        )
+        assert result.failed_trials == 1
+        for m in result.metrics.values():
+            assert len(m.miss_base) == 1  # only the healthy trial folded
+        assert "WARNING: 1 trial(s) failed" in format_isolation(result)
+
+    def test_violations_flagged_as_failure(self):
+        config = IsolationConfig(trials=1)
+        metrics = {"BlueScale": DesignIsolation("BlueScale")}
+        metrics["BlueScale"].bound_violations = 2
+        metrics["BlueScale"].bounds_checked_trials = 1
+        result = IsolationResult(config=config, metrics=metrics)
+        assert result.total_bound_violations == 2
+        report = format_isolation(result)
+        assert "FAIL: 2 analytical-bound violation(s)" in report
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            IsolationConfig(aggressor=9, n_clients=8)
+        with pytest.raises(ConfigurationError):
+            IsolationConfig(rogue_start=5_000, horizon=4_000)
+        with pytest.raises(ConfigurationError):
+            IsolationConfig(utilization_low=0.9, utilization_high=0.5)
+
+
+class TestCli:
+    def test_faults_subcommand_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["faults", "--trials", "1", "--clients", "6", "--seed", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Isolation" in out
+        assert "BlueScale" in out

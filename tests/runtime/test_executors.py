@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.runtime import (
+    FAILURE_METRIC,
     ExecutionHooks,
     MetricSet,
     ParallelExecutor,
@@ -18,6 +19,13 @@ from repro.runtime import (
 def square_runner(spec: TrialSpec) -> MetricSet:
     """Module-level so the process pool can pickle it by reference."""
     return MetricSet(scalars={"value": float(spec.seed) ** 2})
+
+
+def flaky_runner(spec: TrialSpec) -> MetricSet:
+    """Raises on odd trial indices (module-level for pickling)."""
+    if spec.index % 2 == 1:
+        raise ValueError(f"trial {spec.index} exploded")
+    return square_runner(spec)
 
 
 def make_specs(n):
@@ -59,6 +67,42 @@ class TestSerialExecutor:
     def test_runner_must_return_metric_set(self):
         with pytest.raises(ConfigurationError):
             SerialExecutor().map(lambda spec: {"raw": 1}, make_specs(1))
+
+
+class TestFailureCapture:
+    """A raising trial must not abort the batch (serial or parallel)."""
+
+    def test_failure_becomes_structured_outcome(self):
+        outcomes = SerialExecutor().map(flaky_runner, make_specs(4))
+        assert len(outcomes) == 4
+        assert [o.failed for o in outcomes] == [False, True, False, True]
+        bad = outcomes[1]
+        assert bad.error == "ValueError: trial 1 exploded"
+        assert bad.metrics[FAILURE_METRIC] == 1.0
+        assert bad.metrics.tags["error_type"] == "ValueError"
+        assert bad.metrics.tags["trial"] == "1"
+        # healthy trials are untouched
+        assert outcomes[2].metrics["value"] == 4.0
+        assert outcomes[2].error is None
+
+    def test_ordering_preserved_with_failures(self):
+        outcomes = SerialExecutor().map(flaky_runner, make_specs(6))
+        assert [o.spec.index for o in outcomes] == list(range(6))
+
+    def test_parallel_matches_serial_with_failures(self):
+        serial = SerialExecutor().map(flaky_runner, make_specs(8))
+        parallel = ParallelExecutor(2, chunk_size=2).map(
+            flaky_runner, make_specs(8)
+        )
+        assert [o.failed for o in parallel] == [o.failed for o in serial]
+        assert [o.error for o in parallel] == [o.error for o in serial]
+        for left, right in zip(serial, parallel):
+            assert left.metrics.scalars == right.metrics.scalars
+
+    def test_hooks_still_fire_for_failed_trials(self):
+        hooks = RecordingHooks()
+        SerialExecutor().map(flaky_runner, make_specs(3), hooks)
+        assert hooks.trials == [(0, 1, 3), (1, 2, 3), (2, 3, 3)]
 
 
 class TestParallelExecutor:
