@@ -1,0 +1,227 @@
+"""Analysis-engine benchmark: vectorized backend vs. scalar oracle.
+
+Times the Fig. 7 candidate-selection workload — the full hierarchical
+composition (interface selection at every quadtree node) of a drawn
+case-study task system — under both analysis backends at several
+(system size, target utilization) configurations, and writes
+``BENCH_analysis.json`` with:
+
+* per-configuration wall time for the scalar oracle (cache disabled,
+  the pre-engine behaviour) and the vectorized engine (fresh
+  :class:`~repro.analysis.cache.AnalysisCache` per run, so the speedup
+  measures one cold composition, not cross-run memoization), plus the
+  resulting speedup;
+* a cache-warm re-composition time per configuration, showing what the
+  memoization layer adds for sweep-style workloads that re-analyze
+  unchanged subtrees;
+* the selected root interface/verdict per configuration.
+
+Every scalar/vectorized pair is asserted to produce *identical*
+selected interfaces, schedulability verdicts and root bandwidth, so
+the benchmark doubles as an end-to-end differential test at benchmark
+scale.  The full run is acceptance-gated: the vectorized backend must
+deliver >= 5x the scalar oracle's throughput on every configuration.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py            # full run
+    PYTHONPATH=src python benchmarks/bench_analysis.py --smoke    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import AnalysisCache, compose
+from repro.analysis.cache import DISABLED
+from repro.experiments.fig7 import Fig7Config, _build_trial_tasksets
+from repro.runtime import TrialSpec, derive_seeds
+from repro.tasks.taskset import TaskSet
+from repro.topology import quadtree
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
+
+#: (label, n_processors, utilization) — both system sizes of the paper's
+#: case study, below and near the admission ceiling
+FULL_CONFIGS = [
+    ("n16/u0.30", 16, 0.30),
+    ("n16/u0.50", 16, 0.50),
+    ("n16/u0.80", 16, 0.80),
+    ("n64/u0.30", 64, 0.30),
+    ("n64/u0.50", 64, 0.50),
+    ("n64/u0.80", 64, 0.80),
+]
+SMOKE_CONFIGS = [
+    ("n16/u0.50", 16, 0.50),
+]
+
+
+def _build_workload(
+    label: str, n_processors: int, utilization: float
+) -> tuple[Fig7Config, dict[int, TaskSet]]:
+    """The per-client task sets of one Fig. 7 trial draw."""
+    config = Fig7Config(n_processors=n_processors, trials=1)
+    seed = derive_seeds(f"bench_analysis/{label}", 1)[0]
+    spec = TrialSpec.make("bench_analysis", 0, seed, config=config)
+    rng = random.Random(spec.seed)
+    application, interference, accelerator_tasks = _build_trial_tasksets(
+        config, utilization, rng
+    )
+    combined = {
+        client: application[client].merged_with(
+            interference.get(client, TaskSet())
+        )
+        for client in application
+    }
+    combined[n_processors] = accelerator_tasks.merged_with(
+        interference.get(n_processors, TaskSet())
+    )
+    return config, combined
+
+
+def bench_configuration(
+    label: str, n_processors: int, utilization: float, repeats: int
+) -> dict:
+    config, combined = _build_workload(label, n_processors, utilization)
+    topology = quadtree(config.n_clients)
+
+    scalar_time = vectorized_time = warm_time = None
+    scalar_result = vectorized_result = None
+    cache_stats = {}
+    for _ in range(repeats):
+        # Interleaved best-of-N, like bench_sim: the minimum is the
+        # least noise-contaminated sample and alternation decorrelates
+        # machine-load drift from the backend under test.
+        start = time.perf_counter()
+        scalar_result = compose(
+            topology, combined, backend="scalar", cache=DISABLED
+        )
+        elapsed = time.perf_counter() - start
+        if scalar_time is None or elapsed < scalar_time:
+            scalar_time = elapsed
+
+        cache = AnalysisCache()
+        start = time.perf_counter()
+        vectorized_result = compose(
+            topology, combined, backend="vectorized", cache=cache
+        )
+        elapsed = time.perf_counter() - start
+        if vectorized_time is None or elapsed < vectorized_time:
+            vectorized_time = elapsed
+
+        start = time.perf_counter()
+        warm_result = compose(
+            topology, combined, backend="vectorized", cache=cache
+        )
+        elapsed = time.perf_counter() - start
+        if warm_time is None or elapsed < warm_time:
+            warm_time = elapsed
+            cache_stats = cache.stats.as_dict()
+
+        for other, path in (
+            (vectorized_result, "vectorized"),
+            (warm_result, "cache-warm"),
+        ):
+            if (
+                other.interfaces != scalar_result.interfaces
+                or other.schedulable != scalar_result.schedulable
+                or other.root_bandwidth != scalar_result.root_bandwidth
+            ):
+                raise AssertionError(
+                    f"{label}: {path} composition diverges from the scalar "
+                    "oracle — the engine is broken, benchmark numbers "
+                    "would be lies"
+                )
+
+    return {
+        "label": label,
+        "n_processors": n_processors,
+        "utilization": utilization,
+        "scalar_seconds": round(scalar_time, 4),
+        "vectorized_seconds": round(vectorized_time, 4),
+        "cache_warm_seconds": round(warm_time, 6),
+        "speedup": round(scalar_time / vectorized_time, 2),
+        "cache_stats_warm": cache_stats,
+        "schedulable": scalar_result.schedulable,
+        "root_bandwidth": float(scalar_result.root_bandwidth),
+        "verdicts_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single configuration, one repeat (CI wiring check; the "
+        "5x gate is not asserted — verdict equality still is)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions per configuration (best-of-N wall time)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        configs, repeats = SMOKE_CONFIGS, 1
+    else:
+        configs, repeats = FULL_CONFIGS, max(1, args.repeats)
+
+    # Warm the interpreter (imports, numpy, code objects) outside the
+    # timed region so the first configuration is not penalized.
+    bench_configuration("warmup", 4, 0.3, 1)
+
+    results = []
+    for label, n_processors, utilization in configs:
+        entry = bench_configuration(label, n_processors, utilization, repeats)
+        print(
+            f"{label}: scalar {entry['scalar_seconds']:.3f}s, "
+            f"vectorized {entry['vectorized_seconds']:.3f}s "
+            f"({entry['speedup']:.1f}x), "
+            f"cache-warm {entry['cache_warm_seconds'] * 1e3:.2f}ms"
+        )
+        results.append(entry)
+
+    payload = {
+        "benchmark": "bench_analysis",
+        "mode": "smoke" if args.smoke else "full",
+        "description": (
+            "Vectorized analysis engine vs scalar oracle on the Fig. 7 "
+            "candidate-selection workload (full quadtree composition); "
+            "every pair verified to select identical interfaces and "
+            "verdicts."
+        ),
+        "configurations": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not args.smoke:
+        shortfalls = [
+            f"{entry['label']}: {entry['speedup']:.2f}x"
+            for entry in results
+            if entry["speedup"] < 5.0
+        ]
+        if shortfalls:
+            print(
+                "FAIL: vectorized speedup below 5x: " + ", ".join(shortfalls)
+            )
+            return 1
+        print("OK: all configurations >= 5x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Regenerate ``tests/fixtures/golden_interfaces.json``.
+
+The fixture pins the selected ``(Π, Θ)`` per quadtree level for three
+canonical topologies (16/32/64 clients).  It is produced by the
+*scalar* oracle — the reference semantics — and the regression test
+then requires both backends to reproduce it exactly.
+
+Run after an intentional change to selection semantics (and say so in
+the commit message; an unintentional diff here is a regression, not a
+fixture update)::
+
+    PYTHONPATH=src:tests python scripts/regen_golden_interfaces.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+from repro.analysis import compose
+from repro.analysis.cache import DISABLED
+
+from analysis.golden_utils import (
+    FIXTURE_PATH,
+    GOLDEN_SIZES,
+    composition_snapshot,
+    golden_system,
+)
+
+
+def main() -> int:
+    snapshots = {}
+    for n_clients in GOLDEN_SIZES:
+        topology, tasksets = golden_system(n_clients)
+        result = compose(topology, tasksets, backend="scalar", cache=DISABLED)
+        snapshots[str(n_clients)] = composition_snapshot(result)
+        print(
+            f"n={n_clients}: schedulable={result.schedulable} "
+            f"root_bandwidth={result.root_bandwidth}"
+        )
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(snapshots, indent=2) + "\n")
+    print(f"wrote {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,27 @@
 """Schedulability analysis: periodic resource model, Theorems 1 & 2,
-interface selection and hierarchical composition (paper Sec. 5)."""
+interface selection and hierarchical composition (paper Sec. 5).
 
+Two interchangeable backends evaluate the dbf<=sbf machinery: the
+original ``scalar`` reference oracle and a numpy-backed ``vectorized``
+engine that batches candidate interfaces over shared, memoized
+step-point grids (:mod:`repro.analysis.engine`,
+:mod:`repro.analysis.vectorized`, :mod:`repro.analysis.cache`)."""
+
+from repro.analysis.cache import (
+    AnalysisCache,
+    CacheStats,
+    get_default_cache,
+    resolve_cache,
+    set_default_cache,
+    taskset_digest,
+    taskset_key,
+)
+from repro.analysis.engine import (
+    BACKENDS,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.analysis.prm import (
     ResourceInterface,
     dbf,
@@ -20,8 +41,15 @@ from repro.analysis.interface_selection import (
     SelectionResult,
     brute_force_minimum_bandwidth,
     minimal_budget_for_period,
+    minimal_budgets_for_periods,
     select_interface,
     theorem2_period_bound,
+)
+from repro.analysis.vectorized import (
+    StepGrid,
+    dbf_values,
+    sbf_values,
+    schedulable_many,
 )
 from repro.analysis.composition import (
     CompositionResult,
@@ -47,6 +75,22 @@ from repro.analysis.response_time import (
 )
 
 __all__ = [
+    "AnalysisCache",
+    "BACKENDS",
+    "CacheStats",
+    "StepGrid",
+    "dbf_values",
+    "get_default_backend",
+    "get_default_cache",
+    "minimal_budgets_for_periods",
+    "resolve_backend",
+    "resolve_cache",
+    "sbf_values",
+    "schedulable_many",
+    "set_default_backend",
+    "set_default_cache",
+    "taskset_digest",
+    "taskset_key",
     "ResourceInterface",
     "dbf",
     "dbf_step_points",

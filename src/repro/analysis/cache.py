@@ -1,0 +1,188 @@
+"""Memoization layer for the analysis engine.
+
+Interface selection over a BlueScale tree repeats itself constantly:
+
+* the level-ℓ problems of a quadtree present the *same* (task set,
+  sibling-utilization) pair whenever a subtree is unchanged between two
+  sweep points (utilization sweeps, breakdown searches, admission
+  probes re-derive most of the tree verbatim);
+* every schedulability probe of a candidate ``(Π, Θ)`` re-evaluates the
+  demand bound function of the same task set over the same step points.
+
+:class:`AnalysisCache` memoizes both: selection results keyed by task
+set digests, and the vectorized engine's step-point grids (deduplicated
+step points plus dbf values, shared across all candidate interfaces of
+that task set).  Keys are exact — a task set is keyed by the sorted
+multiset of its ``(T, C)`` pairs, which is precisely the information
+dbf/sbf analysis depends on — so a cache hit is bit-identical to the
+cold path by construction (and asserted by the property suite).
+
+The default process-wide cache (:func:`get_default_cache`) is what
+``cache=None`` resolves to; pass :data:`DISABLED` (or
+``AnalysisCache(enabled=False)``) to force cold-path evaluation, e.g.
+when benchmarking the scalar oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import TYPE_CHECKING, Any
+
+from repro.tasks.taskset import TaskSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.interface_selection import SelectionResult
+
+#: exact cache key of a task set: the sorted multiset of (T, C) pairs
+TaskSetKey = tuple[tuple[int, int], ...]
+
+
+def taskset_key(taskset: TaskSet) -> TaskSetKey:
+    """The exact analysis identity of a task set.
+
+    dbf, sbf and every quantity derived from them depend only on the
+    multiset of ``(period, wcet)`` pairs — names and client assignments
+    are reporting metadata — so sorting makes the key canonical.
+    """
+    return tuple(sorted((task.period, task.wcet) for task in taskset))
+
+
+def taskset_digest(taskset: TaskSet) -> str:
+    """Short hex digest of :func:`taskset_key` for reports and logs."""
+    raw = repr(taskset_key(taskset)).encode()
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split per table."""
+
+    selection_hits: int = 0
+    selection_misses: int = 0
+    grid_hits: int = 0
+    grid_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.selection_hits + self.grid_hits
+
+    @property
+    def misses(self) -> int:
+        return self.selection_misses + self.grid_misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "selection_hits": self.selection_hits,
+            "selection_misses": self.selection_misses,
+            "grid_hits": self.grid_hits,
+            "grid_misses": self.grid_misses,
+        }
+
+
+class AnalysisCache:
+    """Bounded memo tables for selections and step-point grids.
+
+    ``max_selections`` / ``max_grids`` bound memory; eviction is FIFO
+    (oldest insertion first), which is plenty for sweep workloads whose
+    reuse is temporally clustered.  A disabled cache stores nothing and
+    returns nothing, making the cold path trivially reachable.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_selections: int = 65_536,
+        max_grids: int = 1_024,
+    ) -> None:
+        self.enabled = enabled
+        self.max_selections = max_selections
+        self.max_grids = max_grids
+        self.stats = CacheStats()
+        self._selections: dict[tuple, "SelectionResult"] = {}
+        self._grids: dict[TaskSetKey, Any] = {}
+
+    # -- selection results ---------------------------------------------------
+    @staticmethod
+    def selection_key(
+        key: TaskSetKey,
+        sibling_utilization: Fraction,
+        config_key: tuple,
+        backend: str,
+    ) -> tuple:
+        return (
+            key,
+            sibling_utilization.numerator,
+            sibling_utilization.denominator,
+            config_key,
+            backend,
+        )
+
+    def get_selection(self, key: tuple) -> "SelectionResult | None":
+        if not self.enabled:
+            return None
+        found = self._selections.get(key)
+        if found is None:
+            self.stats.selection_misses += 1
+        else:
+            self.stats.selection_hits += 1
+        return found
+
+    def put_selection(self, key: tuple, result: "SelectionResult") -> None:
+        if not self.enabled:
+            return
+        if len(self._selections) >= self.max_selections:
+            self._selections.pop(next(iter(self._selections)))
+        self._selections[key] = result
+
+    # -- step-point grids (vectorized backend) ------------------------------
+    def get_grid(self, key: TaskSetKey) -> Any | None:
+        if not self.enabled:
+            return None
+        found = self._grids.get(key)
+        if found is None:
+            self.stats.grid_misses += 1
+        else:
+            self.stats.grid_hits += 1
+        return found
+
+    def put_grid(self, key: TaskSetKey, grid: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self._grids) >= self.max_grids:
+            self._grids.pop(next(iter(self._grids)))
+        self._grids[key] = grid
+
+    # -- bookkeeping ---------------------------------------------------------
+    def clear(self) -> None:
+        self._selections.clear()
+        self._grids.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._selections) + len(self._grids)
+
+
+#: the always-cold cache: every lookup misses, nothing is stored
+DISABLED = AnalysisCache(enabled=False)
+
+_default_cache = AnalysisCache()
+
+
+def get_default_cache() -> AnalysisCache:
+    """The process-wide cache used when ``cache=None``."""
+    return _default_cache
+
+
+def set_default_cache(cache: AnalysisCache) -> AnalysisCache:
+    """Swap the process-wide cache; returns the previous one."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def resolve_cache(cache: AnalysisCache | None) -> AnalysisCache:
+    """Return ``cache`` itself, or the process-wide default for ``None``."""
+    return _default_cache if cache is None else cache

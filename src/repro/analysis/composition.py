@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from fractions import Fraction
 
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.interface_selection import (
     DEFAULT_CONFIG,
     SelectionConfig,
@@ -155,6 +156,8 @@ def compose(
     client_tasksets: dict[int, TaskSet],
     config: SelectionConfig = DEFAULT_CONFIG,
     deadline_margin: int | None = None,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> CompositionResult:
     """Resolve all interface-selection problems from level L down to 0.
 
@@ -162,6 +165,11 @@ def compose(
     ``schedulable=False`` and a ``failure`` message, because experiments
     (Fig. 7's utilization sweep) need to observe infeasible points, not
     crash on them.
+
+    ``backend`` / ``cache`` select and memoize the per-VE searches (see
+    :func:`~repro.analysis.interface_selection.select_interface`):
+    sweeps that re-compose mostly-unchanged trees reuse every unchanged
+    subtree's selection from the cache.
     """
     for client_id in client_tasksets:
         if not 0 <= client_id < topology.n_clients:
@@ -196,7 +204,9 @@ def compose(
                     continue
                 sibling_util = total_util - taskset.utilization
                 try:
-                    selection = select_interface(taskset, sibling_util, config)
+                    selection = select_interface(
+                        taskset, sibling_util, config, backend, cache
+                    )
                     interfaces.append(selection.interface)
                 except InfeasibleError as exc:
                     result.schedulable = False
@@ -236,6 +246,8 @@ def update_client(
     client_id: int,
     config: SelectionConfig = DEFAULT_CONFIG,
     deadline_margin: int | None = None,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> CompositionResult:
     """Re-resolve only the SEs on one client's memory-request path.
 
@@ -270,7 +282,9 @@ def update_client(
             sibling_util = total_util - taskset.utilization
             try:
                 interfaces.append(
-                    select_interface(taskset, sibling_util, config).interface
+                    select_interface(
+                        taskset, sibling_util, config, backend, cache
+                    ).interface
                 )
             except InfeasibleError as exc:
                 fresh.schedulable = False

@@ -1,0 +1,59 @@
+"""Analysis backend switch: scalar reference oracle vs vectorized engine.
+
+Every analysis entry point (:func:`~repro.analysis.schedulability.is_schedulable`,
+:func:`~repro.analysis.interface_selection.select_interface`,
+:func:`~repro.analysis.composition.compose`, the sensitivity helpers)
+accepts ``backend=``:
+
+* ``"scalar"`` — the original pure-Python implementations, kept as the
+  reference oracle.  Every candidate ``(Π, Θ)`` is tested by its own
+  step-point scan.
+* ``"vectorized"`` — numpy-backed batch evaluation
+  (:mod:`repro.analysis.vectorized`): dbf is evaluated once over a
+  deduplicated step-point grid per task set, and all candidate
+  interfaces of a search are checked against that grid at once.
+
+Both backends are exact over integers and produce **identical**
+results; the property suite and the analysis benchmark assert it.
+``backend=None`` anywhere resolves to the process-wide default set
+here (the CLI's ``--analysis-backend`` flag lands in
+:func:`set_default_backend`, including inside parallel workers via the
+executor's ``worker_init`` hook).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: the recognized backend names
+BACKENDS: tuple[str, ...] = ("scalar", "vectorized")
+
+_default_backend: str = "vectorized"
+
+
+def get_default_backend() -> str:
+    """The process-wide backend used when ``backend=None``."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default backend; returns the previous one.
+
+    Picklable by reference, so it doubles as an executor
+    ``worker_init`` target: ``partial(set_default_backend, "scalar")``.
+    """
+    global _default_backend
+    previous = _default_backend
+    _default_backend = resolve_backend(backend)
+    return previous
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate a ``backend=`` argument (``None`` → session default)."""
+    if backend is None:
+        return _default_backend
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown analysis backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend

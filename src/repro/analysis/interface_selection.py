@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.analysis.cache import AnalysisCache, resolve_cache, taskset_key
+from repro.analysis.engine import resolve_backend
 from repro.analysis.prm import ResourceInterface
 from repro.analysis.schedulability import is_schedulable
 from repro.errors import ConfigurationError, InfeasibleError
@@ -75,7 +77,10 @@ def theorem2_period_bound(
 
 
 def minimal_budget_for_period(
-    taskset: TaskSet, period: int
+    taskset: TaskSet,
+    period: int,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> int | None:
     """Binary-search the minimal schedulable Θ for a fixed Π.
 
@@ -85,21 +90,83 @@ def minimal_budget_for_period(
         raise ConfigurationError(f"period must be positive, got {period}")
     if len(taskset) == 0:
         return 0
+    if resolve_backend(backend) == "vectorized":
+        return minimal_budgets_for_periods(
+            taskset, [period], cache=resolve_cache(cache)
+        )[0]
     utilization = taskset.utilization
     # Θ/Π must strictly exceed U, so start above the utilization floor.
     low = int(utilization * period) + 1
     high = period
     if low > high:
         return None
-    if not is_schedulable(taskset, ResourceInterface(period, high)).schedulable:
+    if not is_schedulable(
+        taskset, ResourceInterface(period, high), backend="scalar"
+    ).schedulable:
         return None
     while low < high:
         mid = (low + high) // 2
-        if is_schedulable(taskset, ResourceInterface(period, mid)).schedulable:
+        if is_schedulable(
+            taskset, ResourceInterface(period, mid), backend="scalar"
+        ).schedulable:
             high = mid
         else:
             low = mid + 1
     return low
+
+
+def minimal_budgets_for_periods(
+    taskset: TaskSet,
+    periods: list[int],
+    cache: AnalysisCache | None = None,
+) -> list[int | None]:
+    """Minimal schedulable Θ for *every* candidate Π at once (vectorized).
+
+    The per-period binary searches advance in lock-step: each round
+    batches one probe per still-open period into a single
+    :func:`~repro.analysis.vectorized.schedulable_many` call, so the
+    task set's demand grid is evaluated once and shared by the whole
+    candidate front.  Schedulability is monotone in Θ at fixed Π, so
+    the converged budgets are exactly the scalar binary search's.
+    """
+    from repro.analysis.vectorized import schedulable_many
+
+    cache = resolve_cache(cache)
+    if len(taskset) == 0:
+        return [0 for _ in periods]
+    utilization = taskset.utilization
+    p, q = utilization.numerator, utilization.denominator
+    budgets: list[int | None] = [None] * len(periods)
+    # Θ/Π must strictly exceed U, so each search starts above the
+    # utilization floor; every probed (Π, Θ) therefore satisfies the
+    # Theorem-1 bandwidth precondition by construction.
+    lows = {i: (p * period) // q + 1 for i, period in enumerate(periods)}
+    open_indices = [i for i, period in enumerate(periods) if lows[i] <= period]
+    feasible = schedulable_many(
+        taskset,
+        [(periods[i], periods[i]) for i in open_indices],
+        cache,
+        utilization=utilization,
+    )
+    highs = {i: periods[i] for i, ok in zip(open_indices, feasible) if ok}
+    searching = [i for i in highs if lows[i] < highs[i]]
+    while searching:
+        probes = [(periods[i], (lows[i] + highs[i]) // 2) for i in searching]
+        verdicts = schedulable_many(
+            taskset, probes, cache, utilization=utilization
+        )
+        still_open: list[int] = []
+        for i, (_, mid), ok in zip(searching, probes, verdicts):
+            if ok:
+                highs[i] = mid
+            else:
+                lows[i] = mid + 1
+            if lows[i] < highs[i]:
+                still_open.append(i)
+        searching = still_open
+    for i in highs:
+        budgets[i] = lows[i]
+    return budgets
 
 
 def _candidate_periods(upper: int, config: SelectionConfig) -> list[int]:
@@ -134,25 +201,51 @@ def select_interface(
     taskset: TaskSet,
     sibling_utilization: Fraction = Fraction(0),
     config: SelectionConfig = DEFAULT_CONFIG,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> SelectionResult:
     """Find the minimum-bandwidth schedulable interface for one VE.
 
     Raises :class:`InfeasibleError` when no ``(Π, Θ)`` within the
     Theorem-2 period range schedules the task set.
     An empty task set yields the idle interface ``(1, 0)``.
+
+    The ``vectorized`` backend resolves every candidate period's
+    minimal-budget search against one shared demand grid
+    (:func:`minimal_budgets_for_periods`); the ``scalar`` backend keeps
+    the original one-test-per-candidate oracle.  Results are memoized
+    in ``cache`` keyed by the task set's exact ``(T, C)`` multiset, the
+    sibling utilization and the search config, so level-by-level
+    composition reuses unchanged subtree selections across sweep
+    points.
     """
     if len(taskset) == 0:
         return SelectionResult(
             interface=ResourceInterface(1, 0), periods_examined=0, period_bound=0
         )
+    backend = resolve_backend(backend)
+    cache = resolve_cache(cache)
+    memo_key = cache.selection_key(
+        taskset_key(taskset),
+        sibling_utilization,
+        (config.max_period_candidates, config.min_period),
+        backend,
+    )
+    cached = cache.get_selection(memo_key)
+    if cached is not None:
+        return cached
     period_bound = theorem2_period_bound(taskset, sibling_utilization)
     candidates = _candidate_periods(period_bound, config)
+    if backend == "vectorized":
+        budgets = minimal_budgets_for_periods(taskset, candidates, cache=cache)
+    else:
+        budgets = [
+            minimal_budget_for_period(taskset, period, backend="scalar")
+            for period in candidates
+        ]
     best: ResourceInterface | None = None
     best_bw: Fraction | None = None
-    examined = 0
-    for period in candidates:
-        examined += 1
-        budget = minimal_budget_for_period(taskset, period)
+    for period, budget in zip(candidates, budgets):
         if budget is None:
             continue
         interface = ResourceInterface(period, budget)
@@ -168,9 +261,13 @@ def select_interface(
             f"no schedulable interface for task set with U="
             f"{taskset.utilization_float:.3f} within period bound {period_bound}"
         )
-    return SelectionResult(
-        interface=best, periods_examined=examined, period_bound=period_bound
+    result = SelectionResult(
+        interface=best,
+        periods_examined=len(candidates),
+        period_bound=period_bound,
     )
+    cache.put_selection(memo_key, result)
+    return result
 
 
 def brute_force_minimum_bandwidth(

@@ -16,6 +16,8 @@ import heapq
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.analysis.cache import AnalysisCache, resolve_cache
+from repro.analysis.engine import resolve_backend
 from repro.analysis.prm import ResourceInterface, dbf, dbf_step_points, sbf
 from repro.errors import ConfigurationError
 from repro.tasks.taskset import TaskSet
@@ -56,7 +58,10 @@ def theorem1_bound(interface: ResourceInterface, utilization: Fraction) -> int:
 
 
 def is_schedulable(
-    taskset: TaskSet, interface: ResourceInterface
+    taskset: TaskSet,
+    interface: ResourceInterface,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> SchedulabilityResult:
     """Exact EDF-on-periodic-resource schedulability test.
 
@@ -65,6 +70,12 @@ def is_schedulable(
     constant while supply is non-decreasing, so step points suffice;
     β itself can be a step point when it is integral, so the scan must
     include it.)
+
+    ``backend`` picks how the scan is evaluated — ``"scalar"`` walks
+    the step points in Python, ``"vectorized"`` evaluates demand once
+    over the task set's shared step grid and supply in one array pass
+    (see :mod:`repro.analysis.engine`).  Both are integer-exact and
+    return identical results, witnesses included.
     """
     if len(taskset) == 0:
         return SchedulabilityResult(schedulable=True)
@@ -105,17 +116,29 @@ def is_schedulable(
             test_bound=0,
         )
     beta = theorem1_bound(interface, utilization)
-    for t in dbf_step_points(taskset, beta):
-        demand = dbf(t, taskset)
-        supply = sbf(t, interface)
-        if demand > supply:
-            return SchedulabilityResult(
-                schedulable=False,
-                violation_time=t,
-                demand_at_violation=demand,
-                supply_at_violation=supply,
-                test_bound=beta,
-            )
+    if resolve_backend(backend) == "vectorized":
+        from repro.analysis.vectorized import first_violation
+
+        witness = first_violation(
+            taskset, interface, beta, resolve_cache(cache)
+        )
+    else:
+        witness = None
+        for t in dbf_step_points(taskset, beta):
+            demand = dbf(t, taskset)
+            supply = sbf(t, interface)
+            if demand > supply:
+                witness = (t, demand, supply)
+                break
+    if witness is not None:
+        time, demand, supply = witness
+        return SchedulabilityResult(
+            schedulable=False,
+            violation_time=time,
+            demand_at_violation=demand,
+            supply_at_violation=supply,
+            test_bound=beta,
+        )
     return SchedulabilityResult(schedulable=True, test_bound=beta)
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.analysis.cache import AnalysisCache, resolve_cache
 from repro.analysis.composition import (
     CompositionResult,
     compose,
@@ -59,16 +60,27 @@ def breakdown_scale(
     config: SelectionConfig = DEFAULT_CONFIG,
     precision: float = 0.01,
     max_scale: float = 16.0,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> BreakdownResult:
     """Largest WCET scale factor that stays schedulable.
 
     Binary search over the scale (schedulability is effectively
     monotone in demand); ``precision`` bounds the returned factor's
     absolute error.  Raises when even the unscaled workload fails.
+
+    Every probe composes the whole tree, but all probes share one
+    :class:`~repro.analysis.cache.AnalysisCache`: a subtree whose
+    scaled task sets round to parameters already composed at an earlier
+    probe reuses those selections instead of re-deriving them (and the
+    bracketing re-compose of an already-probed scale is free).
     """
     if precision <= 0:
         raise ConfigurationError(f"precision must be positive, got {precision}")
-    base = compose(topology, client_tasksets, config)
+    cache = resolve_cache(cache)
+    base = compose(
+        topology, client_tasksets, config, backend=backend, cache=cache
+    )
     if not base.schedulable:
         raise ConfigurationError(
             f"workload is unschedulable before scaling: {base.failure}"
@@ -77,14 +89,20 @@ def breakdown_scale(
     high = max_scale
     # find an unschedulable upper bracket
     while high <= max_scale and compose(
-        topology, _scaled_tasksets(client_tasksets, high), config
+        topology,
+        _scaled_tasksets(client_tasksets, high),
+        config,
+        backend=backend,
+        cache=cache,
     ).schedulable:
         low = high
         high *= 2
         if high > max_scale:
             # already schedulable at the cap: report the cap
             scaled = _scaled_tasksets(client_tasksets, low)
-            result = compose(topology, scaled, config)
+            result = compose(
+                topology, scaled, config, backend=backend, cache=cache
+            )
             utilization = sum(
                 (ts.utilization for ts in scaled.values()), Fraction(0)
             )
@@ -92,7 +110,11 @@ def breakdown_scale(
     while high - low > precision:
         mid = (low + high) / 2
         result = compose(
-            topology, _scaled_tasksets(client_tasksets, mid), config
+            topology,
+            _scaled_tasksets(client_tasksets, mid),
+            config,
+            backend=backend,
+            cache=cache,
         )
         if result.schedulable:
             low, low_result = mid, result
@@ -108,10 +130,17 @@ def breakdown_utilization(
     client_tasksets: dict[int, TaskSet],
     config: SelectionConfig = DEFAULT_CONFIG,
     precision: float = 0.01,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> float:
     """Total utilization at the breakdown point (the admission ceiling)."""
     return breakdown_scale(
-        topology, client_tasksets, config, precision
+        topology,
+        client_tasksets,
+        config,
+        precision,
+        backend=backend,
+        cache=cache,
     ).utilization
 
 
@@ -121,6 +150,8 @@ def can_admit(
     client_id: int,
     task: PeriodicTask,
     config: SelectionConfig = DEFAULT_CONFIG,
+    backend: str | None = None,
+    cache: AnalysisCache | None = None,
 ) -> tuple[bool, CompositionResult]:
     """Online admission: would adding ``task`` to ``client_id`` keep the
     system schedulable?  Uses the path-local update, so the test costs
@@ -130,7 +161,9 @@ def can_admit(
     trial[client_id] = trial.get(client_id, TaskSet()).merged_with(
         TaskSet([task.with_client(client_id)])
     )
-    updated = update_client(baseline, trial, client_id, config)
+    updated = update_client(
+        baseline, trial, client_id, config, backend=backend, cache=cache
+    )
     return updated.schedulable, updated
 
 

@@ -1,0 +1,295 @@
+"""Numpy-backed batch evaluation of dbf/sbf over step-point grids.
+
+The scalar schedulability test re-scans every demand step point per
+candidate ``(Π, Θ)``, recomputing ``dbf`` from scratch each time —
+O(candidates × points × tasks) Python bytecode.  This module turns the
+two hot loops into array programs:
+
+* a :class:`StepGrid` materializes the *deduplicated* demand step
+  points of a task set once (they only depend on the task set, not the
+  candidate interface) together with the dbf value at each point, so
+  every candidate of a search shares one demand evaluation;
+* :func:`sbf_values` evaluates the supply bound function of one
+  candidate over the whole grid in a handful of vector ops, and
+  :func:`schedulable_many` folds that into per-candidate verdicts for a
+  whole batch of interfaces at once.
+
+Everything stays in int64 — the formulas are integer-exact, so the
+vectorized verdicts are *identical* to the scalar oracle's (asserted by
+the property suite and the analysis benchmark).  Grids whose Theorem-1
+horizon would not fit the configured point budget fall back to a lazy
+heap-merged scan with the same semantics and bounded memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+
+import numpy as np
+
+from repro.analysis.cache import AnalysisCache, TaskSetKey, taskset_key
+from repro.analysis.prm import ResourceInterface
+from repro.errors import ConfigurationError
+from repro.tasks.taskset import TaskSet
+
+#: largest step-point grid the vectorized path will materialize; beyond
+#: this the (equally exact) lazy scan takes over
+MAX_GRID_POINTS = 2_000_000
+
+#: cells-per-chunk budget of the batched (candidates × points) supply
+#: evaluation — bounds transient memory at ~8 int64 arrays of this size
+MAX_BATCH_CELLS = 2_000_000
+
+
+def sbf_values(ts: np.ndarray, period: int, budget: int) -> np.ndarray:
+    """``sbf(t, (Π, Θ))`` for every t in ``ts`` (int64 array in/out).
+
+    Same formula as :func:`repro.analysis.prm.sbf`, vectorized.
+    """
+    t_prime = ts - (period - budget)
+    full_periods = t_prime // period
+    epsilon = t_prime - period * full_periods - (period - budget)
+    values = full_periods * budget + np.maximum(epsilon, 0)
+    return np.where(t_prime < 0, 0, values)
+
+
+def dbf_values(ts: np.ndarray, taskset: TaskSet) -> np.ndarray:
+    """``dbf(t, taskset)`` for every t in ``ts`` (int64 array in/out)."""
+    demands = np.zeros_like(ts)
+    for task in taskset:
+        demands += (ts // task.period) * task.wcet
+    return demands
+
+
+class StepGrid:
+    """Deduplicated demand step points of one task set, with dbf values.
+
+    Grown on demand to whatever horizon a Theorem-1 bound requires and
+    shared — via :class:`~repro.analysis.cache.AnalysisCache` — by every
+    candidate interface ever tested against this task set.
+    """
+
+    def __init__(self, taskset: TaskSet) -> None:
+        by_period: dict[int, int] = {}
+        for task in taskset:
+            by_period[task.period] = by_period.get(task.period, 0) + task.wcet
+        self.periods = np.array(sorted(by_period), dtype=np.int64)
+        self.wcets = np.array(
+            [by_period[p] for p in sorted(by_period)], dtype=np.int64
+        )
+        self.horizon = 0
+        self.ts = np.empty(0, dtype=np.int64)
+        self.demands = np.empty(0, dtype=np.int64)
+        # Conservative materialization ceiling: points_within(H) <=
+        # H·Σ 1/Pᵢ, so horizons up to `cap` always fit the point budget.
+        inverse_sum = float(np.sum(1.0 / self.periods)) if len(self.periods) else 0.0
+        self.cap = (
+            int(MAX_GRID_POINTS / inverse_sum) if inverse_sum else MAX_GRID_POINTS
+        )
+
+    def points_within(self, horizon: int) -> int:
+        """Upper bound on the number of step points in (0, horizon]."""
+        return int(sum(horizon // int(p) for p in self.periods))
+
+    def ensure(self, horizon: int) -> None:
+        """Materialize step points and demands up to ``horizon``."""
+        if horizon <= self.horizon:
+            return
+        ts = np.unique(
+            np.concatenate(
+                [
+                    np.arange(p, horizon + 1, p, dtype=np.int64)
+                    for p in self.periods
+                ]
+            )
+        )
+        demands = np.zeros_like(ts)
+        for p, c in zip(self.periods, self.wcets):
+            demands += (ts // p) * c
+        self.horizon = horizon
+        self.ts = ts
+        self.demands = demands
+
+    def upto(self, horizon: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of (step points, demands) within (0, horizon]."""
+        self.ensure(horizon)
+        end = int(np.searchsorted(self.ts, horizon, side="right"))
+        return self.ts[:end], self.demands[:end]
+
+
+def grid_for(taskset: TaskSet, cache: AnalysisCache) -> StepGrid:
+    """The (possibly cached) step grid of a task set."""
+    key: TaskSetKey = taskset_key(taskset)
+    grid = cache.get_grid(key)
+    if grid is None:
+        grid = StepGrid(taskset)
+        cache.put_grid(key, grid)
+    return grid
+
+
+def theorem1_betas(
+    utilization: Fraction, interfaces: list[tuple[int, int]]
+) -> list[int]:
+    """Exact ``ceil(β)`` per candidate, in integer arithmetic.
+
+    Same quantity as :func:`repro.analysis.schedulability.theorem1_bound`
+    — ``β = 2Θ(Π−Θ) / (Θ − UΠ)`` — computed with Python ints so huge
+    utilization denominators cannot overflow.  Every candidate must
+    satisfy ``Θ/Π > U`` strictly.
+    """
+    p, q = utilization.numerator, utilization.denominator
+    betas: list[int] = []
+    for period, budget in interfaces:
+        denominator = budget * q - p * period
+        if denominator <= 0:
+            raise ConfigurationError(
+                f"Theorem 1 needs bandwidth {budget}/{period} > U={utilization}"
+            )
+        numerator = 2 * budget * (period - budget) * q
+        betas.append(-(-numerator // denominator))
+    return betas
+
+
+def _lazy_violation(
+    grid: StepGrid, period: int, budget: int, beta: int
+) -> tuple[int, int, int] | None:
+    """Ascending heap-merged scan for grids too large to materialize.
+
+    Exactly the scalar semantics — first step point in (0, β] with
+    ``dbf > sbf`` — in O(points log periods) time and O(periods) memory.
+    """
+    heap: list[tuple[int, int]] = [
+        (int(p), int(p)) for p in grid.periods if p <= beta
+    ]
+    heapq.heapify(heap)
+    previous = 0
+    slack = period - budget
+    while heap:
+        t, task_period = heapq.heappop(heap)
+        if t + task_period <= beta:
+            heapq.heappush(heap, (t + task_period, task_period))
+        if t == previous:
+            continue
+        previous = t
+        demand = int(sum((t // p) * c for p, c in zip(grid.periods, grid.wcets)))
+        t_prime = t - slack
+        if t_prime < 0:
+            supply = 0
+        else:
+            full = t_prime // period
+            supply = full * budget + max(t_prime - period * full - slack, 0)
+        if demand > supply:
+            return t, demand, supply
+    return None
+
+
+def first_violation(
+    taskset: TaskSet,
+    interface: ResourceInterface,
+    beta: int,
+    cache: AnalysisCache,
+) -> tuple[int, int, int] | None:
+    """First ``(t, demand, supply)`` with dbf > sbf in (0, β], or None.
+
+    The vectorized replacement for the scalar Theorem-1 scan: demands
+    come from the shared :class:`StepGrid`, supplies from one
+    :func:`sbf_values` pass.
+    """
+    grid = grid_for(taskset, cache)
+    if grid.points_within(beta) > MAX_GRID_POINTS:
+        return _lazy_violation(grid, interface.period, interface.budget, beta)
+    ts, demands = grid.upto(beta)
+    if len(ts) == 0:
+        return None
+    supplies = sbf_values(ts, interface.period, interface.budget)
+    violations = demands > supplies
+    index = int(np.argmax(violations))
+    if not violations[index]:
+        return None
+    return int(ts[index]), int(demands[index]), int(supplies[index])
+
+
+def schedulable_many(
+    taskset: TaskSet,
+    interfaces: list[tuple[int, int]],
+    cache: AnalysisCache,
+    utilization: Fraction | None = None,
+) -> list[bool]:
+    """Theorem-1 verdicts for a whole batch of candidate ``(Π, Θ)``.
+
+    All candidates must have bandwidth strictly above the task-set
+    utilization (the binary-search ranges used by interface selection
+    guarantee it); degenerate cases stay with the scalar entry point.
+    Callers that already hold ``taskset.utilization`` can pass it via
+    ``utilization`` to skip re-deriving the Fraction sum per call.
+
+    One shared demand grid serves the entire batch, and supplies are
+    evaluated as a single (candidates × points) array program — chunked
+    to :data:`MAX_BATCH_CELLS` — instead of one scan per candidate.
+    Points beyond a candidate's own Theorem-1 bound β are masked out,
+    which keeps the verdict bit-identical to the scalar per-candidate
+    scan (a schedulable pair satisfies dbf<=sbf *everywhere*, so the
+    masking only matters for unschedulable ones, whose witness sits
+    inside (0, β] by Theorem 1).
+    """
+    if not interfaces:
+        return []
+    if utilization is None:
+        utilization = taskset.utilization
+    betas = theorem1_betas(utilization, interfaces)
+    grid = grid_for(taskset, cache)
+    cap = grid.cap
+    verdicts: list[bool | None] = [None] * len(interfaces)
+    batched: list[int] = []
+    for i, beta in enumerate(betas):
+        if beta > cap and grid.points_within(beta) > MAX_GRID_POINTS:
+            period, budget = interfaces[i]
+            verdicts[i] = _lazy_violation(grid, period, budget, beta) is None
+        else:
+            batched.append(i)
+    if not batched:
+        return verdicts  # type: ignore[return-value]
+    # Ascending-β order lets each chunk slice the grid at its *own*
+    # largest horizon — one huge-β probe no longer inflates the work of
+    # every small-β candidate sharing its batch.
+    batched.sort(key=lambda i: betas[i])
+    ts, demands = grid.upto(betas[batched[-1]])
+    if len(ts) == 0:
+        for i in batched:
+            verdicts[i] = True
+        return verdicts  # type: ignore[return-value]
+    periods = np.array([interfaces[i][0] for i in batched], dtype=np.int64)
+    budgets = np.array([interfaces[i][1] for i in batched], dtype=np.int64)
+    beta_arr = np.array([betas[i] for i in batched], dtype=np.int64)
+    ends = np.searchsorted(ts, beta_arr, side="right")
+    start = 0
+    while start < len(batched):
+        stop = start + 1
+        while (
+            stop < len(batched)
+            and int(ends[stop]) * (stop + 1 - start) <= MAX_BATCH_CELLS
+        ):
+            stop += 1
+        end = int(ends[stop - 1])
+        if end == 0:
+            for i in batched[start:stop]:
+                verdicts[i] = True
+            start = stop
+            continue
+        p = periods[start:stop, None]
+        b = budgets[start:stop, None]
+        slack = p - b
+        t_prime = ts[None, :end] - slack
+        full = t_prime // p
+        epsilon = t_prime - p * full - slack
+        supplies = np.where(
+            t_prime < 0, 0, full * b + np.maximum(epsilon, 0)
+        )
+        ok = (demands[None, :end] <= supplies) | (
+            ts[None, :end] > beta_arr[start:stop, None]
+        )
+        for offset, verdict in enumerate(ok.all(axis=1)):
+            verdicts[batched[start + offset]] = bool(verdict)
+        start = stop
+    return verdicts  # type: ignore[return-value]

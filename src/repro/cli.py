@@ -62,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the experiment's base seed (simulation-backed "
         "subcommands; ignored by the purely analytical ones)",
     )
+    common.add_argument(
+        "--analysis-backend",
+        choices=("scalar", "vectorized"),
+        default=None,
+        help="schedulability-analysis engine backend for this run "
+        "(default: the built-in default, vectorized); results are "
+        "identical under either backend",
+    )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     sub.add_parser(
@@ -88,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--processors", type=int, default=16, choices=(16, 64))
     fig7.add_argument("--trials", type=int, default=4)
     fig7.add_argument("--horizon", type=int, default=15_000)
+    fig7.add_argument(
+        "--with-analysis",
+        action="store_true",
+        help="also run the compositional analysis per trial and report "
+        "the analytically-schedulable ratio next to the simulated one",
+    )
 
     faults = sub.add_parser(
         "faults",
@@ -214,7 +228,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     # Imports are deferred so `--help` stays instant.
     from repro.runtime import ProgressPrinter, make_executor
 
-    executor = make_executor(args.workers)
+    worker_init = None
+    if args.analysis_backend is not None:
+        from functools import partial
+
+        from repro.analysis import set_default_backend
+
+        # Configure this process *and* any worker pool the executor
+        # spawns, so analysis inside parallel trials uses the same
+        # backend as a serial run.
+        set_default_backend(args.analysis_backend)
+        worker_init = partial(set_default_backend, args.analysis_backend)
+    executor = make_executor(args.workers, worker_init)
     hooks = ProgressPrinter() if args.progress else None
     failed = False
     if args.experiment == "table1":
@@ -244,6 +269,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             n_processors=args.processors,
             trials=args.trials,
             horizon=args.horizon,
+            analysis=args.with_analysis,
+            analysis_backend=args.analysis_backend,
         )
         if args.seed is not None:
             kwargs["seed"] = args.seed
@@ -345,6 +372,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         result = run_scalability_sweep(
             counts,
             seeds=(args.seed if args.seed is not None else 1,),
+            analysis_backend=args.analysis_backend,
             executor=executor,
             hooks=hooks,
         )

@@ -65,6 +65,13 @@ class Fig7Config:
     #: opt-in request tracing (repro.observability); observation-only,
     #: so measured results are identical with it on or off
     observability: bool = False
+    #: also run the compositional analysis per trial, emitting whether
+    #: the drawn workload is *analytically* schedulable on BlueScale
+    #: (``analysis/schedulable``) next to the simulated success
+    analysis: bool = False
+    #: analysis engine backend ("scalar"/"vectorized"); None uses the
+    #: process-wide default — verdicts are identical either way
+    analysis_backend: str | None = None
 
     @classmethod
     def paper_scale(cls, n_processors: int = 16) -> "Fig7Config":
@@ -97,6 +104,10 @@ class Fig7Result:
     config: Fig7Config
     #: success ratio per interconnect per utilization point
     success_ratio: dict[str, list[float]] = field(default_factory=dict)
+    #: fraction of trials analytically schedulable (BlueScale
+    #: composition) per utilization point; empty unless
+    #: ``config.analysis`` was on
+    analysis_ratio: list[float] = field(default_factory=list)
 
     def dominated_by_bluescale(self, other: str) -> bool:
         """True when BlueScale's curve is >= ``other``'s at every point."""
@@ -111,6 +122,10 @@ class Fig7Result:
             if series:
                 scalars[f"{name}/success_mean"] = sum(series) / len(series)
                 scalars[f"{name}/success_at_max_u"] = series[-1]
+        if self.analysis_ratio:
+            scalars["analysis/schedulable_mean"] = sum(
+                self.analysis_ratio
+            ) / len(self.analysis_ratio)
         return MetricSet(
             scalars=scalars,
             tags={
@@ -192,6 +207,17 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
         "utilization": str(utilization),
         "trial": str(spec.param("trial")),
     }
+    if config.analysis:
+        from repro.analysis import compose
+        from repro.topology import quadtree
+
+        composition = compose(
+            quadtree(config.n_clients),
+            combined,
+            backend=config.analysis_backend,
+        )
+        scalars["analysis/schedulable"] = 1.0 if composition.schedulable else 0.0
+        scalars["analysis/root_bandwidth"] = float(composition.root_bandwidth)
     for name in interconnects:
         interconnect = build_interconnect(
             name, config.n_clients, combined, config.factory
@@ -263,6 +289,13 @@ def reduce_fig7(
         for name in interconnects:
             successes = sum(o.metrics[f"{name}/success"] for o in batch)
             result.success_ratio[name].append(successes / config.trials)
+        if config.analysis:
+            schedulable = sum(
+                o.metrics["analysis/schedulable"]
+                for o in batch
+                if "analysis/schedulable" in o.metrics
+            )
+            result.analysis_ratio.append(schedulable / config.trials)
     return result
 
 
@@ -282,10 +315,13 @@ def run_fig7(
 
 def format_fig7(result: Fig7Result) -> str:
     """Render the Fig. 7 success-ratio curves as a series table."""
+    series = dict(result.success_ratio)
+    if result.analysis_ratio:
+        series["analysis (BlueScale)"] = result.analysis_ratio
     return format_series(
         "target U",
         [f"{u:.2f}" for u in result.config.utilizations],
-        result.success_ratio,
+        series,
         title=(
             f"Fig 7 — success ratio, {result.config.n_processors}-core system "
             f"(+1 HA), {result.config.trials} trials/point"

@@ -162,6 +162,7 @@ def run_scalability_sweep(
     interconnects: tuple[str, ...] = ("BlueScale", "BlueTree", "AXI-IC^RT"),
     factory: FactoryConfig = DEFAULT_FACTORY_CONFIG,
     with_admission_ceiling: bool = True,
+    analysis_backend: str | None = None,
     executor: Executor | None = None,
     hooks: ExecutionHooks | None = None,
 ) -> ScalabilityResult:
@@ -169,7 +170,9 @@ def run_scalability_sweep(
 
     The simulation trials fan out through the executor; the
     analysis-side admission ceiling (exact rational arithmetic, fast)
-    stays in-process.
+    stays in-process.  ``analysis_backend`` picks the ceiling search's
+    engine backend (None → the process-wide default); the ceilings are
+    identical under either backend.
     """
     if not client_counts:
         raise ConfigurationError("need at least one system size")
@@ -185,7 +188,10 @@ def run_scalability_sweep(
             tasksets = generate_client_tasksets(rng, n_clients, 2, 0.2)
             try:
                 result.admission_ceiling[n_clients] = breakdown_utilization(
-                    quadtree(n_clients), tasksets, precision=0.1
+                    quadtree(n_clients),
+                    tasksets,
+                    precision=0.1,
+                    backend=analysis_backend,
                 )
             except ConfigurationError:
                 result.admission_ceiling[n_clients] = 0.0

@@ -181,9 +181,19 @@ class ParallelExecutor:
     by default it targets ~4 chunks per worker.  Ordered collection is
     what makes parallel ≡ serial: ``ProcessPoolExecutor.map`` yields
     results in submission order regardless of completion order.
+
+    ``worker_init`` (a picklable zero-argument callable) runs once in
+    every worker process before its first trial — the hook for
+    replicating process-wide configuration such as the analysis engine
+    backend (``partial(set_default_backend, "scalar")``) into the pool.
     """
 
-    def __init__(self, workers: int, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: int | None = None,
+        worker_init: Callable[[], object] | None = None,
+    ) -> None:
         if workers < 2:
             raise ConfigurationError(
                 f"ParallelExecutor needs >= 2 workers, got {workers}; "
@@ -193,6 +203,7 @@ class ParallelExecutor:
             raise ConfigurationError(f"invalid chunk size {chunk_size}")
         self._workers = workers
         self.chunk_size = chunk_size
+        self.worker_init = worker_init
 
     @property
     def workers(self) -> int:
@@ -213,7 +224,10 @@ class ParallelExecutor:
         hooks.on_batch_start(specs)
         outcomes: list[TrialOutcome] = []
         if specs:
-            with ProcessPoolExecutor(max_workers=self._workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=self.worker_init,
+            ) as pool:
                 for outcome in pool.map(
                     partial(_execute_one, runner),
                     specs,
@@ -225,8 +239,15 @@ class ParallelExecutor:
         return outcomes
 
 
-def make_executor(workers: int | None) -> Executor:
-    """The executor for a ``--workers N`` request (None/0/1 → serial)."""
+def make_executor(
+    workers: int | None,
+    worker_init: Callable[[], object] | None = None,
+) -> Executor:
+    """The executor for a ``--workers N`` request (None/0/1 → serial).
+
+    ``worker_init`` is forwarded to :class:`ParallelExecutor`; the
+    serial path ignores it (the calling process is already configured).
+    """
     if workers is None or workers <= 1:
         return SerialExecutor()
-    return ParallelExecutor(workers)
+    return ParallelExecutor(workers, worker_init=worker_init)

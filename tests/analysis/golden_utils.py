@@ -1,0 +1,54 @@
+"""Shared builder/snapshot helpers for the golden interface fixtures.
+
+Used by both the regression test (``test_golden_interfaces.py``) and
+the regeneration script (``scripts/regen_golden_interfaces.py``) so the
+two can never drift apart on what a canonical system or snapshot is.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+from repro.tasks.generators import generate_client_tasksets
+from repro.topology import quadtree
+
+#: the canonical topologies pinned by the fixture
+GOLDEN_SIZES = (16, 32, 64)
+
+FIXTURE_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "fixtures"
+    / "golden_interfaces.json"
+)
+
+
+def golden_system(n_clients: int):
+    """The canonical (topology, tasksets) pair for one fixture size.
+
+    The seed string pins the workload draw; changing it (or the
+    generator) invalidates the fixture, which is exactly what the
+    regression test should then report.
+    """
+    rng = random.Random(f"golden-ifc/{n_clients}")
+    tasksets = generate_client_tasksets(rng, n_clients, 2, 0.3)
+    return quadtree(n_clients), tasksets
+
+
+def composition_snapshot(result) -> dict:
+    """A JSON-stable snapshot of one composition's selected interfaces.
+
+    ``(Π, Θ)`` per port per SE (node keys rendered ``"level/order"``),
+    plus the verdict and the exact root bandwidth as a fraction string.
+    """
+    return {
+        "schedulable": result.schedulable,
+        "root_bandwidth": str(result.root_bandwidth),
+        "interfaces": {
+            f"{node[0]}/{node[1]}": [
+                [interface.period, interface.budget]
+                for interface in interfaces
+            ]
+            for node, interfaces in sorted(result.interfaces.items())
+        },
+    }

@@ -1,0 +1,49 @@
+"""Golden-value regression: selected interfaces for canonical systems.
+
+Pins the exact ``(Π, Θ)`` chosen at every quadtree port for three
+canonical topologies (16/32/64 clients), as JSON under
+``tests/fixtures/``.  Any change to selection semantics — Theorem-2
+bounds, tie-breaking, candidate sampling, either backend — shows up
+here as a concrete interface diff rather than a downstream experiment
+drift.  Regenerate intentionally with
+``scripts/regen_golden_interfaces.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisCache, compose
+from repro.analysis.cache import DISABLED
+
+from .golden_utils import (
+    FIXTURE_PATH,
+    GOLDEN_SIZES,
+    composition_snapshot,
+    golden_system,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.mark.parametrize("n_clients", GOLDEN_SIZES)
+class TestGoldenInterfaces:
+    def test_scalar_backend_matches_fixture(self, golden, n_clients):
+        topology, tasksets = golden_system(n_clients)
+        result = compose(topology, tasksets, backend="scalar", cache=DISABLED)
+        assert composition_snapshot(result) == golden[str(n_clients)]
+
+    def test_vectorized_backend_matches_fixture(self, golden, n_clients):
+        topology, tasksets = golden_system(n_clients)
+        result = compose(
+            topology, tasksets, backend="vectorized", cache=AnalysisCache()
+        )
+        assert composition_snapshot(result) == golden[str(n_clients)]
+
+    def test_fixture_systems_are_schedulable(self, golden, n_clients):
+        """The canonical draws compose — so the fixture pins real
+        selections at every level, not an early-out failure record."""
+        assert golden[str(n_clients)]["schedulable"] is True

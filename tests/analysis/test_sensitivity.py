@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.composition import compose
 from repro.analysis.sensitivity import (
     breakdown_scale,
@@ -151,3 +152,52 @@ class TestSlack:
         composition = compose(topology, tasksets)
         slack = slack_per_client(composition, tasksets)
         assert 2 not in slack
+
+
+class TestBreakdownCacheReuse:
+    """Regression for the per-perturbation re-derivation bug: every
+    probe of a breakdown search used to recompose unchanged subtrees
+    from scratch.  The search now routes all probes through one
+    :class:`AnalysisCache`; these tests pin that the caching is (a)
+    output-transparent and (b) actually happening."""
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_breakdown_identical_with_and_without_cache(self, backend):
+        topology, tasksets = light_system(utilization=0.25)
+        cold = breakdown_scale(
+            topology,
+            tasksets,
+            precision=0.05,
+            backend=backend,
+            cache=AnalysisCache(enabled=False),
+        )
+        cache = AnalysisCache()
+        warm = breakdown_scale(
+            topology,
+            tasksets,
+            precision=0.05,
+            backend=backend,
+            cache=cache,
+        )
+        assert warm.scale == cold.scale
+        assert warm.composition.interfaces == cold.composition.interfaces
+        assert (
+            warm.composition.root_bandwidth == cold.composition.root_bandwidth
+        )
+        # the probes really did share selections across sweep points
+        assert cache.stats.selection_hits > 0
+
+    def test_breakdown_utilization_identical_with_and_without_cache(self):
+        topology, tasksets = light_system(utilization=0.25)
+        cold = breakdown_utilization(
+            topology,
+            tasksets,
+            precision=0.1,
+            cache=AnalysisCache(enabled=False),
+        )
+        cache = AnalysisCache()
+        warm = breakdown_utilization(
+            topology, tasksets, precision=0.1, cache=cache
+        )
+        assert warm == cold
+        assert cache.stats.selection_hits > 0

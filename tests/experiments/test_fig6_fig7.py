@@ -104,3 +104,56 @@ class TestFig7Harness:
         assert len(config.utilizations) == 17
         assert config.utilizations[0] == 0.10
         assert config.utilizations[-1] == 0.90
+
+
+class TestFig7WithAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(
+            Fig7Config(
+                n_processors=16,
+                trials=2,
+                horizon=4_000,
+                drain=2_000,
+                utilizations=(0.3, 0.9),
+                analysis=True,
+            ),
+            interconnects=("BlueScale",),
+        )
+
+    def test_analysis_ratio_per_utilization_point(self, result):
+        assert len(result.analysis_ratio) == 2
+        assert all(0.0 <= r <= 1.0 for r in result.analysis_ratio)
+        # low utilization composes, way-over-ceiling cannot
+        assert result.analysis_ratio[0] == 1.0
+        assert result.analysis_ratio[-1] == 0.0
+
+    def test_analysis_is_sound_wrt_simulation(self, result):
+        """Analytical admission is conservative: wherever the analysis
+        says schedulable, simulation agrees (the reverse need not
+        hold)."""
+        for ratio, simulated in zip(
+            result.analysis_ratio, result.success_ratio["BlueScale"]
+        ):
+            if ratio == 1.0:
+                assert simulated == 1.0
+
+    def test_metric_set_and_formatting_carry_analysis(self, result):
+        assert "analysis/schedulable_mean" in result.metric_set().scalars
+        assert "analysis (BlueScale)" in format_fig7(result)
+
+    def test_backend_override_identical(self, result):
+        scalar = run_fig7(
+            Fig7Config(
+                n_processors=16,
+                trials=2,
+                horizon=4_000,
+                drain=2_000,
+                utilizations=(0.3, 0.9),
+                analysis=True,
+                analysis_backend="scalar",
+            ),
+            interconnects=("BlueScale",),
+        )
+        assert scalar.analysis_ratio == result.analysis_ratio
+        assert scalar.success_ratio == result.success_ratio

@@ -28,6 +28,15 @@ def flaky_runner(spec: TrialSpec) -> MetricSet:
     return square_runner(spec)
 
 
+def backend_probe_runner(spec: TrialSpec) -> MetricSet:
+    """Reports which analysis backend the executing process defaults to."""
+    from repro.analysis import get_default_backend
+
+    return MetricSet(
+        scalars={"scalar": 1.0 if get_default_backend() == "scalar" else 0.0}
+    )
+
+
 def make_specs(n):
     return [TrialSpec.make("toy", i, i) for i in range(n)]
 
@@ -129,6 +138,22 @@ class TestParallelExecutor:
     def test_empty_batch(self):
         assert ParallelExecutor(2).map(square_runner, []) == []
 
+    def test_worker_init_configures_every_worker(self):
+        """A worker_init callable runs in each pool process before its
+        first trial — the mechanism the CLI uses to replicate
+        --analysis-backend into parallel workers."""
+        from functools import partial
+
+        from repro.analysis import get_default_backend, set_default_backend
+
+        assert get_default_backend() == "vectorized"  # submitting process
+        outcomes = ParallelExecutor(
+            2, worker_init=partial(set_default_backend, "scalar")
+        ).map(backend_probe_runner, make_specs(4))
+        assert [o.metrics["scalar"] for o in outcomes] == [1.0] * 4
+        # the submitting process is untouched by the workers' init
+        assert get_default_backend() == "vectorized"
+
 
 class TestMakeExecutor:
     def test_serial_for_one_or_none(self):
@@ -140,6 +165,16 @@ class TestMakeExecutor:
         executor = make_executor(3)
         assert isinstance(executor, ParallelExecutor)
         assert executor.workers == 3
+
+    def test_worker_init_forwarded(self):
+        from functools import partial
+
+        from repro.analysis import set_default_backend
+
+        init = partial(set_default_backend, "scalar")
+        executor = make_executor(2, init)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.worker_init is init
 
 
 class TestParallelEqualsSerial:
