@@ -1,0 +1,76 @@
+"""The admission-control daemon, end to end, in one process.
+
+Spins up ``repro.service``'s HTTP daemon on an ephemeral port (the same
+daemon ``python -m repro serve`` runs), then acts as an integrator
+loading software onto a 16-client BlueScale SoC:
+
+1. probe a light camera pipeline on client 3 — admitted, and the
+   response carries the leaf ``(Π, Θ)`` interface the client would get;
+2. commit it, so the daemon's session now carries the new workload;
+3. try to load a memory hog next to it — rejected, and the response
+   carries the *witness*: which Scale Element over-subscribes and by
+   how much;
+4. read the service metrics: every decision was answered from the
+   shared analysis cache after the model's one-time composition.
+
+Run:  python examples/admission_service.py
+"""
+
+from repro.analysis import SystemModel
+from repro.service import ServiceClient, start_background
+from repro.tasks import PeriodicTask
+
+
+def main() -> None:
+    # One frozen model = one deployed system. Composed exactly once.
+    model = SystemModel.from_seed(16, utilization=0.3, seed=7)
+    handle = start_background(model)
+    print(f"daemon listening on {handle.url}")
+    print(f"model: {model.label}, baseline schedulable: {model.schedulable}")
+
+    with ServiceClient(handle.host, handle.port) as client:
+        camera = [
+            PeriodicTask(period=1000, wcet=2, name="camera/frame"),
+            PeriodicTask(period=4000, wcet=1, name="camera/stats"),
+        ]
+        probe = client.admission(3, camera)
+        print(
+            f"\nprobe camera pipeline on client 3: "
+            f"admitted={probe['admitted']}"
+        )
+        print(f"  leaf interface: {probe['interface']}")
+
+        commit = client.admission(3, camera, commit=True)
+        print(f"commit: committed={commit['committed']}")
+        print("  reprogrammed path:")
+        for hop in commit["path"]:
+            print(
+                f"    SE{tuple(hop['node'])} port {hop['port']}: "
+                f"(Π={hop['interface']['period']}, "
+                f"Θ={hop['interface']['budget']})"
+            )
+
+        hog = PeriodicTask(period=64, wcet=60, name="dma/hog")
+        rejected = client.admission(3, hog)
+        print(f"\nprobe DMA hog on client 3: admitted={rejected['admitted']}")
+        witness = rejected["witness"]
+        print(f"  witness: {witness['reason']}")
+        print(
+            f"  submission asked for "
+            f"{witness['submitted_utilization']:.2f} bandwidth; root would "
+            f"need {witness['root_bandwidth']:.2f} > 1"
+        )
+
+        metrics = client.metrics()
+        print(
+            f"\nservice answered {metrics['metrics']['service/requests']:.0f} "
+            f"requests ({metrics['metrics']['service/admitted']:.0f} admitted, "
+            f"{metrics['metrics']['service/rejected']:.0f} rejected), "
+            f"cache hit rate {metrics['cache']['hit_rate']:.0%}"
+        )
+
+    handle.stop()
+
+
+if __name__ == "__main__":
+    main()

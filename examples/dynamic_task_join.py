@@ -17,7 +17,7 @@ Run:  python examples/dynamic_task_join.py
 import random
 import time
 
-from repro.analysis import compose, update_client
+from repro.analysis import SystemModel
 from repro.experiments.factory import axi_budgets
 from repro.tasks import PeriodicTask, generate_client_tasksets
 from repro.topology import quadtree
@@ -31,9 +31,12 @@ def main() -> None:
     )
     topology = quadtree(n_clients)
 
+    # Freeze the composed system into a SystemModel once; admissions
+    # then run through a cheap per-request AdmissionSession.
     t0 = time.perf_counter()
-    baseline = compose(topology, tasksets)
+    model = SystemModel.build(topology, tasksets, label="dynamic-join demo")
     full_time = time.perf_counter() - t0
+    baseline = model.baseline
     print(
         f"initial composition over {topology.n_nodes()} SEs: "
         f"{full_time * 1000:.0f} ms, schedulable={baseline.schedulable}"
@@ -41,15 +44,13 @@ def main() -> None:
 
     # A new task joins client 42.
     joining_client = 42
-    tasksets[joining_client] = tasksets[joining_client].merged_with(
-        type(tasksets[joining_client])(
-            [PeriodicTask(period=500, wcet=4, name="joined", client_id=joining_client)]
-        )
-    )
-
+    session = model.session()
     t0 = time.perf_counter()
-    updated = update_client(baseline, tasksets, joining_client)
+    decision = session.admit(
+        joining_client, PeriodicTask(period=500, wcet=4, name="joined")
+    )
     update_time = time.perf_counter() - t0
+    updated = decision.composition
     changed = [
         node
         for node in baseline.interfaces
@@ -63,9 +64,11 @@ def main() -> None:
     print(f"  request path of client {joining_client}: {path}")
     print(f"  SEs touched: {len(path)} of {topology.n_nodes()}")
     print(f"  SEs actually changed: {changed}")
-    print(f"  still schedulable: {updated.schedulable}")
+    print(f"  admitted: {decision.admitted}, still schedulable: {updated.schedulable}")
+    print(f"  client {joining_client}'s new leaf interface: {decision.interface}")
 
     # The centralized alternative: every client budget is recomputed.
+    tasksets = session.tasksets
     before = axi_budgets(n_clients, tasksets, window=200, margin=1.5)
     after = axi_budgets(n_clients, tasksets, window=200, margin=1.5)
     print(

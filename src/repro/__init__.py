@@ -20,7 +20,9 @@ see the subpackages for the full API:
 """
 
 from repro.analysis import (
+    AdmissionSession,
     ResourceInterface,
+    SystemModel,
     compose,
     is_schedulable,
     select_interface,
@@ -33,7 +35,9 @@ from repro.topology import TreeTopology, binary_tree, quadtree
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionSession",
     "ResourceInterface",
+    "SystemModel",
     "compose",
     "is_schedulable",
     "select_interface",

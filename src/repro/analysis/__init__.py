@@ -16,6 +16,10 @@ from repro.analysis.cache import (
     taskset_digest,
     taskset_key,
 )
+from repro.analysis.context import (
+    DEFAULT_CONFIG,
+    AnalysisContext,
+)
 from repro.analysis.engine import (
     BACKENDS,
     get_default_backend,
@@ -65,6 +69,12 @@ from repro.analysis.sensitivity import (
     can_admit,
     slack_per_client,
 )
+from repro.analysis.model import SystemModel
+from repro.analysis.session import (
+    AdmissionDecision,
+    AdmissionSession,
+    RejectionWitness,
+)
 from repro.analysis.response_time import (
     PathResponseBound,
     busy_period_length,
@@ -75,8 +85,14 @@ from repro.analysis.response_time import (
 )
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionSession",
     "AnalysisCache",
+    "AnalysisContext",
     "BACKENDS",
+    "DEFAULT_CONFIG",
+    "RejectionWitness",
+    "SystemModel",
     "CacheStats",
     "StepGrid",
     "dbf_values",

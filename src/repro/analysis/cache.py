@@ -17,6 +17,14 @@ multiset of its ``(T, C)`` pairs, which is precisely the information
 dbf/sbf analysis depends on — so a cache hit is bit-identical to the
 cold path by construction (and asserted by the property suite).
 
+The cache is **thread-safe**: every table access and every stats
+update happens under one internal lock, so a single shared cache can
+serve concurrent admission requests (:mod:`repro.service`) without
+corrupting the FIFO eviction order or the hit/miss counters.  The lock
+is dropped on pickling and re-created on unpickling, which keeps
+cache-carrying objects (e.g. :class:`repro.analysis.model.SystemModel`)
+picklable across executor workers.
+
 The default process-wide cache (:func:`get_default_cache`) is what
 ``cache=None`` resolves to; pass :data:`DISABLED` (or
 ``AnalysisCache(enabled=False)``) to force cold-path evaluation, e.g.
@@ -26,7 +34,8 @@ when benchmarking the scalar oracle.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import TYPE_CHECKING, Any
 
@@ -57,7 +66,14 @@ def taskset_digest(taskset: TaskSet) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split per table."""
+    """Hit/miss counters, split per table.
+
+    Counters are **cumulative over the cache's lifetime**: clearing the
+    tables (:meth:`AnalysisCache.clear`) does not zero them, so a
+    long-running service's hit-rate metrics survive an operator-issued
+    cache flush.  :meth:`AnalysisCache.reset_stats` zeroes them
+    explicitly.
+    """
 
     selection_hits: int = 0
     selection_misses: int = 0
@@ -72,6 +88,16 @@ class CacheStats:
     def misses(self) -> int:
         return self.selection_misses + self.grid_misses
 
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the tables (0.0 when idle)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
     def as_dict(self) -> dict[str, int]:
         return {
             "selection_hits": self.selection_hits,
@@ -82,12 +108,16 @@ class CacheStats:
 
 
 class AnalysisCache:
-    """Bounded memo tables for selections and step-point grids.
+    """Bounded, thread-safe memo tables for selections and grids.
 
     ``max_selections`` / ``max_grids`` bound memory; eviction is FIFO
     (oldest insertion first), which is plenty for sweep workloads whose
     reuse is temporally clustered.  A disabled cache stores nothing and
     returns nothing, making the cold path trivially reachable.
+
+    All lookups, inserts, evictions and stats updates are serialized by
+    one internal lock, so any number of threads may share one cache —
+    the admission-control daemon does exactly that.
     """
 
     def __init__(
@@ -102,6 +132,7 @@ class AnalysisCache:
         self.stats = CacheStats()
         self._selections: dict[tuple, "SelectionResult"] = {}
         self._grids: dict[TaskSetKey, Any] = {}
+        self._lock = threading.Lock()
 
     # -- selection results ---------------------------------------------------
     @staticmethod
@@ -122,46 +153,82 @@ class AnalysisCache:
     def get_selection(self, key: tuple) -> "SelectionResult | None":
         if not self.enabled:
             return None
-        found = self._selections.get(key)
-        if found is None:
-            self.stats.selection_misses += 1
-        else:
-            self.stats.selection_hits += 1
-        return found
+        with self._lock:
+            found = self._selections.get(key)
+            if found is None:
+                self.stats.selection_misses += 1
+            else:
+                self.stats.selection_hits += 1
+            return found
 
     def put_selection(self, key: tuple, result: "SelectionResult") -> None:
         if not self.enabled:
             return
-        if len(self._selections) >= self.max_selections:
-            self._selections.pop(next(iter(self._selections)))
-        self._selections[key] = result
+        with self._lock:
+            if key not in self._selections and (
+                len(self._selections) >= self.max_selections
+            ):
+                self._selections.pop(next(iter(self._selections)))
+            self._selections[key] = result
 
     # -- step-point grids (vectorized backend) ------------------------------
     def get_grid(self, key: TaskSetKey) -> Any | None:
         if not self.enabled:
             return None
-        found = self._grids.get(key)
-        if found is None:
-            self.stats.grid_misses += 1
-        else:
-            self.stats.grid_hits += 1
-        return found
+        with self._lock:
+            found = self._grids.get(key)
+            if found is None:
+                self.stats.grid_misses += 1
+            else:
+                self.stats.grid_hits += 1
+            return found
 
     def put_grid(self, key: TaskSetKey, grid: Any) -> None:
         if not self.enabled:
             return
-        if len(self._grids) >= self.max_grids:
-            self._grids.pop(next(iter(self._grids)))
-        self._grids[key] = grid
+        with self._lock:
+            if key not in self._grids and len(self._grids) >= self.max_grids:
+                self._grids.pop(next(iter(self._grids)))
+            self._grids[key] = grid
 
     # -- bookkeeping ---------------------------------------------------------
     def clear(self) -> None:
-        self._selections.clear()
-        self._grids.clear()
-        self.stats = CacheStats()
+        """Drop every memoized entry; the stats counters keep counting."""
+        with self._lock:
+            self._selections.clear()
+            self._grids.clear()
+
+    def reset_stats(self) -> CacheStats:
+        """Zero the hit/miss counters; returns the retired ones."""
+        with self._lock:
+            retired = self.stats
+            self.stats = CacheStats()
+            return retired
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent point-in-time copy of the counters."""
+        with self._lock:
+            return CacheStats(**self.stats.as_dict())
 
     def __len__(self) -> int:
-        return len(self._selections) + len(self._grids)
+        with self._lock:
+            return len(self._selections) + len(self._grids)
+
+    # -- pickling ------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # Snapshot under the lock so a concurrently-used cache pickles
+        # a consistent view; the lock itself cannot cross processes.
+        with self._lock:
+            state = dict(self.__dict__)
+            state["_selections"] = dict(self._selections)
+            state["_grids"] = dict(self._grids)
+            state["stats"] = CacheStats(**self.stats.as_dict())
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 #: the always-cold cache: every lookup misses, nothing is stored

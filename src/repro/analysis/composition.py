@@ -11,6 +11,12 @@ selects one interface per local client:
 
 After level 0 is resolved, the memory controller must not be
 over-utilized by the root's server tasks: ``Σ Θ_X/Π_X <= 1``.
+
+Both :func:`compose` (whole tree) and :func:`update_client` (one
+client's root path) resolve each SE through the same
+:func:`_resolve_node` step, driven by a single
+:class:`~repro.analysis.context.AnalysisContext` built once at the
+entry point — no per-call backend/cache threading.
 """
 
 from __future__ import annotations
@@ -19,11 +25,12 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.analysis.cache import AnalysisCache
-from repro.analysis.interface_selection import (
+from repro.analysis.context import (
     DEFAULT_CONFIG,
+    AnalysisContext,
     SelectionConfig,
-    select_interface,
 )
+from repro.analysis.interface_selection import select_interface
 from repro.analysis.prm import ResourceInterface
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.tasks.task import PeriodicTask
@@ -151,6 +158,70 @@ def default_deadline_margin(topology: TreeTopology) -> int:
     return request_hops + 1 + response_hops
 
 
+def _resolve_node(
+    node: NodeId,
+    port_sets: list[TaskSet],
+    result: CompositionResult,
+    ctx: AnalysisContext,
+) -> None:
+    """Select every port interface of one SE and record the outcome.
+
+    Shared by :func:`compose` and :func:`update_client` so the two can
+    never disagree on what resolving an SE means: over-utilization
+    checks, per-port selection, the full-bandwidth fallback that keeps
+    an infeasible composition observable, and the SE-local bandwidth
+    cap are all applied here, mutating ``result`` in place.
+    """
+    total_util = sum((ts.utilization for ts in port_sets), Fraction(0))
+    if total_util > 1:
+        result.schedulable = False
+        result.failure = (
+            f"SE{node} is over-utilized: local demand "
+            f"{float(total_util):.3f} > 1"
+        )
+    interfaces: list[ResourceInterface] = []
+    for port, taskset in enumerate(port_sets):
+        if len(taskset) == 0:
+            interfaces.append(ResourceInterface(1, 0))
+            continue
+        sibling_util = total_util - taskset.utilization
+        try:
+            selection = select_interface(taskset, sibling_util, ctx=ctx)
+            interfaces.append(selection.interface)
+        except InfeasibleError as exc:
+            result.schedulable = False
+            if not result.failure:
+                result.failure = f"SE{node} port {port}: {exc}"
+            # Fall back to a full-bandwidth interface so the
+            # composition can continue and report root pressure.
+            fallback_period = max(taskset.min_period // 2, 1)
+            interfaces.append(
+                ResourceInterface(fallback_period, fallback_period)
+            )
+    result.interfaces[node] = interfaces
+    selected_bw = result.node_bandwidth(node)
+    if selected_bw > 1 and result.schedulable:
+        # The SE forwards at most one transaction per slot; four
+        # servers jointly demanding more cannot all be honored.
+        result.schedulable = False
+        result.failure = (
+            f"SE{node}: selected server bandwidths sum to "
+            f"{float(selected_bw):.3f} > 1"
+        )
+
+
+def _check_root(result: CompositionResult) -> None:
+    """Apply the memory-controller utilization check to the root."""
+    result.root_bandwidth = result.node_bandwidth((0, 0))
+    if result.root_bandwidth > 1:
+        result.schedulable = False
+        if not result.failure:
+            result.failure = (
+                f"memory controller over-utilized: root bandwidth "
+                f"{float(result.root_bandwidth):.3f} > 1"
+            )
+
+
 def compose(
     topology: TreeTopology,
     client_tasksets: dict[int, TaskSet],
@@ -158,6 +229,8 @@ def compose(
     deadline_margin: int | None = None,
     backend: str | None = None,
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> CompositionResult:
     """Resolve all interface-selection problems from level L down to 0.
 
@@ -166,10 +239,11 @@ def compose(
     (Fig. 7's utilization sweep) need to observe infeasible points, not
     crash on them.
 
-    ``backend`` / ``cache`` select and memoize the per-VE searches (see
-    :func:`~repro.analysis.interface_selection.select_interface`):
+    ``ctx`` (or the ``config``/``backend``/``cache`` compatibility
+    keywords it is built from) selects and memoizes the per-VE searches
+    (see :func:`~repro.analysis.interface_selection.select_interface`):
     sweeps that re-compose mostly-unchanged trees reuse every unchanged
-    subtree's selection from the cache.
+    subtree's selection from the context's cache.
     """
     for client_id in client_tasksets:
         if not 0 <= client_id < topology.n_clients:
@@ -177,6 +251,8 @@ def compose(
                 f"task set given for client {client_id}, but topology has "
                 f"{topology.n_clients} clients"
             )
+    if ctx is None:
+        ctx = AnalysisContext.resolve(backend, cache, config)
     if deadline_margin is None:
         deadline_margin = default_deadline_margin(topology)
     result = CompositionResult(topology=topology)
@@ -188,55 +264,8 @@ def compose(
             port_sets = _port_tasksets(
                 topology, node, client_tasksets, result, deadline_margin
             )
-            total_util = sum(
-                (ts.utilization for ts in port_sets), Fraction(0)
-            )
-            if total_util > 1:
-                result.schedulable = False
-                result.failure = (
-                    f"SE{node} is over-utilized: local demand "
-                    f"{float(total_util):.3f} > 1"
-                )
-            interfaces: list[ResourceInterface] = []
-            for port, taskset in enumerate(port_sets):
-                if len(taskset) == 0:
-                    interfaces.append(ResourceInterface(1, 0))
-                    continue
-                sibling_util = total_util - taskset.utilization
-                try:
-                    selection = select_interface(
-                        taskset, sibling_util, config, backend, cache
-                    )
-                    interfaces.append(selection.interface)
-                except InfeasibleError as exc:
-                    result.schedulable = False
-                    if not result.failure:
-                        result.failure = f"SE{node} port {port}: {exc}"
-                    # Fall back to a full-bandwidth interface so the
-                    # composition can continue and report root pressure.
-                    fallback_period = max(taskset.min_period // 2, 1)
-                    interfaces.append(
-                        ResourceInterface(fallback_period, fallback_period)
-                    )
-            result.interfaces[node] = interfaces
-            selected_bw = result.node_bandwidth(node)
-            if selected_bw > 1 and result.schedulable:
-                # The SE forwards at most one transaction per slot; four
-                # servers jointly demanding more cannot all be honored.
-                result.schedulable = False
-                result.failure = (
-                    f"SE{node}: selected server bandwidths sum to "
-                    f"{float(selected_bw):.3f} > 1"
-                )
-    root = (0, 0)
-    result.root_bandwidth = result.node_bandwidth(root)
-    if result.root_bandwidth > 1:
-        result.schedulable = False
-        if not result.failure:
-            result.failure = (
-                f"memory controller over-utilized: root bandwidth "
-                f"{float(result.root_bandwidth):.3f} > 1"
-            )
+            _resolve_node(node, port_sets, result, ctx)
+    _check_root(result)
     return result
 
 
@@ -248,6 +277,8 @@ def update_client(
     deadline_margin: int | None = None,
     backend: str | None = None,
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> CompositionResult:
     """Re-resolve only the SEs on one client's memory-request path.
 
@@ -257,48 +288,18 @@ def update_client(
     reused verbatim.
     """
     topology = result.topology
+    if ctx is None:
+        ctx = AnalysisContext.resolve(backend, cache, config)
     if deadline_margin is None:
         deadline_margin = default_deadline_margin(topology)
     fresh = CompositionResult(topology=topology)
     fresh.interfaces = dict(result.interfaces)
     fresh.schedulable = True
-    path = topology.path_to_root(client_id)
-    for node in path:  # leaf first, root last — same order as compose()
+    for node in topology.path_to_root(client_id):
+        # leaf first, root last — same order as compose()
         port_sets = _port_tasksets(
             topology, node, client_tasksets, fresh, deadline_margin
         )
-        total_util = sum((ts.utilization for ts in port_sets), Fraction(0))
-        if total_util > 1:
-            fresh.schedulable = False
-            fresh.failure = (
-                f"SE{node} is over-utilized: local demand "
-                f"{float(total_util):.3f} > 1"
-            )
-        interfaces = []
-        for port, taskset in enumerate(port_sets):
-            if len(taskset) == 0:
-                interfaces.append(ResourceInterface(1, 0))
-                continue
-            sibling_util = total_util - taskset.utilization
-            try:
-                interfaces.append(
-                    select_interface(
-                        taskset, sibling_util, config, backend, cache
-                    ).interface
-                )
-            except InfeasibleError as exc:
-                fresh.schedulable = False
-                if not fresh.failure:
-                    fresh.failure = f"SE{node} port {port}: {exc}"
-                fallback_period = max(taskset.min_period // 2, 1)
-                interfaces.append(ResourceInterface(fallback_period, fallback_period))
-        fresh.interfaces[node] = interfaces
-    fresh.root_bandwidth = fresh.node_bandwidth((0, 0))
-    if fresh.root_bandwidth > 1:
-        fresh.schedulable = False
-        if not fresh.failure:
-            fresh.failure = (
-                f"memory controller over-utilized: root bandwidth "
-                f"{float(fresh.root_bandwidth):.3f} > 1"
-            )
+        _resolve_node(node, port_sets, fresh, ctx)
+    _check_root(fresh)
     return fresh

@@ -20,6 +20,11 @@ The search follows the paper exactly:
 * Among all candidates the pair with minimum bandwidth wins; ties break
   toward the larger period (fewer server replenishments per unit time,
   i.e. less scheduling activity in the SE hardware).
+
+How to run the search — engine backend, memo cache, search config — is
+bundled in one :class:`~repro.analysis.context.AnalysisContext`; the
+public functions still accept ``backend=`` / ``cache=`` keywords and
+fold them into a context at the boundary.
 """
 
 from __future__ import annotations
@@ -27,35 +32,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.analysis.cache import AnalysisCache, resolve_cache, taskset_key
-from repro.analysis.engine import resolve_backend
+from repro.analysis.cache import AnalysisCache, taskset_key
+from repro.analysis.context import (
+    DEFAULT_CONFIG,
+    AnalysisContext,
+    SelectionConfig,
+)
 from repro.analysis.prm import ResourceInterface
 from repro.analysis.schedulability import is_schedulable
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.tasks.taskset import TaskSet
 
-
-@dataclass(frozen=True)
-class SelectionConfig:
-    """Tuning knobs for the interface-selection search.
-
-    ``max_period_candidates`` caps how many periods are examined: when
-    the Theorem-2 range is wider, candidates are sampled evenly across
-    it (the bandwidth landscape is smooth enough that this finds the
-    optimum or a near-optimum; set it to 0 for exhaustive enumeration).
-    """
-
-    max_period_candidates: int = 256
-    min_period: int = 1
-
-    def __post_init__(self) -> None:
-        if self.max_period_candidates < 0:
-            raise ConfigurationError("max_period_candidates must be >= 0")
-        if self.min_period < 1:
-            raise ConfigurationError("min_period must be >= 1")
-
-
-DEFAULT_CONFIG = SelectionConfig()
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SelectionConfig",
+    "SelectionResult",
+    "brute_force_minimum_bandwidth",
+    "minimal_budget_for_period",
+    "minimal_budgets_for_periods",
+    "select_interface",
+    "theorem2_period_bound",
+]
 
 
 def theorem2_period_bound(
@@ -81,6 +78,8 @@ def minimal_budget_for_period(
     period: int,
     backend: str | None = None,
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> int | None:
     """Binary-search the minimal schedulable Θ for a fixed Π.
 
@@ -90,10 +89,10 @@ def minimal_budget_for_period(
         raise ConfigurationError(f"period must be positive, got {period}")
     if len(taskset) == 0:
         return 0
-    if resolve_backend(backend) == "vectorized":
-        return minimal_budgets_for_periods(
-            taskset, [period], cache=resolve_cache(cache)
-        )[0]
+    if ctx is None:
+        ctx = AnalysisContext.resolve(backend, cache)
+    if ctx.backend == "vectorized":
+        return minimal_budgets_for_periods(taskset, [period], ctx=ctx)[0]
     utilization = taskset.utilization
     # Θ/Π must strictly exceed U, so start above the utilization floor.
     low = int(utilization * period) + 1
@@ -119,6 +118,8 @@ def minimal_budgets_for_periods(
     taskset: TaskSet,
     periods: list[int],
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> list[int | None]:
     """Minimal schedulable Θ for *every* candidate Π at once (vectorized).
 
@@ -131,7 +132,9 @@ def minimal_budgets_for_periods(
     """
     from repro.analysis.vectorized import schedulable_many
 
-    cache = resolve_cache(cache)
+    if ctx is None:
+        ctx = AnalysisContext.resolve("vectorized", cache)
+    memo = ctx.cache
     if len(taskset) == 0:
         return [0 for _ in periods]
     utilization = taskset.utilization
@@ -145,7 +148,7 @@ def minimal_budgets_for_periods(
     feasible = schedulable_many(
         taskset,
         [(periods[i], periods[i]) for i in open_indices],
-        cache,
+        memo,
         utilization=utilization,
     )
     highs = {i: periods[i] for i, ok in zip(open_indices, feasible) if ok}
@@ -153,7 +156,7 @@ def minimal_budgets_for_periods(
     while searching:
         probes = [(periods[i], (lows[i] + highs[i]) // 2) for i in searching]
         verdicts = schedulable_many(
-            taskset, probes, cache, utilization=utilization
+            taskset, probes, memo, utilization=utilization
         )
         still_open: list[int] = []
         for i, (_, mid), ok in zip(searching, probes, verdicts):
@@ -203,6 +206,8 @@ def select_interface(
     config: SelectionConfig = DEFAULT_CONFIG,
     backend: str | None = None,
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> SelectionResult:
     """Find the minimum-bandwidth schedulable interface for one VE.
 
@@ -214,30 +219,34 @@ def select_interface(
     minimal-budget search against one shared demand grid
     (:func:`minimal_budgets_for_periods`); the ``scalar`` backend keeps
     the original one-test-per-candidate oracle.  Results are memoized
-    in ``cache`` keyed by the task set's exact ``(T, C)`` multiset, the
-    sibling utilization and the search config, so level-by-level
-    composition reuses unchanged subtree selections across sweep
-    points.
+    in the context's cache keyed by the task set's exact ``(T, C)``
+    multiset, the sibling utilization and the search config, so
+    level-by-level composition reuses unchanged subtree selections
+    across sweep points.
+
+    ``ctx`` supersedes the ``config``/``backend``/``cache`` keywords;
+    callers that already hold an :class:`AnalysisContext` pass it alone.
     """
     if len(taskset) == 0:
         return SelectionResult(
             interface=ResourceInterface(1, 0), periods_examined=0, period_bound=0
         )
-    backend = resolve_backend(backend)
-    cache = resolve_cache(cache)
-    memo_key = cache.selection_key(
+    if ctx is None:
+        ctx = AnalysisContext.resolve(backend, cache, config)
+    memo = ctx.cache
+    memo_key = memo.selection_key(
         taskset_key(taskset),
         sibling_utilization,
-        (config.max_period_candidates, config.min_period),
-        backend,
+        ctx.config.memo_key(),
+        ctx.backend,
     )
-    cached = cache.get_selection(memo_key)
+    cached = memo.get_selection(memo_key)
     if cached is not None:
         return cached
     period_bound = theorem2_period_bound(taskset, sibling_utilization)
-    candidates = _candidate_periods(period_bound, config)
-    if backend == "vectorized":
-        budgets = minimal_budgets_for_periods(taskset, candidates, cache=cache)
+    candidates = _candidate_periods(period_bound, ctx.config)
+    if ctx.backend == "vectorized":
+        budgets = minimal_budgets_for_periods(taskset, candidates, ctx=ctx)
     else:
         budgets = [
             minimal_budget_for_period(taskset, period, backend="scalar")
@@ -266,7 +275,7 @@ def select_interface(
         periods_examined=len(candidates),
         period_bound=period_bound,
     )
-    cache.put_selection(memo_key, result)
+    memo.put_selection(memo_key, result)
     return result
 
 

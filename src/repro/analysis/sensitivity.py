@@ -9,10 +9,19 @@ directly, without simulation:
   (:func:`breakdown_scale`, :func:`breakdown_utilization`).
 * **admission test** — would adding one task to one client keep the
   system schedulable? (:func:`can_admit`) — the online question an
-  integrator asks before loading new software.
+  integrator asks before loading new software.  The long-running form
+  of this question lives in
+  :class:`~repro.analysis.session.AdmissionSession`, which wraps the
+  same machinery around a prebuilt
+  :class:`~repro.analysis.model.SystemModel`.
 * **critical clients** — which client's demand is closest to its
   interface's capacity (:func:`slack_per_client`), i.e. where the next
   task should *not* go.
+
+Every probe of a search shares one
+:class:`~repro.analysis.context.AnalysisContext` (resolved once at the
+entry point), so all compositions of a breakdown search hit the same
+memo cache.
 """
 
 from __future__ import annotations
@@ -20,7 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.analysis.cache import AnalysisCache, resolve_cache
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.context import (
+    DEFAULT_CONFIG,
+    AnalysisContext,
+    SelectionConfig,
+)
 from repro.analysis.composition import (
     CompositionResult,
     compose,
@@ -28,7 +42,6 @@ from repro.analysis.composition import (
     tighten_deadlines,
     update_client,
 )
-from repro.analysis.interface_selection import DEFAULT_CONFIG, SelectionConfig
 from repro.errors import ConfigurationError
 from repro.tasks.task import PeriodicTask
 from repro.tasks.taskset import TaskSet
@@ -62,6 +75,8 @@ def breakdown_scale(
     max_scale: float = 16.0,
     backend: str | None = None,
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> BreakdownResult:
     """Largest WCET scale factor that stays schedulable.
 
@@ -69,18 +84,17 @@ def breakdown_scale(
     monotone in demand); ``precision`` bounds the returned factor's
     absolute error.  Raises when even the unscaled workload fails.
 
-    Every probe composes the whole tree, but all probes share one
-    :class:`~repro.analysis.cache.AnalysisCache`: a subtree whose
-    scaled task sets round to parameters already composed at an earlier
-    probe reuses those selections instead of re-deriving them (and the
-    bracketing re-compose of an already-probed scale is free).
+    Every probe composes the whole tree, but all probes share the
+    context's :class:`~repro.analysis.cache.AnalysisCache`: a subtree
+    whose scaled task sets round to parameters already composed at an
+    earlier probe reuses those selections instead of re-deriving them
+    (and the bracketing re-compose of an already-probed scale is free).
     """
     if precision <= 0:
         raise ConfigurationError(f"precision must be positive, got {precision}")
-    cache = resolve_cache(cache)
-    base = compose(
-        topology, client_tasksets, config, backend=backend, cache=cache
-    )
+    if ctx is None:
+        ctx = AnalysisContext.resolve(backend, cache, config)
+    base = compose(topology, client_tasksets, ctx=ctx)
     if not base.schedulable:
         raise ConfigurationError(
             f"workload is unschedulable before scaling: {base.failure}"
@@ -89,20 +103,14 @@ def breakdown_scale(
     high = max_scale
     # find an unschedulable upper bracket
     while high <= max_scale and compose(
-        topology,
-        _scaled_tasksets(client_tasksets, high),
-        config,
-        backend=backend,
-        cache=cache,
+        topology, _scaled_tasksets(client_tasksets, high), ctx=ctx
     ).schedulable:
         low = high
         high *= 2
         if high > max_scale:
             # already schedulable at the cap: report the cap
             scaled = _scaled_tasksets(client_tasksets, low)
-            result = compose(
-                topology, scaled, config, backend=backend, cache=cache
-            )
+            result = compose(topology, scaled, ctx=ctx)
             utilization = sum(
                 (ts.utilization for ts in scaled.values()), Fraction(0)
             )
@@ -110,11 +118,7 @@ def breakdown_scale(
     while high - low > precision:
         mid = (low + high) / 2
         result = compose(
-            topology,
-            _scaled_tasksets(client_tasksets, mid),
-            config,
-            backend=backend,
-            cache=cache,
+            topology, _scaled_tasksets(client_tasksets, mid), ctx=ctx
         )
         if result.schedulable:
             low, low_result = mid, result
@@ -132,15 +136,14 @@ def breakdown_utilization(
     precision: float = 0.01,
     backend: str | None = None,
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> float:
     """Total utilization at the breakdown point (the admission ceiling)."""
+    if ctx is None:
+        ctx = AnalysisContext.resolve(backend, cache, config)
     return breakdown_scale(
-        topology,
-        client_tasksets,
-        config,
-        precision,
-        backend=backend,
-        cache=cache,
+        topology, client_tasksets, precision=precision, ctx=ctx
     ).utilization
 
 
@@ -152,18 +155,20 @@ def can_admit(
     config: SelectionConfig = DEFAULT_CONFIG,
     backend: str | None = None,
     cache: AnalysisCache | None = None,
+    *,
+    ctx: AnalysisContext | None = None,
 ) -> tuple[bool, CompositionResult]:
     """Online admission: would adding ``task`` to ``client_id`` keep the
     system schedulable?  Uses the path-local update, so the test costs
     O(log n) interface-selection problems.  Returns the verdict and the
     updated composition (apply it only on admit)."""
+    if ctx is None:
+        ctx = AnalysisContext.resolve(backend, cache, config)
     trial = dict(client_tasksets)
     trial[client_id] = trial.get(client_id, TaskSet()).merged_with(
         TaskSet([task.with_client(client_id)])
     )
-    updated = update_client(
-        baseline, trial, client_id, config, backend=backend, cache=cache
-    )
+    updated = update_client(baseline, trial, client_id, ctx=ctx)
     return updated.schedulable, updated
 
 

@@ -107,15 +107,24 @@ class StepGrid:
         demands = np.zeros_like(ts)
         for p, c in zip(self.periods, self.wcets):
             demands += (ts // p) * c
-        self.horizon = horizon
+        # Publication order matters for concurrent readers (the shared
+        # AnalysisCache hands one grid to many admission threads): the
+        # arrays must be in place before the horizon that advertises
+        # them.  Growth only ever *extends* the sorted point array, so
+        # a reader pairing a newer array with an older horizon still
+        # slices a correct prefix.
         self.ts = ts
         self.demands = demands
+        self.horizon = horizon
 
     def upto(self, horizon: int) -> tuple[np.ndarray, np.ndarray]:
         """Views of (step points, demands) within (0, horizon]."""
         self.ensure(horizon)
-        end = int(np.searchsorted(self.ts, horizon, side="right"))
-        return self.ts[:end], self.demands[:end]
+        # Snapshot both refs once so a concurrent ensure() cannot pair
+        # points from one materialization with demands from another.
+        ts, demands = self.ts, self.demands
+        end = int(np.searchsorted(ts, horizon, side="right"))
+        return ts[:end], demands[:end]
 
 
 def grid_for(taskset: TaskSet, cache: AnalysisCache) -> StepGrid:

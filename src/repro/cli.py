@@ -19,6 +19,7 @@ Examples::
     python -m repro update-latency
     python -m repro trace --figure fig6 --trial 2 --export spans.jsonl
     python -m repro faults --trials 5 --workers 2
+    python -m repro serve --clients 16 --port 8787
 
 ``--seed S`` is accepted by every subcommand (the analytical ones
 ignore it) and pins the base seed of simulation-backed experiments.
@@ -179,6 +180,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--results-dir", default="results")
     campaign.add_argument("--label", default=None)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the admission-control daemon over a seeded system model",
+        parents=[common],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="listening port (default: 8787; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=16,
+        help="clients in the served model (default: 16)",
+    )
+    serve.add_argument(
+        "--utilization",
+        type=float,
+        default=0.3,
+        help="baseline system utilization of the model (default: 0.3)",
+    )
+    serve.add_argument(
+        "--tasks-per-client",
+        type=int,
+        default=2,
+        help="baseline tasks per client (default: 2)",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        help="analysis thread-pool size (default: 4)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -393,6 +431,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             result = run_fairness(executor=executor, hooks=hooks, **seed_kwargs)
         print(format_fairness(result))
+    elif args.experiment == "serve":
+        from repro.analysis.model import SystemModel
+        from repro.service.daemon import AdmissionService
+
+        model = SystemModel.from_seed(
+            args.clients,
+            utilization=args.utilization,
+            tasks_per_client=args.tasks_per_client,
+            seed=args.seed if args.seed is not None else 1,
+            backend=args.analysis_backend,
+        )
+        print(f"model composed: {model.describe()}")
+        AdmissionService(model, max_workers=args.max_workers).run(
+            host=args.host, port=args.port
+        )
+        return 0
     elif args.experiment == "trace":
         from repro.observability import (
             build_timeline,

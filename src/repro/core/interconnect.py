@@ -113,6 +113,23 @@ class BlueScaleInterconnect(Interconnect):
         self.apply_composition(result)
         return result
 
+    def configure_from_model(self, model) -> CompositionResult:
+        """Program every SE from a prebuilt
+        :class:`~repro.analysis.model.SystemModel`'s baseline.
+
+        The model must describe this fabric exactly (same client count
+        and fan-out); its already-composed hierarchy is applied without
+        re-running any selection, so bringing up a simulated SoC from a
+        shared model costs no analysis time.
+        """
+        if model.topology.fanout != self.topology.fanout:
+            raise ConfigurationError(
+                f"model was built for fanout {model.topology.fanout}, "
+                f"fabric has fanout {self.topology.fanout}"
+            )
+        self.apply_composition(model.baseline)
+        return model.baseline
+
     def apply_composition(self, result: CompositionResult) -> None:
         """Program every SE's server tasks from a composition result."""
         if result.topology.n_clients != self.n_clients:

@@ -208,16 +208,18 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
         "trial": str(spec.param("trial")),
     }
     if config.analysis:
-        from repro.analysis import compose
+        from repro.analysis.model import SystemModel
         from repro.topology import quadtree
 
-        composition = compose(
+        model = SystemModel.build(
             quadtree(config.n_clients),
             combined,
             backend=config.analysis_backend,
         )
-        scalars["analysis/schedulable"] = 1.0 if composition.schedulable else 0.0
-        scalars["analysis/root_bandwidth"] = float(composition.root_bandwidth)
+        scalars["analysis/schedulable"] = 1.0 if model.schedulable else 0.0
+        scalars["analysis/root_bandwidth"] = float(
+            model.baseline.root_bandwidth
+        )
     for name in interconnects:
         interconnect = build_interconnect(
             name, config.n_clients, combined, config.factory

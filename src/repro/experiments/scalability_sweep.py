@@ -14,7 +14,7 @@ import random
 import statistics
 from dataclasses import dataclass, field
 
-from repro.analysis.sensitivity import breakdown_utilization
+from repro.analysis.model import SystemModel
 from repro.clients.traffic_generator import TrafficGenerator
 from repro.errors import ConfigurationError
 from repro.experiments.factory import (
@@ -187,11 +187,11 @@ def run_scalability_sweep(
             rng = random.Random(f"sweep/ceiling/{n_clients}")
             tasksets = generate_client_tasksets(rng, n_clients, 2, 0.2)
             try:
-                result.admission_ceiling[n_clients] = breakdown_utilization(
-                    quadtree(n_clients),
-                    tasksets,
-                    precision=0.1,
-                    backend=analysis_backend,
+                model = SystemModel.build(
+                    quadtree(n_clients), tasksets, backend=analysis_backend
+                )
+                result.admission_ceiling[n_clients] = (
+                    model.session().breakdown(precision=0.1).utilization
                 )
             except ConfigurationError:
                 result.admission_ceiling[n_clients] = 0.0

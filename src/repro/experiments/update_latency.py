@@ -21,8 +21,10 @@ import random
 import time
 from dataclasses import dataclass
 
-from repro.analysis.composition import compose, update_client
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.composition import compose
 from repro.analysis.interface_selection import SelectionConfig
+from repro.analysis.model import SystemModel
 from repro.experiments.factory import axi_budgets
 from repro.tasks.generators import generate_client_tasksets
 from repro.tasks.task import PeriodicTask
@@ -61,18 +63,27 @@ def measure_update_cost(
     tasksets = generate_client_tasksets(rng, n_clients, 2, utilization)
     topology = quadtree(n_clients)
     config = SelectionConfig(max_period_candidates=selection_candidates)
-    baseline = compose(topology, tasksets, config)
+    # Compose once into a frozen model; the join then runs through the
+    # per-request AdmissionSession exactly like the service's own path.
+    model = SystemModel.build(
+        topology,
+        tasksets,
+        config=config,
+        cache=AnalysisCache(),
+        label=f"update/{seed}",
+    )
+    baseline = model.baseline
     client = (
         joining_client if joining_client is not None else n_clients // 2
     )
-    tasksets[client] = tasksets[client].merged_with(
-        TaskSet([PeriodicTask(period=700, wcet=4, name="joined", client_id=client)])
-    )
+    joined = PeriodicTask(period=700, wcet=4, name="joined", client_id=client)
+    tasksets[client] = tasksets[client].merged_with(TaskSet([joined]))
+    session = model.session()
     start = time.perf_counter()
-    updated = update_client(baseline, tasksets, client, config)
+    updated = session.probe(client, joined).composition
     path_seconds = time.perf_counter() - start
     start = time.perf_counter()
-    full = compose(topology, tasksets, config)
+    full = compose(topology, tasksets, ctx=model.context)
     full_seconds = time.perf_counter() - start
     path = topology.path_to_root(client)
     changed = sum(

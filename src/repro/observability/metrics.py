@@ -133,8 +133,9 @@ class MetricsRegistry:
         """Flatten to plain floats for a :class:`repro.runtime` MetricSet.
 
         Counters become ``{prefix}{name}``; histograms expand to
-        ``_count`` / ``_mean`` / ``_p95`` / ``_p99`` / ``_max`` keys so
-        per-trial percentiles survive executor pickling as scalars.
+        ``_count`` / ``_mean`` / ``_p50`` / ``_p95`` / ``_p99`` /
+        ``_max`` keys so per-trial percentiles survive executor
+        pickling as scalars.
         """
         scalars: dict[str, float] = {}
         for name, counter in sorted(self._counters.items()):
@@ -143,6 +144,7 @@ class MetricsRegistry:
             stats = histogram.summary()
             scalars[f"{prefix}{name}_count"] = float(stats.count)
             scalars[f"{prefix}{name}_mean"] = stats.mean
+            scalars[f"{prefix}{name}_p50"] = stats.p50
             scalars[f"{prefix}{name}_p95"] = stats.p95
             scalars[f"{prefix}{name}_p99"] = stats.p99
             scalars[f"{prefix}{name}_max"] = stats.maximum

@@ -1,0 +1,40 @@
+"""repro.service — the admission-control daemon and its client.
+
+The online face of the compositional analysis: ``repro serve`` loads a
+frozen :class:`~repro.analysis.model.SystemModel` and answers task-set
+admission queries over HTTP/JSON through one shared
+:class:`~repro.analysis.session.AdmissionSession` (stdlib asyncio, no
+web framework).  See :mod:`repro.service.daemon` for the endpoint
+table, :mod:`repro.service.protocol` for the wire format, and
+:mod:`repro.service.client` for the blocking keep-alive client the
+tests and the load benchmark use.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import (
+    AdmissionService,
+    ServiceHandle,
+    start_background,
+)
+from repro.service.protocol import (
+    RequestError,
+    decision_payload,
+    interface_payload,
+    parse_admission_request,
+    parse_tasks,
+    task_payload,
+)
+
+__all__ = [
+    "AdmissionService",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "decision_payload",
+    "interface_payload",
+    "parse_admission_request",
+    "parse_tasks",
+    "start_background",
+    "task_payload",
+]

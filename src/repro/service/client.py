@@ -1,0 +1,117 @@
+"""Blocking keep-alive client for the admission daemon.
+
+A thin :mod:`http.client` wrapper (stdlib only, like the daemon): one
+:class:`ServiceClient` holds one persistent connection, so a
+load-generator thread pays the TCP handshake once and then streams
+admission queries back to back.  Not thread-safe — give each thread its
+own client, which is also how the benchmark drives the daemon.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.errors import ReproError
+from repro.service.protocol import task_payload
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """The daemon answered with an error status.
+
+    ``status`` carries the HTTP code; the message carries the daemon's
+    JSON ``error`` field when present.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One persistent connection to one admission daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # One transparent retry on a dropped keep-alive connection.
+            self._conn.close()
+            self._conn.connect()
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            decoded = {"error": raw.decode("latin-1", "replace")}
+        if response.status >= 400:
+            raise ServiceError(
+                response.status, str(decoded.get("error", decoded))
+            )
+        return decoded
+
+    def close(self) -> None:
+        """Drop the persistent connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints -----------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness probe (``GET /healthz``)."""
+        return self._request("GET", "/healthz")
+
+    def model(self) -> dict:
+        """The loaded model's summary (``GET /model``)."""
+        return self._request("GET", "/model")
+
+    def metrics(self) -> dict:
+        """Counters, latency percentiles, cache stats (``GET /metrics``)."""
+        return self._request("GET", "/metrics")
+
+    def reset(self) -> dict:
+        """Roll the daemon's session back to its baseline (``POST /reset``)."""
+        return self._request("POST", "/reset")
+
+    def admission(
+        self,
+        client_id: int,
+        tasks: "TaskSet | PeriodicTask | list[PeriodicTask]",
+        commit: bool = False,
+    ) -> dict:
+        """Submit one admission query (``POST /admission``).
+
+        Returns the decision payload — ``admitted`` plus either the
+        selected leaf ``interface`` or the rejection ``witness``.  A
+        rejection is still a 200: only malformed requests and daemon
+        faults raise :class:`ServiceError`.
+        """
+        if isinstance(tasks, PeriodicTask):
+            tasks = [tasks]
+        body = {
+            "client_id": client_id,
+            "tasks": [task_payload(task) for task in tasks],
+            "commit": commit,
+        }
+        return self._request("POST", "/admission", body)

@@ -1,0 +1,158 @@
+"""Wire protocol of the admission-control service: JSON in, JSON out.
+
+Everything the daemon and its client agree on lives here — request
+validation (untrusted JSON → typed :class:`~repro.tasks.task.PeriodicTask`
+sets), and the response payload builders that turn an
+:class:`~repro.analysis.session.AdmissionDecision` or a metrics registry
+into plain JSON-able dicts.  Keeping both directions in one module means
+the daemon, the :class:`~repro.service.client.ServiceClient` and the
+tests can never drift apart on field names.
+
+Task payload::
+
+    {"period": 1000, "wcet": 2, "name": "camera"}      # name optional
+
+Admission request (``POST /admission``)::
+
+    {"client_id": 3, "tasks": [<task>, ...], "commit": false}
+
+``commit=false`` probes (read-only); ``commit=true`` admits and, on
+success, commits the new workload into the service's session.  The
+response carries ``admitted`` plus either the selected leaf ``(Π, Θ)``
+``interface`` or a rejection ``witness``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.analysis.prm import ResourceInterface
+from repro.analysis.session import AdmissionDecision
+from repro.errors import ConfigurationError, ReproError
+from repro.tasks.task import PeriodicTask
+from repro.tasks.taskset import TaskSet
+
+__all__ = [
+    "RequestError",
+    "decision_payload",
+    "interface_payload",
+    "parse_admission_request",
+    "parse_tasks",
+    "task_payload",
+]
+
+#: hard cap on tasks per submission — bounds per-request analysis work
+MAX_TASKS_PER_REQUEST = 64
+
+
+class RequestError(ReproError):
+    """A request payload failed validation (maps to HTTP 400).
+
+    Distinct from :class:`repro.errors.ProtocolError`, which belongs to
+    the *interconnect handshake* protocol, not the service wire format.
+    """
+
+
+def _require_int(value: Any, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"{name} must be an integer, got {value!r}")
+    return value
+
+
+def parse_tasks(payload: Any) -> TaskSet:
+    """Validate a JSON task list into a :class:`TaskSet`.
+
+    Raises :class:`RequestError` on anything malformed — wrong types,
+    non-positive parameters, ``wcet > period``, empty or oversized
+    lists — so the daemon can answer 400 instead of crashing a worker.
+    """
+    if not isinstance(payload, list):
+        raise RequestError(f"tasks must be a list, got {type(payload).__name__}")
+    if not payload:
+        raise RequestError("tasks list is empty")
+    if len(payload) > MAX_TASKS_PER_REQUEST:
+        raise RequestError(
+            f"too many tasks: {len(payload)} > {MAX_TASKS_PER_REQUEST}"
+        )
+    tasks = []
+    for index, entry in enumerate(payload):
+        if not isinstance(entry, Mapping):
+            raise RequestError(f"tasks[{index}] must be an object")
+        unknown = set(entry) - {"period", "wcet", "name"}
+        if unknown:
+            raise RequestError(
+                f"tasks[{index}] has unknown fields {sorted(unknown)}"
+            )
+        period = _require_int(entry.get("period"), f"tasks[{index}].period")
+        wcet = _require_int(entry.get("wcet"), f"tasks[{index}].wcet")
+        name = entry.get("name", "")
+        if not isinstance(name, str):
+            raise RequestError(f"tasks[{index}].name must be a string")
+        try:
+            tasks.append(PeriodicTask(period=period, wcet=wcet, name=name))
+        except ConfigurationError as exc:
+            raise RequestError(f"tasks[{index}]: {exc}") from exc
+    return TaskSet(tasks)
+
+
+def parse_admission_request(body: Any) -> tuple[int, TaskSet, bool]:
+    """Validate a ``POST /admission`` body into ``(client_id, tasks, commit)``."""
+    if not isinstance(body, Mapping):
+        raise RequestError("request body must be a JSON object")
+    unknown = set(body) - {"client_id", "tasks", "commit"}
+    if unknown:
+        raise RequestError(f"unknown fields {sorted(unknown)}")
+    client_id = _require_int(body.get("client_id"), "client_id")
+    tasks = parse_tasks(body.get("tasks"))
+    commit = body.get("commit", False)
+    if not isinstance(commit, bool):
+        raise RequestError(f"commit must be a boolean, got {commit!r}")
+    return client_id, tasks, commit
+
+
+def task_payload(task: PeriodicTask) -> dict:
+    """One task as its wire representation."""
+    payload: dict = {"period": task.period, "wcet": task.wcet}
+    if task.name:
+        payload["name"] = task.name
+    return payload
+
+
+def interface_payload(interface: ResourceInterface) -> dict:
+    """One selected ``(Π, Θ)`` interface as its wire representation."""
+    return {
+        "period": interface.period,
+        "budget": interface.budget,
+        "bandwidth": interface.bandwidth_float,
+    }
+
+
+def decision_payload(decision: AdmissionDecision) -> dict:
+    """The admission response body for one decision.
+
+    Admitted decisions carry the client's selected leaf ``interface``
+    and the ``path`` of reprogrammed per-hop interfaces; rejected ones
+    carry the ``witness`` (see
+    :meth:`~repro.analysis.session.RejectionWitness.as_dict`).
+    """
+    payload: dict = {
+        "admitted": decision.admitted,
+        "committed": decision.committed,
+        "client_id": decision.client_id,
+        "taskset_digest": decision.taskset_digest,
+        "root_bandwidth": float(decision.composition.root_bandwidth),
+    }
+    if decision.admitted:
+        payload["interface"] = interface_payload(decision.interface)
+        payload["path"] = [
+            {
+                "node": list(node),
+                "port": port,
+                "interface": interface_payload(interface),
+            }
+            for node, port, interface in decision.path_interfaces()
+        ]
+    else:
+        assert decision.witness is not None
+        payload["witness"] = decision.witness.as_dict()
+    return payload

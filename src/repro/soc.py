@@ -25,6 +25,7 @@ restores the literal cycle-by-cycle loop for differential testing.
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass, field
 
 from repro.clients.traffic_generator import TrafficGenerator
@@ -393,6 +394,44 @@ class SoCSimulation:
         self.cycles_executed = 0
         self.cycles_skipped = 0
         self.leaps = 0
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        *,
+        seed: int | str = 1,
+        buffer_capacity: int = 8,
+        **kwargs,
+    ) -> "SoCSimulation":
+        """Bring up a BlueScale trial from a prebuilt
+        :class:`~repro.analysis.model.SystemModel`.
+
+        Builds the quadtree fabric for the model's topology, programs
+        every SE from the model's already-composed baseline (no
+        analysis re-run), and attaches one deterministic
+        :class:`TrafficGenerator` per non-empty baseline client.
+        Remaining keyword arguments are forwarded to the constructor
+        (``fast_path``, ``observability``, ``faults``, ...).
+        """
+        from repro.core.interconnect import BlueScaleInterconnect
+
+        interconnect = BlueScaleInterconnect(
+            model.n_clients,
+            buffer_capacity=buffer_capacity,
+            fanout=model.topology.fanout,
+        )
+        interconnect.configure_from_model(model)
+        clients = [
+            TrafficGenerator(
+                client,
+                taskset,
+                rng=random.Random(f"soc-from-model/{seed}/{client}"),
+            )
+            for client, taskset in sorted(model.client_tasksets.items())
+            if len(taskset) > 0
+        ]
+        return cls(clients, interconnect, **kwargs)
 
     def run(
         self, horizon: int, drain: int | None = None, warmup: int = 0

@@ -1,0 +1,122 @@
+"""Tests for the service wire protocol: request validation and the
+decision/interface payload builders."""
+
+import pytest
+
+from repro.analysis import SystemModel
+from repro.analysis.prm import ResourceInterface
+from repro.service.protocol import (
+    MAX_TASKS_PER_REQUEST,
+    RequestError,
+    decision_payload,
+    interface_payload,
+    parse_admission_request,
+    parse_tasks,
+    task_payload,
+)
+from repro.tasks.task import PeriodicTask
+
+
+class TestParseTasks:
+    def test_round_trip(self):
+        task = PeriodicTask(period=1000, wcet=2, name="cam")
+        parsed = parse_tasks([task_payload(task)])
+        assert len(parsed) == 1
+        only = next(iter(parsed))
+        assert (only.period, only.wcet, only.name) == (1000, 2, "cam")
+
+    def test_name_optional(self):
+        parsed = parse_tasks([{"period": 10, "wcet": 1}])
+        assert next(iter(parsed)).name == ""
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "nope",
+            [],
+            [42],
+            [{"period": 10}],
+            [{"wcet": 1}],
+            [{"period": "10", "wcet": 1}],
+            [{"period": 10, "wcet": True}],
+            [{"period": 10, "wcet": 1, "extra": 1}],
+            [{"period": 10, "wcet": 1, "name": 5}],
+            [{"period": 0, "wcet": 1}],
+            [{"period": 10, "wcet": -1}],
+            [{"period": 10, "wcet": 11}],  # wcet > period
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(RequestError):
+            parse_tasks(payload)
+
+    def test_oversized_list_rejected(self):
+        payload = [{"period": 100, "wcet": 1}] * (MAX_TASKS_PER_REQUEST + 1)
+        with pytest.raises(RequestError):
+            parse_tasks(payload)
+
+
+class TestParseAdmissionRequest:
+    def test_defaults_to_probe(self):
+        client_id, tasks, commit = parse_admission_request(
+            {"client_id": 3, "tasks": [{"period": 10, "wcet": 1}]}
+        )
+        assert client_id == 3
+        assert len(tasks) == 1
+        assert commit is False
+
+    def test_commit_flag(self):
+        _, _, commit = parse_admission_request(
+            {
+                "client_id": 0,
+                "tasks": [{"period": 10, "wcet": 1}],
+                "commit": True,
+            }
+        )
+        assert commit is True
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            [],
+            {"tasks": [{"period": 10, "wcet": 1}]},
+            {"client_id": "3", "tasks": [{"period": 10, "wcet": 1}]},
+            {"client_id": True, "tasks": [{"period": 10, "wcet": 1}]},
+            {"client_id": 3, "tasks": [{"period": 10, "wcet": 1}], "x": 1},
+            {"client_id": 3, "tasks": [{"period": 10, "wcet": 1}], "commit": 1},
+        ],
+    )
+    def test_malformed_requests_rejected(self, body):
+        with pytest.raises(RequestError):
+            parse_admission_request(body)
+
+
+class TestPayloads:
+    def test_interface_payload(self):
+        payload = interface_payload(ResourceInterface(36, 2))
+        assert payload == {"period": 36, "budget": 2, "bandwidth": 2 / 36}
+
+    def test_admitted_decision_payload(self):
+        model = SystemModel.from_seed(16, utilization=0.3, seed=7)
+        decision = model.session().probe(
+            3, PeriodicTask(period=1000, wcet=1)
+        )
+        payload = decision_payload(decision)
+        assert payload["admitted"] is True
+        assert payload["committed"] is False
+        assert payload["interface"]["budget"] >= 1
+        assert payload["path"][0]["port"] == 3 % 4
+        assert "witness" not in payload
+
+    def test_rejected_decision_payload(self):
+        model = SystemModel.from_seed(16, utilization=0.3, seed=7)
+        decision = model.session().probe(
+            3, PeriodicTask(period=64, wcet=60)
+        )
+        payload = decision_payload(decision)
+        assert payload["admitted"] is False
+        assert "interface" not in payload
+        witness = payload["witness"]
+        assert witness["client_id"] == 3
+        assert witness["reason"]
+        assert witness["root_bandwidth"] == payload["root_bandwidth"]

@@ -25,6 +25,7 @@ class TestTopLevelExports:
         import repro.memory
         import repro.noc
         import repro.runtime
+        import repro.service
         import repro.sim
         import repro.tasks
         import repro.workloads
@@ -39,6 +40,7 @@ class TestTopLevelExports:
             repro.memory,
             repro.noc,
             repro.runtime,
+            repro.service,
             repro.sim,
             repro.tasks,
             repro.workloads,
