@@ -1,5 +1,8 @@
-"""Regenerate tests/fixtures/golden_traces.json.
+"""Regenerate the golden campaign fixtures.
 
+Rewrites both ``tests/fixtures/golden_traces.json`` (scalar per-trial
+runners) and ``tests/fixtures/golden_batched_metrics.json`` (the same
+configurations through the batch entry points on the batched backend).
 Run after a *deliberate* behavioural change invalidates the pinned
 completion-trace digests::
 
@@ -7,7 +10,9 @@ completion-trace digests::
 
 Review the resulting fixture diff together with the change that caused
 it — an unexpected digest flip means observable scheduling behaviour
-changed.
+changed.  The two fixtures must stay consistent (the batched digests
+equal the scalar ones); tests/experiments/test_golden_batched.py
+asserts that, so always regenerate them together.
 """
 
 import json
@@ -17,6 +22,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
+from tests.experiments.test_golden_batched import (  # noqa: E402
+    GOLDEN_BATCHED_PATH,
+    collect_batched_metrics,
+)
 from tests.experiments.test_golden_traces import (  # noqa: E402
     GOLDEN_PATH,
     collect_digests,
@@ -36,6 +45,22 @@ def main() -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+
+    batched = collect_batched_metrics()
+    batched_payload = {
+        "comment": (
+            "Per-trial scalars and trace digests of the pinned fig6/fig7 "
+            "configurations run through the batch entry points on the "
+            "batched backend (see tests/experiments/test_golden_batched.py). "
+            "Regenerate with scripts/regen_golden_traces.py."
+        ),
+        **batched,
+    }
+    GOLDEN_BATCHED_PATH.write_text(
+        json.dumps(batched_payload, indent=2, sort_keys=True) + "\n"
+    )
+    trials = len(batched["fig6"]) + len(batched["fig7"])
+    print(f"wrote {trials} batched trial records to {GOLDEN_BATCHED_PATH}")
 
 
 if __name__ == "__main__":

@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the built-in default, vectorized); results are "
         "identical under either backend",
     )
+    common.add_argument(
+        "--sim-backend",
+        choices=("scalar", "batched"),
+        default=None,
+        help="simulator backend for this run (default: the built-in "
+        "default, batched lock-step over numpy arrays); results are "
+        "bit-identical under either backend",
+    )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     sub.add_parser(
@@ -261,22 +269,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_backends(
+    analysis_backend: str | None, sim_backend: str | None
+) -> None:
+    """Set the process-wide engine defaults for this run.
+
+    Module-level so ``partial(_configure_backends, ...)`` pickles by
+    reference as an executor ``worker_init`` — parallel workers then
+    resolve the exact same backends as a serial run.
+    """
+    if analysis_backend is not None:
+        from repro.analysis import set_default_backend
+
+        set_default_backend(analysis_backend)
+    if sim_backend is not None:
+        from repro.sim import set_default_sim_backend
+
+        set_default_sim_backend(sim_backend)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # Imports are deferred so `--help` stays instant.
     from repro.runtime import ProgressPrinter, make_executor
 
     worker_init = None
-    if args.analysis_backend is not None:
+    if args.analysis_backend is not None or args.sim_backend is not None:
         from functools import partial
 
-        from repro.analysis import set_default_backend
-
         # Configure this process *and* any worker pool the executor
-        # spawns, so analysis inside parallel trials uses the same
-        # backend as a serial run.
-        set_default_backend(args.analysis_backend)
-        worker_init = partial(set_default_backend, args.analysis_backend)
+        # spawns, so trials inside parallel workers use the same
+        # backends as a serial run.
+        _configure_backends(args.analysis_backend, args.sim_backend)
+        worker_init = partial(
+            _configure_backends, args.analysis_backend, args.sim_backend
+        )
     executor = make_executor(args.workers, worker_init)
     hooks = ProgressPrinter() if args.progress else None
     failed = False

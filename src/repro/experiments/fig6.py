@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.clients.traffic_generator import TrafficGenerator
 from repro.errors import ConfigurationError
@@ -174,12 +175,12 @@ def build_fig6_specs(
     ]
 
 
-def run_fig6_trial(spec: TrialSpec) -> MetricSet:
-    """Simulate one workload draw against every interconnect.
+def _fig6_sims(spec: TrialSpec) -> list[tuple[str, SoCSimulation]]:
+    """Build every design's simulation for one workload draw.
 
-    Pure function of the spec: the taskset draw comes from the trial
-    RNG, and each client's private stream is re-derived identically for
-    every interconnect so all designs see the same workload.
+    The taskset draw comes from the trial RNG, and each client's
+    private stream is re-derived identically for every interconnect so
+    all designs see the same workload.
     """
     config: Fig6Config = spec.param("config")
     interconnects: tuple[str, ...] = spec.param("interconnects")
@@ -195,8 +196,7 @@ def run_fig6_trial(spec: TrialSpec) -> MetricSet:
         period_min=config.period_min,
         period_max=config.period_max,
     )
-    scalars: dict[str, float] = {}
-    tags = {"experiment": "fig6", "trial": str(spec.index)}
+    pairs: list[tuple[str, SoCSimulation]] = []
     for name in interconnects:
         interconnect = build_interconnect(
             name, config.n_clients, tasksets, config.factory
@@ -209,13 +209,25 @@ def run_fig6_trial(spec: TrialSpec) -> MetricSet:
             )
             for client_id, taskset in tasksets.items()
         ]
-        simulation = SoCSimulation(
-            clients,
-            interconnect,
-            fast_path=config.fast_path,
-            observability=config.observability,
+        pairs.append(
+            (
+                name,
+                SoCSimulation(
+                    clients,
+                    interconnect,
+                    fast_path=config.fast_path,
+                    observability=config.observability,
+                ),
+            )
         )
-        result = simulation.run(config.horizon, drain=config.drain)
+    return pairs
+
+
+def _fig6_fold(spec: TrialSpec, pairs, results) -> MetricSet:
+    """Fold one trial's per-design results into its metric set."""
+    scalars: dict[str, float] = {}
+    tags = {"experiment": "fig6", "trial": str(spec.index)}
+    for (name, simulation), result in zip(pairs, results):
         scalars[f"{name}/blocking"] = result.mean_blocking
         scalars[f"{name}/miss"] = result.deadline_miss_ratio
         # The completion-trace digest certifies bit-for-bit equality of
@@ -229,6 +241,57 @@ def run_fig6_trial(spec: TrialSpec) -> MetricSet:
                 simulation.tracer.summary_scalars(prefix=f"{name}/obs/")
             )
     return MetricSet(scalars=scalars, tags=tags)
+
+
+def run_fig6_trial(spec: TrialSpec) -> MetricSet:
+    """Simulate one workload draw against every interconnect.
+
+    Pure function of the spec (see :func:`_fig6_sims`); runs each
+    design on the scalar engine one at a time.
+    """
+    config: Fig6Config = spec.param("config")
+    pairs = _fig6_sims(spec)
+    results = [
+        simulation.run(config.horizon, drain=config.drain)
+        for _, simulation in pairs
+    ]
+    return _fig6_fold(spec, pairs, results)
+
+
+def run_fig6_batch(specs: Sequence[TrialSpec]) -> list[MetricSet]:
+    """Batch entry point: many trials' simulations in one lock-step run.
+
+    Builds every (trial, design) simulation for the chunk and hands
+    them to :func:`repro.sim.batched.run_many`, which groups the
+    structurally-identical ones and advances each group in lock-step
+    (falling back to the scalar engine per trial for anything it cannot
+    represent — tracing, the "scalar" backend default, …).  The folded
+    metric sets are bit-identical to :func:`run_fig6_trial`'s.
+    """
+    from repro.sim.batched import run_many
+
+    pairs_per_spec = []
+    sims: list[SoCSimulation] = []
+    horizons: list[int] = []
+    drains: list[int] = []
+    for spec in specs:
+        config: Fig6Config = spec.param("config")
+        pairs = _fig6_sims(spec)
+        pairs_per_spec.append(pairs)
+        for _, simulation in pairs:
+            sims.append(simulation)
+            horizons.append(config.horizon)
+            drains.append(config.drain)
+    results = run_many(sims, horizon=horizons, drain=drains)
+    folded: list[MetricSet] = []
+    at = 0
+    for spec, pairs in zip(specs, pairs_per_spec):
+        folded.append(_fig6_fold(spec, pairs, results[at : at + len(pairs)]))
+        at += len(pairs)
+    return folded
+
+
+run_fig6_trial.batch = run_fig6_batch
 
 
 def reduce_fig6(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.clients.accelerator import AcceleratorClient
 from repro.clients.processor import ProcessorClient
@@ -178,11 +179,14 @@ def build_fig7_specs(
     return specs
 
 
-def run_fig7_trial(spec: TrialSpec) -> MetricSet:
-    """One workload draw at one utilization, against every design.
+def _fig7_sims(
+    spec: TrialSpec,
+) -> tuple[list[tuple[str, SoCSimulation]], dict[str, float]]:
+    """Build every design's simulation for one (utilization, trial).
 
-    Emits ``{name}/success`` ∈ {0, 1} per interconnect: 1 when no
-    monitored (safety/function) job missed a deadline.
+    Returns the ``(name, simulation)`` pairs plus the trial's
+    simulation-independent base scalars (the optional compositional-
+    analysis verdict).
     """
     config: Fig7Config = spec.param("config")
     interconnects: tuple[str, ...] = spec.param("interconnects")
@@ -202,11 +206,6 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
         interference.get(accelerator_id, TaskSet())
     )
     scalars: dict[str, float] = {}
-    tags = {
-        "experiment": "fig7",
-        "utilization": str(utilization),
-        "trial": str(spec.param("trial")),
-    }
     if config.analysis:
         from repro.analysis.model import SystemModel
         from repro.topology import quadtree
@@ -220,6 +219,7 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
         scalars["analysis/root_bandwidth"] = float(
             model.baseline.root_bandwidth
         )
+    pairs: list[tuple[str, SoCSimulation]] = []
     for name in interconnects:
         interconnect = build_interconnect(
             name, config.n_clients, combined, config.factory
@@ -246,13 +246,31 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
                 rng=random.Random(spec.client_seed(accelerator_id)),
             )
         )
-        simulation = SoCSimulation(
-            clients,
-            interconnect,
-            fast_path=config.fast_path,
-            observability=config.observability,
+        pairs.append(
+            (
+                name,
+                SoCSimulation(
+                    clients,
+                    interconnect,
+                    fast_path=config.fast_path,
+                    observability=config.observability,
+                ),
+            )
         )
-        trial_result = simulation.run(config.horizon, drain=config.drain)
+    return pairs, scalars
+
+
+def _fig7_fold(spec: TrialSpec, pairs, results, base_scalars) -> MetricSet:
+    """Fold one trial's per-design results into its metric set."""
+    config: Fig7Config = spec.param("config")
+    accelerator_id = config.n_processors
+    scalars = dict(base_scalars)
+    tags = {
+        "experiment": "fig7",
+        "utilization": str(spec.param("utilization")),
+        "trial": str(spec.param("trial")),
+    }
+    for (name, simulation), trial_result in zip(pairs, results):
         # Only processor clients carry monitored tasks; the HA is
         # load.  ProcessorClient marks interference unmonitored.
         monitored_missed = sum(
@@ -269,6 +287,59 @@ def run_fig7_trial(spec: TrialSpec) -> MetricSet:
                 simulation.tracer.summary_scalars(prefix=f"{name}/obs/")
             )
     return MetricSet(scalars=scalars, tags=tags)
+
+
+def run_fig7_trial(spec: TrialSpec) -> MetricSet:
+    """One workload draw at one utilization, against every design.
+
+    Emits ``{name}/success`` ∈ {0, 1} per interconnect: 1 when no
+    monitored (safety/function) job missed a deadline.
+    """
+    config: Fig7Config = spec.param("config")
+    pairs, base_scalars = _fig7_sims(spec)
+    results = [
+        simulation.run(config.horizon, drain=config.drain)
+        for _, simulation in pairs
+    ]
+    return _fig7_fold(spec, pairs, results, base_scalars)
+
+
+def run_fig7_batch(specs: Sequence[TrialSpec]) -> list[MetricSet]:
+    """Batch entry point: many trials' simulations in one lock-step run.
+
+    Same contract as :func:`repro.experiments.fig6.run_fig6_batch`:
+    every (trial, design) simulation of the chunk goes through
+    :func:`repro.sim.batched.run_many` and the folded metric sets are
+    bit-identical to :func:`run_fig7_trial`'s.
+    """
+    from repro.sim.batched import run_many
+
+    built = []
+    sims: list[SoCSimulation] = []
+    horizons: list[int] = []
+    drains: list[int] = []
+    for spec in specs:
+        config: Fig7Config = spec.param("config")
+        pairs, base_scalars = _fig7_sims(spec)
+        built.append((spec, pairs, base_scalars))
+        for _, simulation in pairs:
+            sims.append(simulation)
+            horizons.append(config.horizon)
+            drains.append(config.drain)
+    results = run_many(sims, horizon=horizons, drain=drains)
+    folded: list[MetricSet] = []
+    at = 0
+    for spec, pairs, base_scalars in built:
+        folded.append(
+            _fig7_fold(
+                spec, pairs, results[at : at + len(pairs)], base_scalars
+            )
+        )
+        at += len(pairs)
+    return folded
+
+
+run_fig7_trial.batch = run_fig7_batch
 
 
 def reduce_fig7(

@@ -99,8 +99,8 @@ def build_scalability_specs(
     return specs
 
 
-def run_scalability_trial(spec: TrialSpec) -> MetricSet:
-    """One (size, interconnect, seed) simulation."""
+def _scalability_sim(spec: TrialSpec) -> SoCSimulation:
+    """Build one (size, interconnect, seed) simulation."""
     n_clients = spec.param("n_clients")
     rng = random.Random(spec.seed)
     tasksets = generate_client_tasksets(
@@ -113,9 +113,10 @@ def run_scalability_trial(spec: TrialSpec) -> MetricSet:
         TrafficGenerator(c, ts, rng=random.Random(spec.client_seed(c)))
         for c, ts in tasksets.items()
     ]
-    trial = SoCSimulation(clients, interconnect).run(
-        spec.param("horizon"), drain=4_000
-    )
+    return SoCSimulation(clients, interconnect)
+
+
+def _scalability_fold(spec: TrialSpec, trial) -> MetricSet:
     return MetricSet(
         scalars={
             "miss": trial.deadline_miss_ratio,
@@ -123,10 +124,36 @@ def run_scalability_trial(spec: TrialSpec) -> MetricSet:
         },
         tags={
             "experiment": "scalability",
-            "n_clients": str(n_clients),
+            "n_clients": str(spec.param("n_clients")),
             "interconnect": spec.param("interconnect"),
         },
     )
+
+
+def run_scalability_trial(spec: TrialSpec) -> MetricSet:
+    """One (size, interconnect, seed) simulation."""
+    trial = _scalability_sim(spec).run(spec.param("horizon"), drain=4_000)
+    return _scalability_fold(spec, trial)
+
+
+def run_scalability_batch(specs) -> list[MetricSet]:
+    """Batch entry point: the chunk's simulations via the batched
+    backend (same-shaped (size, design) trials advance in lock-step;
+    results are bit-identical to :func:`run_scalability_trial`)."""
+    from repro.sim.batched import run_many
+
+    sims = [_scalability_sim(spec) for spec in specs]
+    results = run_many(
+        sims,
+        horizon=[spec.param("horizon") for spec in specs],
+        drain=4_000,
+    )
+    return [
+        _scalability_fold(spec, trial) for spec, trial in zip(specs, results)
+    ]
+
+
+run_scalability_trial.batch = run_scalability_batch
 
 
 def reduce_scalability(

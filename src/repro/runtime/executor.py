@@ -14,6 +14,15 @@ functions of their spec (the determinism contract in
 Runners must be module-level functions (picklable by reference) for the
 parallel backend; per-trial wall-clock is measured inside the worker
 and shipped back with the metrics.
+
+A runner may additionally carry a ``batch`` attribute — a callable
+taking a list of specs and returning one :class:`MetricSet` per spec.
+Both executors then hand the runner whole chunks at a time instead of
+single specs, which is how the batched simulator backend
+(:mod:`repro.sim.batched`) gets same-shaped trials to advance in
+lock-step.  Outcomes, hook sequencing and failure capture are
+identical either way: a raising batch falls back to per-spec execution
+inside the same process, so one bad trial still fails alone.
 """
 
 from __future__ import annotations
@@ -152,6 +161,52 @@ def _execute_one(runner: TrialRunner, spec: TrialSpec) -> TrialOutcome:
     )
 
 
+#: serial chunk size for batch-capable runners — bounds how many specs'
+#: simulations are alive at once while still feeding the batched
+#: backend groups large enough to amortize its per-cycle costs
+SERIAL_BATCH = 256
+
+
+def _execute_batch(
+    runner: TrialRunner, specs: Sequence[TrialSpec]
+) -> list[TrialOutcome]:
+    """Run one chunk of specs through the runner's batch entry point.
+
+    Module-level so workers can pickle it (the ``batch`` attribute is
+    re-resolved from the runner after unpickling by reference).  Any
+    exception out of the batch falls back to per-spec execution: the
+    chunk is re-run one trial at a time, so the failing trial is blamed
+    in its own outcome exactly as under :func:`_execute_one` and the
+    healthy trials still succeed.  Per-trial wall-clock is the batch
+    elapsed time split evenly (lock-step trials have no individual
+    timings).
+    """
+    batch = getattr(runner, "batch", None)
+    if batch is None:
+        return [_execute_one(runner, spec) for spec in specs]
+    if not specs:
+        return []
+    started = time.perf_counter()
+    try:
+        metric_sets = batch(list(specs))
+    except Exception:  # noqa: BLE001 - refine blame per trial
+        return [_execute_one(runner, spec) for spec in specs]
+    elapsed = time.perf_counter() - started
+    if len(metric_sets) != len(specs) or not all(
+        isinstance(metrics, MetricSet) for metrics in metric_sets
+    ):
+        raise ConfigurationError(
+            f"batch runner for {specs[0].experiment!r} must return one "
+            f"MetricSet per spec (got {len(metric_sets)} for "
+            f"{len(specs)} specs)"
+        )
+    seconds = elapsed / len(specs)
+    return [
+        TrialOutcome(spec=spec, metrics=metrics, seconds=seconds)
+        for spec, metrics in zip(specs, metric_sets)
+    ]
+
+
 class SerialExecutor:
     """Run every trial in the calling process, in spec order."""
 
@@ -166,10 +221,18 @@ class SerialExecutor:
         hooks = hooks or ExecutionHooks()
         hooks.on_batch_start(specs)
         outcomes: list[TrialOutcome] = []
-        for spec in specs:
-            outcome = _execute_one(runner, spec)
-            outcomes.append(outcome)
-            hooks.on_trial_done(outcome, len(outcomes), len(specs))
+        if getattr(runner, "batch", None) is not None:
+            for lo in range(0, len(specs), SERIAL_BATCH):
+                for outcome in _execute_batch(
+                    runner, specs[lo : lo + SERIAL_BATCH]
+                ):
+                    outcomes.append(outcome)
+                    hooks.on_trial_done(outcome, len(outcomes), len(specs))
+        else:
+            for spec in specs:
+                outcome = _execute_one(runner, spec)
+                outcomes.append(outcome)
+                hooks.on_trial_done(outcome, len(outcomes), len(specs))
         hooks.on_batch_done(outcomes)
         return outcomes
 
@@ -228,11 +291,29 @@ class ParallelExecutor:
                 max_workers=self._workers,
                 initializer=self.worker_init,
             ) as pool:
-                for outcome in pool.map(
-                    partial(_execute_one, runner),
-                    specs,
-                    chunksize=self._chunk(len(specs)),
-                ):
+                if getattr(runner, "batch", None) is not None:
+                    # ship whole chunks so each worker can advance its
+                    # specs in lock-step; ordered collection over the
+                    # chunk list keeps outcomes in spec order
+                    chunk = self._chunk(len(specs))
+                    groups = [
+                        list(specs[lo : lo + chunk])
+                        for lo in range(0, len(specs), chunk)
+                    ]
+                    collected = (
+                        outcome
+                        for group in pool.map(
+                            partial(_execute_batch, runner), groups
+                        )
+                        for outcome in group
+                    )
+                else:
+                    collected = pool.map(
+                        partial(_execute_one, runner),
+                        specs,
+                        chunksize=self._chunk(len(specs)),
+                    )
+                for outcome in collected:
                     outcomes.append(outcome)
                     hooks.on_trial_done(outcome, len(outcomes), len(specs))
         hooks.on_batch_done(outcomes)

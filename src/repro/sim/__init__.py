@@ -1,5 +1,18 @@
-"""Discrete-event simulation substrate (clock, engine, statistics)."""
+"""Discrete-event simulation substrate (clock, engine, statistics).
 
+Two interchangeable execution backends live underneath
+(:mod:`repro.sim.backend`): the scalar reference engine
+(:class:`Engine`) and the batched structure-of-arrays backend
+(:func:`run_many`), which advances many structurally-identical trials
+in lock-step and produces bit-identical results.
+"""
+
+from repro.sim.backend import (
+    SIM_BACKENDS,
+    get_default_sim_backend,
+    resolve_sim_backend,
+    set_default_sim_backend,
+)
 from repro.sim.clock import Clock
 from repro.sim.engine import Engine, QuiescentComponent, TickComponent
 from repro.sim.stats import (
@@ -25,7 +38,22 @@ from repro.sim.trace import (
     trace_from_clients,
 )
 
+# imported last: repro.sim.batched reaches back through repro.soc into
+# the engine/clock names bound above
+from repro.sim.batched import (  # noqa: E402
+    Ineligible,
+    batched_supported,
+    run_many,
+)
+
 __all__ = [
+    "SIM_BACKENDS",
+    "get_default_sim_backend",
+    "resolve_sim_backend",
+    "set_default_sim_backend",
+    "Ineligible",
+    "batched_supported",
+    "run_many",
     "Clock",
     "ComponentCycleStats",
     "CycleAccounting",

@@ -1,0 +1,136 @@
+"""`run_many`: the public entry point of the batched SoA backend.
+
+Groups structurally-identical simulations (same design, geometry and
+client roster — per-trial workloads, budgets and horizons may differ),
+compiles each into a :class:`~repro.sim.batched.extract.TrialPlan` and
+advances the whole group in lock-step.  Anything the kernels cannot
+represent — tracing, non-empty fault plans, exotic controllers or
+clients — transparently falls back to ``sim.run`` on the scalar
+engine, so callers always get the full result list in input order,
+bit-identical to running each trial on the scalar engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.backend import resolve_sim_backend
+from repro.sim.batched.extract import (
+    Ineligible,
+    extract_plan,
+    signature_of,
+)
+from repro.soc import SoCSimulation, TrialResult
+
+#: lock-step group size cap — bounds the (N, Rmax) array footprint
+MAX_GROUP = 512
+
+
+def _per_trial(value, n: int, default=None) -> list:
+    if value is None:
+        return [default] * n
+    if isinstance(value, int):
+        return [value] * n
+    values = list(value)
+    if len(values) != n:
+        raise ConfigurationError(
+            f"expected {n} per-trial values, got {len(values)}"
+        )
+    return values
+
+
+def _make_kernel(core, sims):
+    ic = sims[0].interconnect
+    from repro.core.interconnect import BlueScaleInterconnect
+    from repro.interconnects.axi_icrt import AxiIcRtInterconnect
+
+    if isinstance(ic, AxiIcRtInterconnect):
+        from repro.sim.batched.axi import AxiKernel
+
+        return AxiKernel(core, sims)
+    if isinstance(ic, BlueScaleInterconnect):
+        from repro.sim.batched.bluescale import BlueScaleKernel
+
+        return BlueScaleKernel(core, sims)
+    from repro.sim.batched.muxtree import MuxTreeKernel
+
+    return MuxTreeKernel(core, sims)
+
+
+def _run_group(sims, plans) -> list[TrialResult]:
+    from repro.sim.batched.core import BatchCore
+
+    core = BatchCore(sims, plans)
+    kernel = _make_kernel(core, sims)
+    core.run(kernel)
+    return [core.finalize(t) for t in range(len(sims))]
+
+
+def run_many(
+    sims: Sequence[SoCSimulation],
+    horizon,
+    drain=None,
+    warmup=0,
+    backend: str | None = None,
+) -> list[TrialResult]:
+    """Run many independent simulations; results in input order.
+
+    ``horizon``/``drain``/``warmup`` accept a single int applied to
+    every trial or one value per trial (ragged batches are fine —
+    shorter trials simply freeze while the rest drain).
+    """
+    sims = list(sims)
+    n = len(sims)
+    horizons = _per_trial(horizon, n)
+    drains = _per_trial(drain, n)
+    warmups = _per_trial(warmup, n, default=0)
+    for i in range(n):
+        if horizons[i] is None or horizons[i] <= 0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {horizons[i]}"
+            )
+        if not 0 <= warmups[i] < horizons[i]:
+            raise ConfigurationError(
+                f"warmup must lie within [0, horizon), got {warmups[i]}"
+            )
+        if drains[i] is None:
+            drains[i] = min(4 * horizons[i], 20_000)
+    if resolve_sim_backend(backend) == "scalar":
+        return [
+            sim.run(horizons[i], drain=drains[i], warmup=warmups[i])
+            for i, sim in enumerate(sims)
+        ]
+    results: list[TrialResult | None] = [None] * n
+    groups: dict[tuple, list[int]] = {}
+    for i, sim in enumerate(sims):
+        try:
+            signature = signature_of(sim)
+        except Ineligible:
+            results[i] = sim.run(
+                horizons[i], drain=drains[i], warmup=warmups[i]
+            )
+            continue
+        groups.setdefault(signature, []).append(i)
+    for indices in groups.values():
+        for lo in range(0, len(indices), MAX_GROUP):
+            chunk = indices[lo : lo + MAX_GROUP]
+            members: list[int] = []
+            plans = []
+            for i in chunk:
+                try:
+                    plans.append(
+                        extract_plan(
+                            sims[i], horizons[i], drains[i], warmups[i]
+                        )
+                    )
+                    members.append(i)
+                except Ineligible:
+                    results[i] = sims[i].run(
+                        horizons[i], drain=drains[i], warmup=warmups[i]
+                    )
+            if members:
+                batch = _run_group([sims[i] for i in members], plans)
+                for i, result in zip(members, batch):
+                    results[i] = result
+    return results

@@ -1,0 +1,182 @@
+"""SoA kernel for the BlueScale fabric (scale elements + SE servers).
+
+Each level of the quadtree holds a slot table ``(N, nodes, fanout,
+buffer_capacity)`` of request ids plus a parallel key table ``kslots``
+in which free slots hold the ``BIG`` sentinel — per-port minima and
+blocking charges then run straight off ``kslots`` with no gather and
+no occupancy mask.  Per-port fill counts (``cnt``) replace mask
+reductions for the space checks.  The server counter state per port —
+replenishment period ``P``, full budget ``Bfull`` and the live budget
+``B`` — replays exactly as closed forms on the cycle number:
+
+* B replenishes at the end of every cycle ``c`` with ``(c + 1) % P == 0``
+  (on non-idle ports only),
+* the server deadline at select time is ``P * (c // P + 1)``.
+
+The two-pass EDF pick (budgeted servers by ``(server deadline, earliest
+request deadline)``, then idle-interface background ports by earliest
+request deadline) is encoded into a single int64 key per pass so
+``argmin`` reproduces the scalar's strict-<, lowest-port tie-break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.batched.extract import BIG, KEY_SCALE, SHIFT
+
+
+class BlueScaleKernel:
+    def __init__(self, core, sims) -> None:
+        self.core = core
+        ic = sims[0].interconnect
+        topo = ic.topology
+        self.depth = topo.depth
+        self.fanout = topo.fanout
+        self.cap = ic.elements[(0, 0)].buffers[0].capacity
+        n = core.n
+        self.n = n
+        counts = [0] * (topo.depth + 1)
+        for level, order in topo.all_nodes():
+            counts[level] = max(counts[level], order + 1)
+        self.counts = counts
+        fo = self.fanout
+        cap = self.cap
+        self.slots = [
+            np.zeros((n, m, fo, cap), dtype=np.int64) for m in counts
+        ]
+        self.kslots = [
+            np.full((n, m, fo, cap), BIG, dtype=np.int64) for m in counts
+        ]
+        #: live entries per port; space check and first-free insert both
+        #: run off this instead of reducing an occupancy mask
+        self.cnt = [np.zeros((n, m, fo), dtype=np.int64) for m in counts]
+        self.fcnt = [c.reshape(n, -1) for c in self.cnt]
+        # flattened (node, port) views: level l's node order o feeds
+        # flat slot o of level l-1
+        self.fslots = [s.reshape(n, -1, cap) for s in self.slots]
+        self.fkslots = [k.reshape(n, -1, cap) for k in self.kslots]
+        self.period = []
+        self.budget_full = []
+        self.budget = []
+        for level, m in enumerate(counts):
+            period = np.ones((n, m, fo), dtype=np.int64)
+            bfull = np.zeros((n, m, fo), dtype=np.int64)
+            for t, sim in enumerate(sims):
+                elements = sim.interconnect.elements
+                for order in range(m):
+                    servers = elements[(level, order)].scheduler.servers
+                    for port, server in enumerate(servers):
+                        period[t, order, port] = server.counters.period
+                        bfull[t, order, port] = server.counters.budget
+            self.period.append(period)
+            self.budget_full.append(bfull)
+            self.budget.append(bfull.copy())
+        self.idle = [bfull == 0 for bfull in self.budget_full]
+        ids = core.client_ids
+        self.leaf_node = ids // fo
+        self.leaf_port = ids % fo
+        #: scalar request count per level — skips empty levels cheaply
+        self.occ = [0] * (topo.depth + 1)
+
+    def begin_cycle(self, cycle: int, active: np.ndarray) -> None:
+        pass
+
+    def inject_space(self, cycle: int) -> np.ndarray:
+        return self.fcnt[self.depth][:, self.core.client_ids] < self.cap
+
+    def accept(self, cycle, trials, cols, rids) -> None:
+        level = self.depth
+        node = self.leaf_node[cols]
+        port = self.leaf_port[cols]
+        kslots = self.kslots[level]
+        slot = np.argmax(kslots[trials, node, port] == BIG, axis=1)
+        self.slots[level][trials, node, port, slot] = rids
+        kslots[trials, node, port, slot] = self.core.key[trials, rids]
+        self.cnt[level][trials, node, port] += 1
+        self.occ[level] += len(trials)
+
+    def tick(self, cycle: int, active: np.ndarray) -> None:
+        for level in range(self.depth + 1):
+            self._tick_level(cycle, active, level)
+
+    def _tick_level(self, cycle: int, active: np.ndarray, level: int) -> None:
+        if not self.occ[level]:
+            self._replenish(cycle, active, level)
+            return
+        kslots = self.kslots[level]
+        min_key = kslots.min(axis=3)
+        occupied = min_key < BIG
+        earliest = min_key >> SHIFT
+        period = self.period[level]
+        budget = self.budget[level]
+        idle = self.idle[level]
+        server_deadline = (cycle // period + 1) * period
+        # pass 1: budgeted servers, EDF over (server deadline, earliest
+        # request deadline); pass 2: background (idle-interface) ports
+        pass1 = np.where(
+            occupied & ~idle & (budget > 0),
+            server_deadline * KEY_SCALE + earliest,
+            BIG,
+        )
+        val1 = pass1.min(axis=2)
+        budgeted = val1 < BIG
+        pass2 = np.where(occupied & idle, earliest, BIG)
+        val2 = pass2.min(axis=2)
+        found = budgeted | (val2 < BIG)
+        if level > 0:
+            space = self.fcnt[level - 1][:, : self.counts[level]] < self.cap
+        else:
+            space = self.core.provider_space()[:, None]
+        tt, nn = np.nonzero(found & active[:, None] & space)
+        if len(tt):
+            # the winner port/slot gathers only run on the selected rows
+            pp = np.where(
+                budgeted[tt, nn],
+                np.argmin(pass1[tt, nn], axis=1),
+                np.argmin(pass2[tt, nn], axis=1),
+            )
+            port_keys = kslots[tt, nn, pp]
+            ss = np.argmin(port_keys, axis=1)
+            k_idx = np.arange(len(tt))
+            winner_key = port_keys[k_idx, ss]
+            rids = self.slots[level][tt, nn, pp, ss]
+            kslots[tt, nn, pp, ss] = BIG
+            self.cnt[level][tt, nn, pp] -= 1
+            self.occ[level] -= len(tt)
+            consume = ~idle[tt, nn, pp]
+            budget[tt[consume], nn[consume], pp[consume]] -= 1
+            if level > 0:
+                up_k = self.fkslots[level - 1]
+                free = np.argmax(up_k[tt, nn] == BIG, axis=1)
+                self.fslots[level - 1][tt, nn, free] = rids
+                up_k[tt, nn, free] = winner_key
+                self.fcnt[level - 1][tt, nn] += 1
+                self.occ[level - 1] += len(tt)
+            else:
+                self.core.enqueue_provider(tt, rids, winner_key)
+            self._charge(level, tt, nn, winner_key)
+        self._replenish(cycle, active, level)
+
+    def _charge(self, level, tt, nn, winner_key) -> None:
+        keys = self.kslots[level][tt, nn]  # (K, fanout, cap); free = BIG
+        # a port shields its requests unless its server still has budget
+        # (checked after the winner's consume) or is an idle interface
+        eligible = (
+            self.idle[level][tt, nn] | (self.budget[level][tt, nn] > 0)
+        )
+        charge = eligible[..., None] & (keys < winner_key[:, None, None])
+        if charge.any():
+            tb = np.broadcast_to(tt[:, None, None], charge.shape)
+            sub_slots = self.slots[level][tt, nn]
+            self.core.blocking[tb[charge], sub_slots[charge]] += 1
+
+    def _replenish(self, cycle: int, active: np.ndarray, level: int) -> None:
+        period = self.period[level]
+        refill = (
+            ((cycle + 1) % period == 0)
+            & ~self.idle[level]
+            & active[:, None, None]
+        )
+        budget = self.budget[level]
+        np.copyto(budget, self.budget_full[level], where=refill)

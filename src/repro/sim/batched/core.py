@@ -1,0 +1,396 @@
+"""The lock-step batch driver shared by all interconnect kernels.
+
+`BatchCore` owns everything that is *not* the interconnect fabric:
+
+* per-request tables padded to ``(N, Rmax)`` — encoded priority keys,
+  accumulated blocking cycles, completion cycles,
+* the per-(trial, client) pending queues — a hybrid layout with Python
+  heaps holding the encoded keys (mutated only at releases and accepted
+  injections) mirrored by dense ``head_key`` / ``pending_len`` arrays
+  for vectorized injection gating,
+* the FCFS fixed-latency memory controller as a ring queue over the
+  trial axis, and
+* the response path as a modular ring of size ``latency + 2`` (at most
+  one completion per cycle per trial, constant per-design latency, so
+  at most one delivery per cycle per trial).
+
+Each cycle replays the scalar engine's stage order exactly: client
+releases + injections, fabric (root-first, delegated to the kernel),
+controller, response delivery.  The result assembly mirrors
+``SoCSimulation._collect`` bit for bit — same trace-record bytes into
+the same sha256, same recorder streams, same job-outcome fold, same
+conservation check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.batched.extract import BIG, RID_MASK, TrialPlan
+from repro.soc import TrialResult
+
+#: ``head_key`` sentinel for an empty pending queue
+EMPTY = np.int64(BIG)
+
+
+class BatchCore:
+    """State and driver for one group of structurally-identical trials."""
+
+    def __init__(self, sims, plans: list[TrialPlan]) -> None:
+        self.sims = sims
+        self.plans = plans
+        n = len(sims)
+        self.n = n
+        clients = sims[0].clients
+        self.n_ports = sims[0].interconnect.n_clients
+        c = len(clients)
+        self.n_clients = c
+        self.client_ids = np.asarray(
+            [client.client_id for client in clients], dtype=np.int64
+        )
+        self.intervals = np.asarray(
+            [getattr(client, "_inject_interval", 1) for client in clients],
+            dtype=np.int64,
+        )
+        self.pending_caps = [client.pending_capacity for client in clients]
+        rmax = max(1, max(plan.n_requests for plan in plans))
+        self.rmax = rmax
+        # padded request tables (rows beyond a trial's own request count
+        # are never addressed: every rid flowing through the arrays was
+        # released by its own trial)
+        self.key = np.zeros((n, rmax), dtype=np.int64)
+        self.rclient = np.zeros((n, rmax), dtype=np.int64)
+        for t, plan in enumerate(plans):
+            r = plan.n_requests
+            self.key[t, :r] = plan.req_key
+            self.rclient[t, :r] = plan.req_client_id
+        self.blocking = np.zeros((n, rmax), dtype=np.int64)
+        self.complete = np.full((n, rmax), -1, dtype=np.int64)
+        self.horizon = np.asarray([plan.horizon for plan in plans], np.int64)
+        self.total = np.asarray([plan.total for plan in plans], np.int64)
+        self.max_total = int(self.total.max())
+        # pending queues
+        self.heaps = [[[] for _ in range(c)] for _ in range(n)]
+        self.head_key = np.full((n, c), EMPTY, dtype=np.int64)
+        self.pending_len = np.zeros((n, c), dtype=np.int64)
+        self.last_inject = np.full((n, c), -1, dtype=np.int64)
+        for j, client in enumerate(clients):
+            last = getattr(client, "_last_inject", None)
+            if last is not None:
+                self.last_inject[:, j] = last
+        self.live = np.zeros(n, dtype=np.int64)
+        self.live_total = 0
+        self.total_pending = 0
+        self.hmin = int(self.horizon.min())
+        self.hmax = int(self.horizon.max())
+        self.all_interval1 = bool(
+            (self.intervals == 1).all() and (self.last_inject < 0).all()
+        )
+        self.dropped = np.zeros(n, dtype=np.int64)
+        self.delivered = np.zeros(n, dtype=np.int64)
+        self.job_dropped = [
+            np.zeros(plan.n_jobs, dtype=np.int64) for plan in plans
+        ]
+        # merged release schedule: all trials' jobs, stably sorted by
+        # release cycle (per-trial order is preserved; trials are
+        # independent so the cross-trial order is immaterial), consumed
+        # by a single advancing pointer
+        all_rel = np.concatenate(
+            [plan.job_release for plan in plans]
+        )
+        all_t = np.concatenate(
+            [
+                np.full(plan.n_jobs, t, dtype=np.int64)
+                for t, plan in enumerate(plans)
+            ]
+        )
+        all_pos = np.concatenate(
+            [plan.job_client_pos.astype(np.int64) for plan in plans]
+        )
+        all_job = np.concatenate(
+            [np.arange(plan.n_jobs, dtype=np.int64) for plan in plans]
+        )
+        all_s = np.concatenate([plan.starts[:-1] for plan in plans])
+        all_e = np.concatenate([plan.starts[1:] for plan in plans])
+        order = np.argsort(all_rel, kind="stable")
+        self.ev_rel = all_rel[order].tolist()
+        self.ev_t = all_t[order].tolist()
+        self.ev_pos = all_pos[order].tolist()
+        self.ev_job = all_job[order].tolist()
+        self.ev_s = all_s[order].tolist()
+        self.ev_e = all_e[order].tolist()
+        self.ev_ptr = 0
+        self.pending_events = len(self.ev_rel)
+        self.key_lists = [plan.key_list for plan in plans]
+        # memory controller (FCFS compact queue, fixed service cost; a
+        # parallel key column avoids gathers for the blocking charge)
+        mc = sims[0].controller
+        self.mc_cost = mc.device.cycles_per_access
+        self.qcap = mc.queue_capacity
+        self.queue = np.zeros((n, self.qcap), dtype=np.int64)
+        self.qkeys = np.full((n, self.qcap), EMPTY, dtype=np.int64)
+        self.q_len = np.zeros(n, dtype=np.int64)
+        self.total_queued = 0
+        self.serving = np.full(n, -1, dtype=np.int64)
+        self.serving_key = np.full(n, EMPTY, dtype=np.int64)
+        self.serving_count = 0
+        self.remaining = np.zeros(n, dtype=np.int64)
+        # response ring
+        self.latency = sims[0].interconnect.response_latency(
+            clients[0].client_id
+        )
+        self.ring_size = self.latency + 2
+        self.ring = np.full((n, self.ring_size), -1, dtype=np.int64)
+
+    # -- provider interface for the kernels ---------------------------------
+
+    def provider_space(self) -> np.ndarray:
+        """(N,) bool — can the controller accept a request this cycle?"""
+        return self.q_len < self.qcap
+
+    def enqueue_provider(self, trials, rids, keys) -> None:
+        """Root forward into the controller queue (at most one/trial)."""
+        pos = self.q_len[trials]
+        self.queue[trials, pos] = rids
+        self.qkeys[trials, pos] = keys
+        self.q_len[trials] += 1
+        self.total_queued += len(trials)
+
+    # -- per-cycle stages ----------------------------------------------------
+
+    def _stage_releases(self, cycle: int) -> None:
+        ptr = self.ev_ptr
+        ev_rel = self.ev_rel
+        if ptr >= len(ev_rel) or ev_rel[ptr] != cycle:
+            return
+        ev_t, ev_pos = self.ev_t, self.ev_pos
+        ev_s, ev_e, ev_job = self.ev_s, self.ev_e, self.ev_job
+        head_key = self.head_key
+        pending_len = self.pending_len
+        heappush = heapq.heappush
+        while ptr < len(ev_rel) and ev_rel[ptr] == cycle:
+            t = ev_t[ptr]
+            pos = ev_pos[ptr]
+            heap = self.heaps[t][pos]
+            keys = self.key_lists[t][ev_s[ptr] : ev_e[ptr]]
+            free = self.pending_caps[pos] - len(heap)
+            accepted = len(keys) if len(keys) <= free else max(0, free)
+            dropped = len(keys) - accepted
+            for key in keys[:accepted]:
+                heappush(heap, key)
+            if dropped:
+                self.dropped[t] += dropped
+                self.job_dropped[t][ev_job[ptr]] += dropped
+            self.total_pending += accepted
+            if heap:
+                head_key[t, pos] = heap[0]
+                pending_len[t, pos] = len(heap)
+            ptr += 1
+        self.pending_events -= ptr - self.ev_ptr
+        self.ev_ptr = ptr
+
+    def _stage_injections(self, cycle: int, kernel) -> None:
+        if not self.total_pending or cycle >= self.hmax:
+            return
+        mask = self.head_key != EMPTY
+        if cycle >= self.hmin:
+            mask &= (cycle < self.horizon)[:, None]
+        if not self.all_interval1:
+            mask &= cycle - self.last_inject >= self.intervals
+        mask &= kernel.inject_space(cycle)
+        trials, cols = np.nonzero(mask)
+        if not len(trials):
+            return
+        heaps = self.heaps
+        heappop = heapq.heappop
+        empty = int(EMPTY)
+        popped = []
+        new_heads = []
+        for t, j in zip(trials.tolist(), cols.tolist()):
+            heap = heaps[t][j]
+            popped.append(heappop(heap))
+            new_heads.append(heap[0] if heap else empty)
+        rids = np.asarray(popped, dtype=np.int64) & RID_MASK
+        # unique (trial, col) pairs — plain fancy scatters are safe
+        self.head_key[trials, cols] = new_heads
+        self.pending_len[trials, cols] -= 1
+        if not self.all_interval1:
+            self.last_inject[trials, cols] = cycle
+        self.total_pending -= len(trials)
+        self.live_total += len(trials)
+        # several clients of one trial may inject in the same cycle —
+        # accumulate, don't fancy-assign
+        np.add.at(self.live, trials, 1)
+        kernel.accept(cycle, trials, cols, rids)
+
+    def _stage_controller(self, cycle: int, active: np.ndarray) -> None:
+        if not self.total_queued and not self.serving_count:
+            return
+        # pick: idle controller with a queued request starts service
+        if self.total_queued:
+            t = np.nonzero(active & (self.serving < 0) & (self.q_len > 0))[0]
+            if len(t):
+                self.serving[t] = self.queue[t, 0]
+                self.serving_key[t] = self.qkeys[t, 0]
+                self.queue[t, : self.qcap - 1] = self.queue[t, 1:]
+                self.qkeys[t, : self.qcap - 1] = self.qkeys[t, 1:]
+                self.qkeys[t, self.qcap - 1] = EMPTY
+                self.q_len[t] -= 1
+                self.total_queued -= len(t)
+                self.remaining[t] = self.mc_cost
+                self.serving_count += len(t)
+        if not self.serving_count:
+            return
+        busy = active & (self.serving >= 0)
+        # queued requests with a smaller key than the one in service
+        # accrue one blocking cycle (the scalar controller's charge);
+        # empty queue slots hold the EMPTY sentinel and never charge
+        if self.total_queued:
+            t = np.nonzero(busy & (self.q_len > 0))[0]
+            if len(t):
+                charge = self.qkeys[t] < self.serving_key[t][:, None]
+                if charge.any():
+                    tb = np.broadcast_to(t[:, None], charge.shape)
+                    self.blocking[tb[charge], self.queue[t][charge]] += 1
+        self.remaining[busy] -= 1
+        done = busy & (self.remaining == 0)
+        if done.any():
+            t = np.nonzero(done)[0]
+            slot = (cycle + 1 + self.latency) % self.ring_size
+            self.ring[t, slot] = self.serving[t]
+            self.serving[t] = -1
+            self.serving_key[t] = EMPTY
+            self.serving_count -= len(t)
+
+    def _stage_responses(self, cycle: int, active: np.ndarray) -> None:
+        if not self.live_total:
+            return
+        slot = cycle % self.ring_size
+        rids = self.ring[:, slot]
+        t = np.nonzero(active & (rids >= 0))[0]
+        if not len(t):
+            return
+        self.complete[t, rids[t]] = cycle
+        self.ring[t, slot] = -1
+        self.live[t] -= 1
+        self.live_total -= len(t)
+        self.delivered[t] += 1
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self, kernel) -> None:
+        total = self.total
+        for cycle in range(self.max_total):
+            active = cycle < total
+            kernel.begin_cycle(cycle, active)
+            self._stage_releases(cycle)
+            self._stage_injections(cycle, kernel)
+            kernel.tick(cycle, active)
+            self._stage_controller(cycle, active)
+            self._stage_responses(cycle, active)
+            if (
+                self.pending_events == 0
+                and not self.live_total
+                and not self.total_pending
+            ):
+                break
+
+    # -- result assembly -----------------------------------------------------
+
+    def finalize(self, t: int) -> TrialResult:
+        sim = self.sims[t]
+        plan = self.plans[t]
+        r = plan.n_requests
+        complete = self.complete[t, :r]
+        done = np.nonzero(complete >= 0)[0]
+        # delivery order == completion-cycle order (one per cycle)
+        order = done[np.argsort(complete[done], kind="stable")]
+        complete_cycles = complete[order]
+        blocking = self.blocking[t, order]
+        release = plan.req_release[order]
+        deadline = plan.req_deadline[order]
+        client_id = plan.req_client_id[order]
+        hasher = hashlib.sha256()
+        hasher.update(
+            "".join(
+                f"{rid},{cid},{rel},{comp},{blk};"
+                for rid, cid, rel, comp, blk in zip(
+                    order.tolist(),
+                    client_id.tolist(),
+                    release.tolist(),
+                    complete_cycles.tolist(),
+                    blocking.tolist(),
+                )
+            ).encode()
+        )
+        recorder = sim.recorder
+        kept = complete_cycles >= plan.warmup
+        met = complete_cycles <= deadline
+        recorder.response_times.extend((complete_cycles - release)[kept].tolist())
+        recorder.blocking_times.extend(blocking[kept].tolist())
+        recorder.completed += int(kept.sum())
+        recorder.missed += int((~met[kept]).sum())
+        dropped = int(self.dropped[t])
+        for _ in range(dropped):
+            recorder.record_drop()
+        # conservation (mirrors SoCSimulation._collect)
+        released = plan.n_requests
+        completed = len(order)
+        in_flight = int(self.live[t]) + int(self.pending_len[t].sum())
+        if completed + dropped + in_flight != released:
+            raise SimulationError(
+                "request conservation violated: "
+                f"released={released}, completed={completed}, "
+                f"dropped={dropped}, in_flight={in_flight}"
+            )
+        # job outcomes
+        jobs = plan.n_jobs
+        completed_per_job = np.bincount(
+            plan.req_job[order], minlength=jobs
+        ).astype(np.int64)
+        last_completion = np.full(jobs, -1, dtype=np.int64)
+        np.maximum.at(last_completion, plan.req_job[order], complete_cycles)
+        outstanding = (
+            plan.job_wcet.astype(np.int64)
+            - completed_per_job
+            - self.job_dropped[t]
+        )
+        met_job = (
+            (outstanding == 0)
+            & (self.job_dropped[t] == 0)
+            & (last_completion <= plan.job_deadline)
+        )
+        judged = plan.job_monitored & (plan.job_deadline <= plan.horizon)
+        judged_per = np.bincount(
+            plan.job_client_pos[judged], minlength=self.n_clients
+        )
+        missed_per = np.bincount(
+            plan.job_client_pos[judged & ~met_job], minlength=self.n_clients
+        )
+        job_outcomes = {
+            client.client_id: (int(judged_per[pos]), int(missed_per[pos]))
+            for pos, client in enumerate(sim.clients)
+        }
+        total = plan.total
+        sim.cycles_executed = total
+        sim.cycles_skipped = 0
+        sim.leaps = 0
+        sim.clock.now = total
+        fault_counters = {} if sim.faults is None else sim.faults.counters()
+        return TrialResult(
+            horizon=plan.horizon,
+            recorder=recorder,
+            job_outcomes=job_outcomes,
+            requests_released=released,
+            requests_completed=completed,
+            requests_dropped=dropped,
+            requests_in_flight=in_flight,
+            cycles_executed=total,
+            cycles_skipped=0,
+            trace_digest=hasher.hexdigest(),
+            fault_counters=fault_counters,
+        )

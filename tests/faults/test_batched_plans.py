@@ -1,0 +1,118 @@
+"""Fault plans under the batched simulator backend.
+
+The batched SoA kernels do not model fault injection; the eligibility
+contract (:func:`repro.sim.batched.extract.check_supported`) is what
+keeps that safe:
+
+* a **non-empty** fault plan makes the trial ineligible, and
+  :func:`repro.sim.batched.run_many` transparently falls back to the
+  scalar engine — so every fault campaign stays bit-identical to a
+  scalar run, counters included;
+* an **empty** plan is inert by definition, stays eligible, runs on
+  the SoA path, and must be bit-for-bit indistinguishable from a run
+  with no fault instrumentation at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.experiments.factory import build_interconnect
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.sim import batched_supported, run_many
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+
+N_CLIENTS = 8
+HORIZON = 1_500
+DRAIN = 700
+
+
+def build_sim(
+    name: str, seed: int, faults: FaultPlan | None
+) -> SoCSimulation:
+    rng = random.Random(seed)
+    tasksets = generate_client_tasksets(
+        rng,
+        n_clients=N_CLIENTS,
+        tasks_per_client=3,
+        system_utilization=0.45,
+    )
+    interconnect = build_interconnect(name, N_CLIENTS, tasksets)
+    clients = [
+        TrafficGenerator(c, ts, rng=random.Random(seed * 17 + c))
+        for c, ts in tasksets.items()
+    ]
+    return SoCSimulation(clients, interconnect, faults=faults)
+
+
+def fingerprint(result) -> tuple:
+    return (
+        result.trace_digest,
+        result.job_outcomes,
+        result.requests_released,
+        result.requests_completed,
+        result.requests_dropped,
+        dict(result.fault_counters),
+    )
+
+
+@pytest.mark.parametrize("kind", list(FaultKind))
+def test_every_fault_kind_identical_under_batched_backend(kind):
+    """run_many over faulted trials ≡ direct scalar runs, per kind.
+
+    The faulted trials must be rejected by the eligibility check (the
+    kernels cannot replay perturbations) and then produce the exact
+    scalar results through the fallback — including the fault counters
+    that prove the plan actually fired.
+    """
+    plan = FaultPlan.generate(
+        f"batched/{kind.name}", HORIZON, N_CLIENTS, kinds=(kind,)
+    )
+    assert not plan.empty
+    batch = [build_sim("BlueScale", seed, plan) for seed in (1, 2)]
+    assert all(not batched_supported(sim) for sim in batch)
+    results = run_many(batch, HORIZON, drain=DRAIN, backend="batched")
+    for seed, result in zip((1, 2), results):
+        oracle = build_sim("BlueScale", seed, plan).run(HORIZON, drain=DRAIN)
+        assert fingerprint(result) == fingerprint(oracle), kind.name
+
+
+@pytest.mark.parametrize("name", ["BlueScale", "GSMTree-TDM", "AXI-IC^RT"])
+def test_rogue_client_campaign_identical_across_designs(name):
+    """The isolation campaign's aggressor plan stays bit-identical
+    through run_many on every arbitration family."""
+    plan = FaultPlan.rogue_client(
+        0, 300, HORIZON, burst_size=16, burst_every=80
+    )
+    sims = [build_sim(name, seed, plan) for seed in (3, 4)]
+    results = run_many(sims, HORIZON, drain=DRAIN, backend="batched")
+    for seed, result in zip((3, 4), results):
+        oracle = build_sim(name, seed, plan).run(HORIZON, drain=DRAIN)
+        assert fingerprint(result) == fingerprint(oracle), name
+        assert result.fault_counters.get("rogue_requests", 0) > 0, name
+
+
+def test_empty_plan_is_inert_on_the_soa_path():
+    """An empty plan keeps the trial on the batched kernels and changes
+    nothing: same digest as a run with no fault instrumentation, zero
+    injected work, zero counters."""
+    with_empty = build_sim("BlueScale", 5, FaultPlan.none())
+    without = build_sim("BlueScale", 5, None)
+    assert batched_supported(with_empty)
+    assert batched_supported(without)
+    result_empty, result_plain = run_many(
+        [with_empty, without], HORIZON, drain=DRAIN, backend="batched"
+    )
+    # cycles_skipped == 0 certifies the SoA path ran (the scalar fast
+    # path leaps over idle stretches at this utilization)
+    assert result_empty.cycles_skipped == 0
+    assert result_plain.cycles_skipped == 0
+    assert result_empty.trace_digest == result_plain.trace_digest
+    assert result_empty.job_outcomes == result_plain.job_outcomes
+    assert all(v == 0 for v in result_empty.fault_counters.values())
+    oracle = build_sim("BlueScale", 5, None).run(HORIZON, drain=DRAIN)
+    assert result_plain.trace_digest == oracle.trace_digest

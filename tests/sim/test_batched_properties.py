@@ -1,0 +1,153 @@
+"""Property-based tests for the batched backend's batching semantics.
+
+The differential suite (test_batched_equivalence.py) pins batched ≡
+scalar on fixed grids; hypothesis covers the *batching algebra* on
+randomized draws: how trials are grouped must never matter.
+
+* batch-of-N ≡ N batches-of-1 — lock-step grouping is invisible;
+* input order invariance — results follow their sims, whatever the
+  submission order (grouping by structural signature reorders
+  internally);
+* ragged batches — per-trial horizons/drains freeze each trial at its
+  own boundary, identical to running it alone.
+
+Workloads are kept tiny (5 clients, short horizons) so hypothesis can
+afford real examples; the scalar oracle runs inside every property.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.experiments.factory import INTERCONNECT_NAMES, build_interconnect
+from repro.sim import run_many
+from repro.soc import SoCSimulation
+from repro.tasks.generators import generate_client_tasksets
+
+N_CLIENTS = 5
+HORIZON = 800
+DRAIN = 400
+
+designs = st.sampled_from(INTERCONNECT_NAMES)
+seeds = st.lists(
+    st.integers(min_value=0, max_value=10_000),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+utilizations = st.sampled_from([0.1, 0.35, 0.7])
+
+
+def build_sim(name: str, utilization: float, seed: int) -> SoCSimulation:
+    rng = random.Random(seed)
+    tasksets = generate_client_tasksets(
+        rng,
+        n_clients=N_CLIENTS,
+        tasks_per_client=2,
+        system_utilization=utilization,
+    )
+    interconnect = build_interconnect(name, N_CLIENTS, tasksets)
+    clients = [
+        TrafficGenerator(c, ts, rng=random.Random(seed * 131 + c))
+        for c, ts in tasksets.items()
+    ]
+    return SoCSimulation(clients, interconnect)
+
+
+def digest_of(result) -> str:
+    return result.trace_digest
+
+
+class TestBatchingAlgebra:
+    @given(name=designs, utilization=utilizations, seed_list=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_batch_of_n_equals_n_batches_of_one(
+        self, name, utilization, seed_list
+    ):
+        together = run_many(
+            [build_sim(name, utilization, s) for s in seed_list],
+            HORIZON,
+            drain=DRAIN,
+            backend="batched",
+        )
+        alone = [
+            run_many(
+                [build_sim(name, utilization, s)],
+                HORIZON,
+                drain=DRAIN,
+                backend="batched",
+            )[0]
+            for s in seed_list
+        ]
+        assert [digest_of(r) for r in together] == [
+            digest_of(r) for r in alone
+        ]
+        assert [r.job_outcomes for r in together] == [
+            r.job_outcomes for r in alone
+        ]
+
+    @given(
+        name=designs,
+        utilization=utilizations,
+        seed_list=seeds,
+        shuffle_seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_input_order_is_irrelevant(
+        self, name, utilization, seed_list, shuffle_seed
+    ):
+        shuffled = list(seed_list)
+        random.Random(shuffle_seed).shuffle(shuffled)
+        in_order = run_many(
+            [build_sim(name, utilization, s) for s in seed_list],
+            HORIZON,
+            drain=DRAIN,
+            backend="batched",
+        )
+        out_of_order = run_many(
+            [build_sim(name, utilization, s) for s in shuffled],
+            HORIZON,
+            drain=DRAIN,
+            backend="batched",
+        )
+        by_seed = dict(zip(shuffled, (digest_of(r) for r in out_of_order)))
+        assert [digest_of(r) for r in in_order] == [
+            by_seed[s] for s in seed_list
+        ]
+
+    @given(
+        name=designs,
+        seed_list=seeds,
+        horizon_steps=st.lists(
+            st.integers(min_value=1, max_value=4), min_size=4, max_size=4
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_ragged_batches_match_solo_runs(
+        self, name, seed_list, horizon_steps
+    ):
+        """Trials with different horizons/drains share one lock-step
+        group; each must end exactly as if it ran alone."""
+        horizons = [200 * horizon_steps[i % 4] for i in range(len(seed_list))]
+        drains = [h // 2 for h in horizons]
+        ragged = run_many(
+            [build_sim(name, 0.35, s) for s in seed_list],
+            horizons,
+            drain=drains,
+            backend="batched",
+        )
+        for seed, horizon, drain, result in zip(
+            seed_list, horizons, drains, ragged
+        ):
+            solo_sim = build_sim(name, 0.35, seed)
+            solo = solo_sim.run(horizon, drain=drain)
+            assert digest_of(result) == digest_of(solo), (
+                f"{name}/seed={seed}/h={horizon}"
+            )
+            assert result.job_outcomes == solo.job_outcomes
+            assert result.requests_released == solo.requests_released
+            assert result.requests_dropped == solo.requests_dropped
