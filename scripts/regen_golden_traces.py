@@ -50,8 +50,9 @@ def main() -> None:
     batched_payload = {
         "comment": (
             "Per-trial scalars and trace digests of the pinned fig6/fig7 "
-            "configurations run through the batch entry points on the "
-            "batched backend (see tests/experiments/test_golden_batched.py). "
+            "and fault-injection isolation configurations run through the "
+            "batch entry points on the batched backend (see "
+            "tests/experiments/test_golden_batched.py). "
             "Regenerate with scripts/regen_golden_traces.py."
         ),
         **batched,
@@ -59,7 +60,11 @@ def main() -> None:
     GOLDEN_BATCHED_PATH.write_text(
         json.dumps(batched_payload, indent=2, sort_keys=True) + "\n"
     )
-    trials = len(batched["fig6"]) + len(batched["fig7"])
+    trials = (
+        len(batched["fig6"])
+        + len(batched["fig7"])
+        + len(batched["isolation"])
+    )
     print(f"wrote {trials} batched trial records to {GOLDEN_BATCHED_PATH}")
 
 

@@ -21,7 +21,14 @@ fault-free runs are comfortably schedulable everywhere: any victim
 degradation in the faulted run is then attributable to the aggressor,
 not to overload.  Structured as the standard runtime triple
 (:func:`build_isolation_specs` / :func:`run_isolation_trial` /
-:func:`reduce_isolation`).
+:func:`reduce_isolation`), with a batch entry point
+(:func:`run_isolation_batch`, wired as ``run_isolation_trial.batch``)
+that ships every (trial, design, baseline/faulted) simulation of a
+chunk through :func:`repro.sim.batched.run_many` — rogue-burst plans
+compile into the SoA request schedule, so the whole campaign advances
+in numpy lock-step under the default backend and stays bit-identical
+to the scalar engine (trace digests are folded into each trial's tags
+to prove it).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.clients.traffic_generator import TrafficGenerator
 from repro.errors import ConfigurationError
@@ -39,7 +47,7 @@ from repro.experiments.factory import (
 )
 from repro.experiments.reporting import format_table
 from repro.faults.plan import FaultPlan
-from repro.faults.verify import verify_isolation, victim_miss_ratio
+from repro.faults.verify import verify_isolation, victim_miss_from_outcomes
 from repro.runtime import (
     Executor,
     ExecutionHooks,
@@ -131,34 +139,15 @@ def build_isolation_specs(
     ]
 
 
-def _simulate(
-    config: IsolationConfig,
-    spec: TrialSpec,
-    name: str,
-    tasksets,  # noqa: ANN001
-    faults: FaultPlan | None,
-):
-    """One run; returns (clients, interconnect, result)."""
-    interconnect = build_interconnect(
-        name, config.n_clients, tasksets, config.factory
-    )
-    clients = [
-        TrafficGenerator(
-            client_id,
-            taskset,
-            rng=random.Random(spec.client_seed(client_id)),
-        )
-        for client_id, taskset in tasksets.items()
-    ]
-    simulation = SoCSimulation(
-        clients, interconnect, fast_path=config.fast_path, faults=faults
-    )
-    result = simulation.run(config.horizon, drain=config.drain)
-    return clients, interconnect, result
+def _isolation_sims(spec: TrialSpec):
+    """Build one workload draw's (baseline, faulted) pair per design.
 
-
-def run_isolation_trial(spec: TrialSpec) -> MetricSet:
-    """Baseline + faulted run of one workload draw, per design."""
+    Returns ``(tasksets, entries)`` with ``entries`` a list of
+    ``(name, base_sim, fault_sim)`` triples.  The taskset draw comes
+    from the trial RNG, and each client's private stream is re-derived
+    identically for every simulation, so all designs — and the baseline
+    and faulted run of each — see the same declared workload.
+    """
     config: IsolationConfig = spec.param("config")
     interconnects: tuple[str, ...] = spec.param("interconnects")
     trial_rng = random.Random(spec.seed)
@@ -173,31 +162,71 @@ def run_isolation_trial(spec: TrialSpec) -> MetricSet:
         period_min=config.period_min,
         period_max=config.period_max,
     )
-    victims = set(range(config.n_clients)) - {config.aggressor}
     plan = config.fault_plan()
+
+    def build(name: str, faults: FaultPlan | None) -> SoCSimulation:
+        interconnect = build_interconnect(
+            name, config.n_clients, tasksets, config.factory
+        )
+        clients = [
+            TrafficGenerator(
+                client_id,
+                taskset,
+                rng=random.Random(spec.client_seed(client_id)),
+            )
+            for client_id, taskset in tasksets.items()
+        ]
+        return SoCSimulation(
+            clients, interconnect, fast_path=config.fast_path, faults=faults
+        )
+
+    entries = [
+        (name, build(name, None), build(name, plan))
+        for name in interconnects
+    ]
+    return tasksets, entries
+
+
+def _isolation_fold(
+    spec: TrialSpec,
+    tasksets,  # noqa: ANN001
+    entries,  # noqa: ANN001
+    results,  # noqa: ANN001 - [base, fault] per entry, flattened
+) -> MetricSet:
+    """Fold one trial's per-design result pairs into its metric set."""
+    config: IsolationConfig = spec.param("config")
+    victims = set(range(config.n_clients)) - {config.aggressor}
     scalars: dict[str, float] = {}
     tags = {"experiment": "isolation", "trial": str(spec.index)}
-    for name in interconnects:
-        base_clients, _, base_result = _simulate(
-            config, spec, name, tasksets, None
+    for (name, _, fault_sim), base_result, fault_result in zip(
+        entries, results[0::2], results[1::2]
+    ):
+        miss_base = victim_miss_from_outcomes(
+            base_result.job_outcomes, victims
         )
-        fault_clients, fault_ic, fault_result = _simulate(
-            config, spec, name, tasksets, plan
+        miss_fault = victim_miss_from_outcomes(
+            fault_result.job_outcomes, victims
         )
-        miss_base = victim_miss_ratio(base_clients, config.horizon, victims)
-        miss_fault = victim_miss_ratio(fault_clients, config.horizon, victims)
         scalars[f"{name}/victim_miss_base"] = miss_base
         scalars[f"{name}/victim_miss_fault"] = miss_fault
         scalars[f"{name}/isolation"] = 1.0 - max(0.0, miss_fault - miss_base)
         scalars[f"{name}/rogue_requests"] = float(
             fault_result.fault_counters.get("rogue_requests", 0)
         )
-        composition = getattr(fault_ic, "composition", None)
+        # Completion-trace digests certify bit-for-bit equality of the
+        # campaign across sim backends and executors (golden-trace
+        # regression; the CI backend-diff step compares them).
+        tags[f"{name}/trace_base"] = base_result.trace_digest
+        tags[f"{name}/trace_fault"] = fault_result.trace_digest
+        composition = getattr(fault_sim.interconnect, "composition", None)
         if composition is not None:
             # Only BlueScale carries an interface composition, hence
             # analytical per-client bounds to hold the faulted run to.
+            # The clients' job ledgers and worst-response tables are
+            # populated on both backends (the batched finalizer writes
+            # them back), so the verdict is backend-independent.
             verdict = verify_isolation(
-                fault_clients,
+                fault_sim.clients,
                 tasksets,
                 composition,
                 end_cycle=config.horizon,
@@ -214,6 +243,60 @@ def run_isolation_trial(spec: TrialSpec) -> MetricSet:
             if verdict.violations:
                 tags[f"{name}/violation"] = verdict.violations[0].describe()
     return MetricSet(scalars=scalars, tags=tags)
+
+
+def run_isolation_trial(spec: TrialSpec) -> MetricSet:
+    """Baseline + faulted run of one workload draw, per design.
+
+    Pure function of the spec (see :func:`_isolation_sims`); runs each
+    simulation on the scalar engine one at a time.
+    """
+    config: IsolationConfig = spec.param("config")
+    tasksets, entries = _isolation_sims(spec)
+    results = []
+    for _, base_sim, fault_sim in entries:
+        results.append(base_sim.run(config.horizon, drain=config.drain))
+        results.append(fault_sim.run(config.horizon, drain=config.drain))
+    return _isolation_fold(spec, tasksets, entries, results)
+
+
+def run_isolation_batch(specs: Sequence[TrialSpec]) -> list[MetricSet]:
+    """Batch entry point: the whole chunk's simulations in lock-step.
+
+    Builds every (trial, design, baseline/faulted) simulation and hands
+    them to :func:`repro.sim.batched.run_many`; rogue-burst fault plans
+    compile into the SoA request schedule, so faulted runs ride the
+    kernels alongside their baselines (under the "scalar" backend or
+    for ineligible trials, run_many falls back per trial).  The folded
+    metric sets are bit-identical to :func:`run_isolation_trial`'s.
+    """
+    from repro.sim.batched import run_many
+
+    per_spec = []
+    sims: list[SoCSimulation] = []
+    horizons: list[int] = []
+    drains: list[int] = []
+    for spec in specs:
+        config: IsolationConfig = spec.param("config")
+        tasksets, entries = _isolation_sims(spec)
+        per_spec.append((tasksets, entries))
+        for _, base_sim, fault_sim in entries:
+            sims.extend((base_sim, fault_sim))
+            horizons.extend((config.horizon, config.horizon))
+            drains.extend((config.drain, config.drain))
+    results = run_many(sims, horizon=horizons, drain=drains)
+    folded: list[MetricSet] = []
+    at = 0
+    for spec, (tasksets, entries) in zip(specs, per_spec):
+        take = 2 * len(entries)
+        folded.append(
+            _isolation_fold(spec, tasksets, entries, results[at : at + take])
+        )
+        at += take
+    return folded
+
+
+run_isolation_trial.batch = run_isolation_batch
 
 
 @dataclass

@@ -28,6 +28,7 @@ from repro.faults.verify import (
     BoundViolation,
     IsolationVerdict,
     verify_isolation,
+    victim_miss_from_outcomes,
     victim_miss_ratio,
 )
 
@@ -41,5 +42,6 @@ __all__ = [
     "IsolationVerdict",
     "make_orchestrator",
     "verify_isolation",
+    "victim_miss_from_outcomes",
     "victim_miss_ratio",
 ]

@@ -86,6 +86,29 @@ def victim_miss_ratio(
     return missed / judged
 
 
+def victim_miss_from_outcomes(
+    job_outcomes: dict[int, tuple[int, int]], victims: set[int]
+) -> float:
+    """:func:`victim_miss_ratio` computed from a
+    :class:`~repro.soc.TrialResult`'s ``job_outcomes`` fold.
+
+    Identical by construction — ``job_outcomes`` is the per-client
+    ``(judged, missed)`` pair at the trial's horizon — but it works on
+    any backend's :class:`~repro.soc.TrialResult` without touching the
+    client objects.
+    """
+    judged = 0
+    missed = 0
+    for client_id, (client_judged, client_missed) in job_outcomes.items():
+        if client_id not in victims:
+            continue
+        judged += client_judged
+        missed += client_missed
+    if judged == 0:
+        return 0.0
+    return missed / judged
+
+
 def verify_isolation(
     clients,  # noqa: ANN001 - list[TrafficGenerator]
     client_tasksets,  # noqa: ANN001 - dict[int, TaskSet]

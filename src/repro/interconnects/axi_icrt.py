@@ -101,6 +101,11 @@ class AxiIcRtInterconnect(Interconnect):
         self._tokens = list(budgets)
         self._next_refill = 0
 
+    @property
+    def window(self) -> int | None:
+        """Bandwidth-regulation replenishment window (None = unregulated)."""
+        return self._window
+
     @staticmethod
     def budgets_from_utilizations(
         utilizations: Sequence[float], window: int, margin: float = 1.2

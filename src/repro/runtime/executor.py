@@ -108,7 +108,11 @@ class ProgressPrinter(ExecutionHooks):
                 f"FAILED: {outcome.error}",
                 file=self.stream,
             )
-        if done == total or done % max(1, total // 10) == 0:
+        # ~10 lines per batch, never more than one line per 5 trials —
+        # without the clamp a small batch (total < 20) degenerates to a
+        # divisor of 1 and prints on every single trial
+        step = max(5, total // 10)
+        if done == total or done % step == 0:
             elapsed = time.perf_counter() - self._started
             print(
                 f"[{outcome.spec.experiment}] {done}/{total} trials "

@@ -4,14 +4,15 @@ Groups structurally-identical simulations (same design, geometry and
 client roster — per-trial workloads, budgets and horizons may differ),
 compiles each into a :class:`~repro.sim.batched.extract.TrialPlan` and
 advances the whole group in lock-step.  Anything the kernels cannot
-represent — tracing, non-empty fault plans, exotic controllers or
-clients — transparently falls back to ``sim.run`` on the scalar
-engine, so callers always get the full result list in input order,
-bit-identical to running each trial on the scalar engine.
+represent — tracing, fault plans beyond pure rogue bursts, exotic
+controllers or clients — transparently falls back to ``sim.run`` on
+the scalar engine, so callers always get the full result list in
+input order, bit-identical to running each trial on the scalar engine.
 """
 
 from __future__ import annotations
 
+import numbers
 from typing import Sequence
 
 from repro.errors import ConfigurationError
@@ -27,12 +28,29 @@ from repro.soc import SoCSimulation, TrialResult
 MAX_GROUP = 512
 
 
+def _coerce_cycles(value):
+    """Normalise one horizon/drain/warmup value to a plain int.
+
+    Campaign grids routinely hand over numpy scalars (``np.int64``),
+    which are Integral but not ``int``; ``bool`` is Integral too but a
+    True/False cycle count is always a bug, so it is rejected.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(
+            f"cycle counts must be integers, got bool {value!r}"
+        )
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    return value
+
+
 def _per_trial(value, n: int, default=None) -> list:
     if value is None:
         return [default] * n
+    value = _coerce_cycles(value)
     if isinstance(value, int):
         return [value] * n
-    values = list(value)
+    values = [None if v is None else _coerce_cycles(v) for v in value]
     if len(values) != n:
         raise ConfigurationError(
             f"expected {n} per-trial values, got {len(values)}"

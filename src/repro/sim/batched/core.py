@@ -15,11 +15,22 @@
   at most one delivery per cycle per trial).
 
 Each cycle replays the scalar engine's stage order exactly: client
-releases + injections, fabric (root-first, delegated to the kernel),
+releases + injections (rogue-burst releases compiled into the plan
+land *before* client releases of the same cycle, like the scalar
+faults stage), fabric (root-first, delegated to the kernel),
 controller, response delivery.  The result assembly mirrors
 ``SoCSimulation._collect`` bit for bit — same trace-record bytes into
 the same sha256, same recorder streams, same job-outcome fold, same
-conservation check.
+conservation check — and additionally writes the per-client job
+ledgers (``client.jobs``, ``max_response_by_task``, ``max_blocking``,
+release/drop counters) and the fault orchestrator's rogue counters
+back onto the simulation objects, so downstream consumers that read
+clients directly (the isolation experiment's
+:func:`~repro.faults.verify.verify_isolation`) see the same state a
+scalar run would leave behind.  Issue-queue internals
+(``client._pending`` / ``_job_of_request``) are *not* reconstructed:
+requests still in flight at the end of a trial stay accounted in
+``TrialResult.requests_in_flight`` only.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ import heapq
 
 import numpy as np
 
+from repro.clients.traffic_generator import JobRecord
 from repro.errors import SimulationError
 from repro.sim.batched.extract import BIG, RID_MASK, TrialPlan
 from repro.soc import TrialResult
@@ -375,12 +387,16 @@ class BatchCore:
             client.client_id: (int(judged_per[pos]), int(missed_per[pos]))
             for pos, client in enumerate(sim.clients)
         }
+        self._write_back_ledgers(
+            sim, plan, t, order, complete_cycles, blocking,
+            outstanding, last_completion,
+        )
         total = plan.total
         sim.cycles_executed = total
         sim.cycles_skipped = 0
         sim.leaps = 0
         sim.clock.now = total
-        fault_counters = {} if sim.faults is None else sim.faults.counters()
+        fault_counters = self._fault_counters(sim, plan, t)
         return TrialResult(
             horizon=plan.horizon,
             recorder=recorder,
@@ -394,3 +410,106 @@ class BatchCore:
             trace_digest=hasher.hexdigest(),
             fault_counters=fault_counters,
         )
+
+    def _fault_counters(self, sim, plan: TrialPlan, t: int) -> dict:
+        """Rebuild the orchestrator's ledger for compiled rogue plans.
+
+        The orchestrator never executed (its bursts were compiled into
+        the release schedule), so its counters would read zero; the
+        batch knows exactly what the scalar run would have recorded:
+        every firing applied (or ignored for a missing target), and
+        every burst transaction released with capacity overflows
+        dropped.  The counts are written back onto ``sim.faults`` so
+        the object reads like a post-run scalar orchestrator.
+        """
+        fo = sim.faults
+        if fo is None:
+            return {}
+        if not fo.plan.empty:
+            rogue = ~plan.job_real
+            attempted = int(plan.job_wcet[rogue].sum())
+            dropped = int(self.job_dropped[t][rogue].sum())
+            fo.rogue_requests = attempted - dropped
+            fo.events_applied = plan.rogue_fired
+            fo.events_ignored = plan.rogue_ignored
+        return fo.counters()
+
+    def _write_back_ledgers(
+        self,
+        sim,
+        plan: TrialPlan,
+        t: int,
+        order: np.ndarray,
+        complete_cycles: np.ndarray,
+        blocking: np.ndarray,
+        outstanding: np.ndarray,
+        last_completion: np.ndarray,
+    ) -> None:
+        """Leave each client looking like the scalar run finished on it.
+
+        Reconstructs the per-client job ledgers the scalar response
+        path and release loop maintain incrementally: ``jobs`` (one
+        :class:`JobRecord` per *declared* job, in release order —
+        rogue pseudo-jobs carry no record, exactly like
+        ``inject_rogue_burst``), the release/drop counters, and the
+        worst-case observables ``max_response_by_task`` /
+        ``max_blocking`` the isolation harness compares against the
+        analytical bounds.  Client rng state and issue-queue internals
+        (``_pending`` / ``_job_of_request``) are not touched — neither
+        affects any recorded outcome.
+        """
+        c = self.n_clients
+        job_dropped = self.job_dropped[t]
+        released = np.zeros(c, dtype=np.int64)
+        np.add.at(released, plan.job_client_pos, plan.job_wcet)
+        dropped = np.zeros(c, dtype=np.int64)
+        np.add.at(dropped, plan.job_client_pos, job_dropped)
+        # worst observed response per task / blocking per client, over
+        # every completion (the scalar hooks ignore the warmup window)
+        req_job_done = plan.req_job[order]
+        task_resp = np.full(len(plan.task_names), -1, dtype=np.int64)
+        blk_max = np.zeros(c, dtype=np.int64)
+        if len(order):
+            responses = complete_cycles - plan.req_release[order]
+            np.maximum.at(task_resp, plan.job_task[req_job_done], responses)
+            np.maximum.at(
+                blk_max, plan.job_client_pos[req_job_done], blocking
+            )
+        task_pos = np.zeros(len(plan.task_names), dtype=np.int64)
+        task_pos[plan.job_task] = plan.job_client_pos
+        per_client_jobs: list[list[JobRecord]] = [[] for _ in range(c)]
+        jpos = plan.job_client_pos.tolist()
+        jtask = plan.job_task.tolist()
+        jrel = plan.job_release.tolist()
+        jdl = plan.job_deadline.tolist()
+        jmon = plan.job_monitored.tolist()
+        jout = outstanding.tolist()
+        jlast = last_completion.tolist()
+        jdrop = job_dropped.tolist()
+        names = plan.task_names
+        for j in np.nonzero(plan.job_real)[0].tolist():
+            per_client_jobs[jpos[j]].append(
+                JobRecord(
+                    task_name=names[jtask[j]],
+                    release=jrel[j],
+                    deadline=jdl[j],
+                    outstanding=jout[j],
+                    monitored=jmon[j],
+                    last_completion=jlast[j],
+                    dropped=jdrop[j],
+                )
+            )
+        clients = sim.clients
+        for pos, client in enumerate(clients):
+            client.jobs = per_client_jobs[pos]
+            client.released_jobs = len(per_client_jobs[pos])
+            client.released_requests = int(released[pos])
+            client.dropped_requests = int(dropped[pos])
+            client.max_blocking = int(blk_max[pos])
+        for k in np.nonzero(task_resp >= 0)[0].tolist():
+            # distinct rogue pseudo-tasks of one client share the
+            # "!rogue" name; merge via max like the scalar dict update
+            table = clients[task_pos[k]].max_response_by_task
+            name = names[k]
+            if int(task_resp[k]) > table.get(name, -1):
+                table[name] = int(task_resp[k])

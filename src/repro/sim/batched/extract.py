@@ -17,6 +17,15 @@ memory controller) and compiles each into a :class:`TrialPlan`:
   matches the scalar tuple ``(absolute_deadline, rid)`` — guarded by
   the ``deadline < 2**24`` / ``rid < 2**24`` eligibility bound.
 
+``ROGUE_BURST`` fault plans are part of the envelope: a rogue burst is
+just a deterministic batch of extra releases, so each firing compiles
+into a pseudo-task job ordered exactly where the scalar
+:class:`~repro.faults.injectors.FaultOrchestrator` would release it
+(the faults stage ticks *before* the clients within a cycle, and
+same-cycle firings pop from the action heap in event order).  Every
+other :class:`~repro.faults.plan.FaultKind` perturbs arbitration or
+injection attempts and stays ineligible.
+
 Anything outside the envelope raises :class:`Ineligible`; callers
 (:func:`repro.sim.batched.run_many`) respond by running that trial on
 the scalar engine, which is always bit-identical by construction.
@@ -32,6 +41,7 @@ from repro.clients.accelerator import AcceleratorClient
 from repro.clients.processor import ProcessorClient
 from repro.clients.traffic_generator import TrafficGenerator
 from repro.core.interconnect import BlueScaleInterconnect
+from repro.faults.plan import FaultKind
 from repro.interconnects.axi_icrt import AxiIcRtInterconnect
 from repro.interconnects.bluetree import (
     BlueTreeInterconnect,
@@ -127,7 +137,7 @@ def _check_interconnect(sim) -> None:
             and all(not fifo for fifo in ic._fifos),
             "interconnect not fresh",
         )
-        if ic._window is not None:
+        if ic.window is not None:
             _require(
                 ic._next_refill == 0 and list(ic._tokens) == list(ic._budgets),
                 "AXI regulation not fresh",
@@ -157,7 +167,23 @@ def check_supported(sim) -> None:
     _require(sim.tracer is None, "observability tracing enabled")
     _require(getattr(sim, "accounting", None) is None, "cycle accounting on")
     if sim.faults is not None:
-        _require(sim.faults.plan.empty, "non-empty fault plan")
+        # Rogue bursts are pure extra releases and compile into the
+        # plan; every other kind perturbs arbitration/injection and
+        # falls back to the scalar orchestrator.
+        _require(
+            all(
+                event.kind is FaultKind.ROGUE_BURST
+                for event in sim.faults.plan.events
+            ),
+            "fault plan with non-rogue events",
+        )
+        _require(
+            sim.faults.events_applied == 0
+            and sim.faults.events_ignored == 0
+            and sim.faults.rogue_requests == 0
+            and sim.faults.requests_held == 0,
+            "fault orchestrator not fresh",
+        )
     _check_controller(sim)
     _check_clients(sim)
     _check_interconnect(sim)
@@ -210,7 +236,7 @@ def signature_of(sim):
             ic.fifo_capacity,
             ic.pipeline_latency,
             ic.arbitration_interval,
-            ic._window,
+            ic.window,
         )
     else:  # BlueScaleInterconnect — _check_interconnect rejected others
         design = (
@@ -241,7 +267,15 @@ def signature_of(sim):
 class TrialPlan:
     """Everything one trial contributes to the batch: its horizon and
     the fully-resolved release schedule (requests, jobs, drop-free rid
-    numbering, per-cycle release buckets)."""
+    numbering, per-cycle release buckets).
+
+    Rogue-burst firings appear as jobs of appended *pseudo-tasks*
+    (``job_real`` False, one pseudo-task per compiled fault event):
+    their releases, capacity drops and completions flow through exactly
+    the same arrays as declared work, and the finalizer uses
+    ``job_real`` / ``rogue_fired`` / ``rogue_ignored`` to rebuild the
+    orchestrator's ledger and keep rogue traffic out of the per-client
+    job records."""
 
     horizon: int
     drain: int
@@ -255,7 +289,8 @@ class TrialPlan:
     req_client_id: np.ndarray  # int32: actual port id (trace records)
     req_job: np.ndarray  # int32: global job index
     # per-job tables, indexed by job — jobs are already sorted in
-    # scalar release order (cycle, client position, heap-pop order)
+    # scalar release order (cycle, faults stage before clients, client
+    # position, heap-pop order)
     job_client_pos: np.ndarray  # int32: position in sim.clients
     job_release: np.ndarray  # int64
     job_deadline: np.ndarray  # int64
@@ -265,6 +300,15 @@ class TrialPlan:
     starts: np.ndarray  # int64, length n_jobs + 1
     #: req_key as a plain Python list (fast slicing for heap pushes)
     key_list: list
+    #: task table: names per global task index (pseudo-tasks included)
+    task_names: tuple = ()
+    #: per-job global task index into ``task_names``
+    job_task: np.ndarray = None  # int32
+    #: per-job flag: declared workload (True) vs rogue pseudo-job
+    job_real: np.ndarray = None  # bool
+    #: rogue firings compiled in / ignored (missing target client)
+    rogue_fired: int = 0
+    rogue_ignored: int = 0
 
     @property
     def total(self) -> int:
@@ -291,6 +335,8 @@ def extract_plan(sim, horizon: int, drain: int, warmup: int) -> TrialPlan:
     t_wcet: list[int] = []
     t_monitored: list[bool] = []
     t_client_id: list[int] = []
+    t_name: list[str] = []
+    t_real: list[bool] = []
     for pos, client in enumerate(sim.clients):
         taskset = list(client.taskset)
         base = len(t_deadline)
@@ -302,6 +348,8 @@ def extract_plan(sim, horizon: int, drain: int, warmup: int) -> TrialPlan:
                 or task.name in client.monitored_tasks
             )
             t_client_id.append(client.client_id)
+            t_name.append(task.name)
+            t_real.append(True)
         for first, task_index, job_index in client._release_heap:
             if first >= horizon:
                 continue
@@ -317,6 +365,41 @@ def extract_plan(sim, horizon: int, drain: int, warmup: int) -> TrialPlan:
             ji_parts.append(
                 np.arange(job_index, job_index + count, dtype=np.int64)
             )
+    # rogue-burst fault events compile into pseudo-tasks: one per event,
+    # one job per firing, wcet = burst magnitude, relative deadline =
+    # the burst's deadline slack.  Firings targeting a port with no
+    # client are counted (the scalar orchestrator's events_ignored) but
+    # release nothing.  check_supported already rejected every other
+    # fault kind.
+    rogue_fired = 0
+    rogue_ignored = 0
+    events = () if sim.faults is None else sim.faults.plan.events
+    if events:
+        total = horizon + drain
+        pos_of_id = {
+            client.client_id: pos for pos, client in enumerate(sim.clients)
+        }
+        for event in events:
+            firings = [c for c in event.action_cycles() if c < total]
+            if not firings:
+                continue
+            target = pos_of_id.get(event.client_id)
+            if target is None:
+                rogue_ignored += len(firings)
+                continue
+            rogue_fired += len(firings)
+            pseudo = len(t_deadline)
+            t_deadline.append(event.deadline_slack)
+            t_wcet.append(event.magnitude)
+            t_monitored.append(False)
+            t_client_id.append(event.client_id)
+            t_name.append("!rogue")
+            t_real.append(False)
+            count = len(firings)
+            rel_parts.append(np.asarray(firings, dtype=np.int64))
+            pos_parts.append(np.full(count, target, dtype=np.int64))
+            gti_parts.append(np.full(count, pseudo, dtype=np.int64))
+            ji_parts.append(np.arange(count, dtype=np.int64))
     if rel_parts:
         release = np.concatenate(rel_parts)
         pos_arr = np.concatenate(pos_parts)
@@ -324,13 +407,22 @@ def extract_plan(sim, horizon: int, drain: int, warmup: int) -> TrialPlan:
         ji = np.concatenate(ji_parts)
     else:
         release = pos_arr = gti = ji = np.zeros(0, dtype=np.int64)
-    # global rid order: by cycle, then client-list position, then the
-    # client's own heap-pop order ((task, job) within equal releases;
-    # base offsets keep the global task index consistent with the local)
-    order = np.lexsort((ji, gti, pos_arr, release))
+    t_real_arr = np.asarray(t_real, dtype=bool) if t_real else np.zeros(0, bool)
+    job_real = t_real_arr[gti]
+    # global rid order: by cycle, then stage (the fault orchestrator is
+    # the first tick stage, so same-cycle rogue releases precede every
+    # client release; among rogue firings the action heap pops in event
+    # order, which is pseudo-task append order), then client-list
+    # position, then the client's own heap-pop order ((task, job)
+    # within equal releases; base offsets keep the global task index
+    # consistent with the local)
+    sort_stage = job_real.astype(np.int64)
+    sort_pos = np.where(job_real, pos_arr, 0)
+    order = np.lexsort((ji, gti, sort_pos, sort_stage, release))
     release = release[order]
     pos_arr = pos_arr[order]
     gti = gti[order]
+    job_real = job_real[order]
     t_deadline_arr = np.asarray(t_deadline, dtype=np.int64)
     t_wcet_arr = np.asarray(t_wcet, dtype=np.int64)
     deadline = release + t_deadline_arr[gti]
@@ -366,4 +458,9 @@ def extract_plan(sim, horizon: int, drain: int, warmup: int) -> TrialPlan:
         job_wcet=wcet.astype(np.int32),
         starts=starts,
         key_list=req_key.tolist(),
+        task_names=tuple(t_name),
+        job_task=gti.astype(np.int32),
+        job_real=job_real,
+        rogue_fired=rogue_fired,
+        rogue_ignored=rogue_ignored,
     )

@@ -2,10 +2,13 @@
 
 The golden-trace fixtures (test_golden_traces.py) pin the *scalar*
 per-trial runners.  This suite pins the other half of the tentpole:
-the same small fig6/fig7 configurations executed through the **batch
-entry points** (``run_fig6_batch`` / ``run_fig7_batch``) on the
-batched backend — every scalar metric and every completion-trace
-digest, per trial, in ``tests/fixtures/golden_batched_metrics.json``.
+the same small fig6/fig7 configurations — plus the fault-injection
+isolation campaign, whose rogue-burst plans compile into the SoA
+request schedule — executed through the **batch entry points**
+(``run_fig6_batch`` / ``run_fig7_batch`` / ``run_isolation_batch``)
+on the batched backend: every scalar metric and every
+completion-trace digest, per trial, in
+``tests/fixtures/golden_batched_metrics.json``.
 
 Because the batched backend is bit-identical to the scalar engine, the
 digests in this fixture must also equal the ones pinned in
@@ -27,6 +30,11 @@ import pytest
 
 from repro.experiments.fig6 import build_fig6_specs, run_fig6_batch
 from repro.experiments.fig7 import build_fig7_specs, run_fig7_batch
+from repro.experiments.isolation import (
+    IsolationConfig,
+    build_isolation_specs,
+    run_isolation_batch,
+)
 from repro.sim import set_default_sim_backend
 from tests.experiments.test_golden_traces import (
     GOLDEN_PATH,
@@ -47,12 +55,20 @@ REGEN_HINT = (
 )
 
 
+def isolation_config() -> IsolationConfig:
+    """The pinned isolation campaign: small, but with real rogue work."""
+    return IsolationConfig(trials=2, horizon=2_000, drain=800)
+
+
 def collect_batched_metrics() -> dict:
     """Run the pinned configurations through the batch entry points."""
     previous = set_default_sim_backend("batched")
     try:
         fig6_sets = run_fig6_batch(build_fig6_specs(fig6_config()))
         fig7_sets = run_fig7_batch(build_fig7_specs(fig7_config()))
+        isolation_sets = run_isolation_batch(
+            build_isolation_specs(isolation_config())
+        )
     finally:
         set_default_sim_backend(previous)
     return {
@@ -63,6 +79,10 @@ def collect_batched_metrics() -> dict:
         "fig7": [
             {"scalars": dict(ms.scalars), "tags": dict(ms.tags)}
             for ms in fig7_sets
+        ],
+        "isolation": [
+            {"scalars": dict(ms.scalars), "tags": dict(ms.tags)}
+            for ms in isolation_sets
         ],
     }
 
@@ -81,7 +101,7 @@ def observed() -> dict:
 
 
 def test_batched_campaign_matches_golden(golden, observed):
-    for experiment in ("fig6", "fig7"):
+    for experiment in ("fig6", "fig7", "isolation"):
         assert observed[experiment] == golden[experiment], (
             f"{experiment}: {REGEN_HINT}"
         )
@@ -118,3 +138,18 @@ def test_golden_batched_fixture_is_well_formed(golden):
         assert all(
             isinstance(v, float) for v in entry["scalars"].values()
         )
+    # Two isolation trials; four designs, each with a baseline and a
+    # faulted digest — and a rogue aggressor that actually injected.
+    assert len(golden["isolation"]) == 2
+    for entry in golden["isolation"]:
+        bases = [k for k in entry["tags"] if k.endswith("/trace_base")]
+        faults = [k for k in entry["tags"] if k.endswith("/trace_fault")]
+        assert len(bases) == len(faults) == 4
+        assert all(
+            len(entry["tags"][k]) == 64 for k in bases + faults
+        )
+        assert all(
+            entry["scalars"][f"{k[: -len('/trace_base')]}/rogue_requests"] > 0
+            for k in bases
+        )
+        assert entry["scalars"]["BlueScale/bound_violations"] == 0.0

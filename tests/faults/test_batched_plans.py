@@ -1,16 +1,22 @@
 """Fault plans under the batched simulator backend.
 
-The batched SoA kernels do not model fault injection; the eligibility
-contract (:func:`repro.sim.batched.extract.check_supported`) is what
-keeps that safe:
+The batched SoA kernels model exactly one fault kind natively:
+``ROGUE_BURST``, whose firings are deterministic extra releases and
+compile straight into the :class:`~repro.sim.batched.extract.TrialPlan`
+request schedule.  The eligibility contract
+(:func:`repro.sim.batched.extract.check_supported`) keeps everything
+else safe:
 
-* a **non-empty** fault plan makes the trial ineligible, and
-  :func:`repro.sim.batched.run_many` transparently falls back to the
-  scalar engine — so every fault campaign stays bit-identical to a
-  scalar run, counters included;
-* an **empty** plan is inert by definition, stays eligible, runs on
-  the SoA path, and must be bit-for-bit indistinguishable from a run
-  with no fault instrumentation at all.
+* a plan containing **any non-rogue event** makes the trial
+  ineligible, and :func:`repro.sim.batched.run_many` transparently
+  falls back to the scalar engine — so those campaigns stay
+  bit-identical to a scalar run, counters included;
+* a **rogue-only** plan stays eligible, runs on the SoA path, and must
+  be bit-for-bit identical to the scalar orchestrator: same trace
+  digest, same job outcomes, same fault counters, same per-client job
+  ledgers;
+* an **empty** plan is inert by definition, stays eligible, and must
+  be indistinguishable from a run with no fault instrumentation.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import pytest
 
 from repro.clients.traffic_generator import TrafficGenerator
 from repro.experiments.factory import build_interconnect
-from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.sim import batched_supported, run_many
 from repro.soc import SoCSimulation
 from repro.tasks.generators import generate_client_tasksets
@@ -60,14 +66,42 @@ def fingerprint(result) -> tuple:
     )
 
 
-@pytest.mark.parametrize("kind", list(FaultKind))
-def test_every_fault_kind_identical_under_batched_backend(kind):
-    """run_many over faulted trials ≡ direct scalar runs, per kind.
+def client_ledger(client) -> tuple:
+    """Everything the scalar run leaves on a client that downstream
+    consumers (verify_isolation, the isolation fold) read back."""
+    return (
+        [
+            (
+                job.task_name,
+                job.release,
+                job.deadline,
+                job.outstanding,
+                job.monitored,
+                job.last_completion,
+                job.dropped,
+            )
+            for job in client.jobs
+        ],
+        dict(client.max_response_by_task),
+        client.max_blocking,
+        client.released_requests,
+        client.dropped_requests,
+        client.released_jobs,
+    )
 
-    The faulted trials must be rejected by the eligibility check (the
-    kernels cannot replay perturbations) and then produce the exact
-    scalar results through the fallback — including the fault counters
-    that prove the plan actually fired.
+
+NON_ROGUE_KINDS = [k for k in FaultKind if k is not FaultKind.ROGUE_BURST]
+
+
+@pytest.mark.parametrize("kind", NON_ROGUE_KINDS)
+def test_non_rogue_kinds_fall_back_and_stay_identical(kind):
+    """run_many over non-rogue faulted trials ≡ direct scalar runs.
+
+    These kinds perturb arbitration or injection attempts, which the
+    kernels cannot replay — the trials must be rejected by the
+    eligibility check and then produce the exact scalar results through
+    the fallback, including the fault counters that prove the plan
+    actually fired.
     """
     plan = FaultPlan.generate(
         f"batched/{kind.name}", HORIZON, N_CLIENTS, kinds=(kind,)
@@ -81,19 +115,174 @@ def test_every_fault_kind_identical_under_batched_backend(kind):
         assert fingerprint(result) == fingerprint(oracle), kind.name
 
 
+def test_mixed_plan_with_rogue_and_other_kinds_falls_back():
+    """One non-rogue event poisons the whole plan's eligibility."""
+    plan = FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=200,
+                client_id=0,
+                magnitude=8,
+                deadline_slack=16,
+            ),
+            FaultEvent(kind=FaultKind.CONTROLLER_STALL, cycle=400, magnitude=5),
+        )
+    )
+    sim = build_sim("BlueScale", 1, plan)
+    assert not batched_supported(sim)
+    (result,) = run_many([sim], HORIZON, drain=DRAIN, backend="batched")
+    oracle = build_sim("BlueScale", 1, plan).run(HORIZON, drain=DRAIN)
+    assert fingerprint(result) == fingerprint(oracle)
+
+
 @pytest.mark.parametrize("name", ["BlueScale", "GSMTree-TDM", "AXI-IC^RT"])
 def test_rogue_client_campaign_identical_across_designs(name):
-    """The isolation campaign's aggressor plan stays bit-identical
-    through run_many on every arbitration family."""
+    """The isolation campaign's aggressor plan runs on the SoA kernels
+    and stays bit-identical on every arbitration family — digests, job
+    outcomes, fault counters, and the per-client job ledgers the
+    isolation harness reads."""
     plan = FaultPlan.rogue_client(
         0, 300, HORIZON, burst_size=16, burst_every=80
     )
     sims = [build_sim(name, seed, plan) for seed in (3, 4)]
+    assert all(batched_supported(sim) for sim in sims), name
     results = run_many(sims, HORIZON, drain=DRAIN, backend="batched")
-    for seed, result in zip((3, 4), results):
-        oracle = build_sim(name, seed, plan).run(HORIZON, drain=DRAIN)
+    for seed, sim, result in zip((3, 4), sims, results):
+        # cycles_skipped == 0 certifies the SoA path ran (the scalar
+        # fast path leaps over idle stretches at this utilization)
+        assert result.cycles_skipped == 0, name
+        oracle_sim = build_sim(name, seed, plan)
+        oracle = oracle_sim.run(HORIZON, drain=DRAIN)
         assert fingerprint(result) == fingerprint(oracle), name
         assert result.fault_counters.get("rogue_requests", 0) > 0, name
+        for batched_client, scalar_client in zip(
+            sim.clients, oracle_sim.clients
+        ):
+            assert client_ledger(batched_client) == client_ledger(
+                scalar_client
+            ), (name, seed, batched_client.client_id)
+
+
+EDGE_PLANS = {
+    # several events, overlapping cycles, two distinct targets — pins
+    # the faults-stage-before-clients and event-heap-pop ordering
+    "multi-event": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=200,
+                duration=400,
+                client_id=2,
+                magnitude=8,
+                period=60,
+                deadline_slack=12,
+            ),
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=200,
+                client_id=5,
+                magnitude=24,
+                deadline_slack=30,
+            ),
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=450,
+                client_id=2,
+                magnitude=6,
+                deadline_slack=9,
+            ),
+        )
+    ),
+    # a target port with no client attached → events_ignored, plus a
+    # real firing on the same plan
+    "missing-target": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=100,
+                client_id=99,
+                magnitude=4,
+                deadline_slack=10,
+            ),
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=150,
+                client_id=1,
+                magnitude=4,
+                deadline_slack=10,
+            ),
+        )
+    ),
+    # fires during the drain window: releases into the pending queue
+    # but the client stage never injects past the horizon, so the
+    # burst ends the trial in flight
+    "post-horizon": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=HORIZON + 100,
+                client_id=3,
+                magnitude=5,
+                deadline_slack=7,
+            ),
+        )
+    ),
+    # burst far beyond pending capacity → overflow drops counted
+    # against the client, like any other release
+    "capacity-overflow": FaultPlan(
+        (
+            FaultEvent(
+                kind=FaultKind.ROGUE_BURST,
+                cycle=50,
+                client_id=0,
+                magnitude=500,
+                deadline_slack=600,
+            ),
+        )
+    ),
+}
+
+
+@pytest.mark.parametrize("label", sorted(EDGE_PLANS))
+def test_rogue_edge_plans_identical(label):
+    plan = EDGE_PLANS[label]
+    sims = [build_sim("BlueScale", seed, plan) for seed in (3, 4)]
+    assert all(batched_supported(sim) for sim in sims), label
+    results = run_many(sims, HORIZON, drain=DRAIN, backend="batched")
+    for seed, sim, result in zip((3, 4), sims, results):
+        oracle_sim = build_sim("BlueScale", seed, plan)
+        oracle = oracle_sim.run(HORIZON, drain=DRAIN)
+        assert fingerprint(result) == fingerprint(oracle), (label, seed)
+        assert result.requests_in_flight == oracle.requests_in_flight
+        for batched_client, scalar_client in zip(
+            sim.clients, oracle_sim.clients
+        ):
+            assert client_ledger(batched_client) == client_ledger(
+                scalar_client
+            ), (label, seed, batched_client.client_id)
+    if label == "missing-target":
+        assert results[0].fault_counters["events_ignored"] == 1
+        assert results[0].fault_counters["events_applied"] == 1
+    if label == "capacity-overflow":
+        assert results[0].requests_dropped > 0
+
+
+def test_unfaulted_ledgers_match_scalar():
+    """The finalizer's ledger write-back is not rogue-specific: plain
+    SoA trials leave the same client state a scalar run would."""
+    for name in ("BlueScale", "AXI-IC^RT"):
+        sim = build_sim(name, 7, None)
+        (result,) = run_many([sim], HORIZON, drain=DRAIN, backend="batched")
+        assert result.cycles_skipped == 0
+        oracle_sim = build_sim(name, 7, None)
+        oracle_sim.run(HORIZON, drain=DRAIN)
+        for batched_client, scalar_client in zip(
+            sim.clients, oracle_sim.clients
+        ):
+            assert client_ledger(batched_client) == client_ledger(
+                scalar_client
+            ), (name, batched_client.client_id)
 
 
 def test_empty_plan_is_inert_on_the_soa_path():

@@ -89,6 +89,48 @@ class TestReplay:
             assert s.metrics.tags == p.metrics.tags
 
 
+class TestBackends:
+    """The campaign is backend-independent, bit for bit.
+
+    ``run_isolation_trial`` carries a ``batch`` attribute, so the
+    executors ship whole chunks through ``run_many`` — under the
+    batched backend the rogue-burst fault plans compile into the SoA
+    request schedule.  Every scalar (miss ratios, isolation scores,
+    rogue counters, analytical-bound verdicts) and every tag
+    (including the per-design base/fault trace digests the fold
+    records) must be identical to a trial-by-trial scalar run.
+    """
+
+    def test_batched_campaign_identical_to_scalar(self):
+        from repro.sim import set_default_sim_backend
+
+        config = IsolationConfig(trials=2, horizon=2_000, drain=800)
+        specs = build_isolation_specs(config)
+        previous = set_default_sim_backend("scalar")
+        try:
+            scalar = [run_isolation_trial(spec) for spec in specs]
+            set_default_sim_backend("batched")
+            batched = SerialExecutor().map(run_isolation_trial, specs)
+        finally:
+            set_default_sim_backend(previous)
+        for reference, outcome in zip(scalar, batched):
+            assert not outcome.failed
+            assert outcome.metrics.scalars == reference.scalars
+            assert outcome.metrics.tags == reference.tags
+
+    def test_fold_records_trace_digests(self):
+        spec = build_isolation_specs(IsolationConfig(trials=1))[0]
+        metrics = run_isolation_trial(spec)
+        for name in ISOLATION_INTERCONNECTS:
+            assert metrics.tags[f"{name}/trace_base"]
+            assert metrics.tags[f"{name}/trace_fault"]
+            # the aggressor changes the completion trace everywhere
+            assert (
+                metrics.tags[f"{name}/trace_base"]
+                != metrics.tags[f"{name}/trace_fault"]
+            )
+
+
 class TestRobustness:
     def test_failed_trial_is_counted_not_folded(self):
         config = IsolationConfig(trials=2)

@@ -207,3 +207,72 @@ class TestParallelEqualsSerial:
         serial = run_fig7(config, interconnects, SerialExecutor())
         parallel = run_fig7(config, interconnects, ParallelExecutor(2))
         assert parallel.success_ratio == serial.success_ratio
+
+
+def batch_capable_runner(spec: TrialSpec) -> MetricSet:
+    """Module-level batch-capable runner (picklable by reference)."""
+    return square_runner(spec)
+
+
+def _short_batch(specs) -> list[MetricSet]:
+    # drops the last spec's metrics: a broken batch implementation
+    return [square_runner(spec) for spec in specs[:-1]]
+
+
+batch_capable_runner.batch = _short_batch
+
+
+class TestBatchSeam:
+    """The runner ``.batch`` attribute contract at the executor level."""
+
+    def test_wrong_length_batch_return_is_a_loud_error(self):
+        """A batch returning the wrong number of MetricSets is a
+        programming error in the batch implementation — it must raise
+        with the counts spelled out, never silently misalign specs and
+        metrics."""
+        with pytest.raises(ConfigurationError, match="got 2 for 3 specs"):
+            SerialExecutor().map(batch_capable_runner, make_specs(3))
+
+
+class TestProgressPrinter:
+    """One status line per ~10% of the batch, never one per trial."""
+
+    def run_batch(self, n: int) -> list[str]:
+        import io
+
+        from repro.runtime import ProgressPrinter
+
+        stream = io.StringIO()
+        SerialExecutor().map(
+            square_runner, make_specs(n), ProgressPrinter(stream=stream)
+        )
+        return stream.getvalue().splitlines()
+
+    def test_small_batch_does_not_print_every_trial(self):
+        """Regression: ``total // 10 == 0`` for small batches made the
+        cadence divisor 1, printing a line for every single trial."""
+        lines = self.run_batch(8)
+        progress = [line for line in lines if "/8 trials" in line]
+        # the clamp to one-per-5-trials leaves 5/8 and the final 8/8
+        assert len(progress) == 2
+        assert progress[-1].startswith("[toy] 8/8 trials")
+
+    def test_large_batch_prints_about_ten_lines(self):
+        lines = self.run_batch(200)
+        progress = [line for line in lines if "/200 trials" in line]
+        assert len(progress) == 10
+        assert progress[-1].startswith("[toy] 200/200 trials")
+
+    def test_failures_always_reported(self):
+        import io
+
+        from repro.runtime import ProgressPrinter
+
+        stream = io.StringIO()
+        SerialExecutor().map(
+            flaky_runner, make_specs(6), ProgressPrinter(stream=stream)
+        )
+        failures = [
+            line for line in stream.getvalue().splitlines() if "FAILED" in line
+        ]
+        assert len(failures) == 3  # odd indices 1, 3, 5
