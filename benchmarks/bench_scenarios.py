@@ -1,0 +1,249 @@
+"""Churn re-composition benchmark: incremental re-selection vs rebuild.
+
+The scalability claim behind ``repro.scenarios`` is that admitting,
+evicting or re-tasking one client is an O(log n) *path-local* update —
+:func:`repro.analysis.composition.update_client` re-resolves only the
+SEs on the touched client's path to the root, against the warm
+(T, C)-multiset cache a long-running
+:class:`~repro.analysis.session.AdmissionSession` accumulates.  This
+benchmark replays a generated :class:`~repro.scenarios.plan.ScenarioPlan`
+(joins, leaves, rate changes, mode switches) against one session and
+times, for every committed transition:
+
+* the **incremental** path — the live session's own
+  ``admit``/``evict``/``retask`` decision (warm cache);
+* a **from-scratch cold** rebuild — ``compose()`` of the full
+  post-transition system with a fresh, empty
+  :class:`~repro.analysis.cache.AnalysisCache` (what a stateless
+  admission controller would pay);
+* a **from-scratch warm** rebuild — ``compose()`` with a persistent
+  cache, as a sweep-style middle ground.
+
+It also replays the same plan through
+:func:`~repro.scenarios.replay.replay_plan` and sanity-checks the
+per-transition :class:`~repro.scenarios.transient.TransientBound`
+windows the analysis layer emits.
+
+Acceptance gate (both modes): the median warm-cache incremental
+re-selection must be **>= 5x faster** than the median from-scratch cold
+composition.  Writes ``BENCH_scenarios.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py           # full, n=64
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke   # CI, n=16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.context import AnalysisContext
+from repro.analysis.composition import compose
+from repro.analysis.model import SystemModel
+from repro.scenarios.plan import ScenarioKind, ScenarioPlan
+from repro.scenarios.replay import replay_plan
+from repro.sim.stats import SummaryStatistics
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+)
+SPEEDUP_GATE = 5.0
+
+
+def _stats(samples_ms: list[float]) -> dict:
+    s = SummaryStatistics.from_sample(samples_ms)
+    return {
+        "p50": round(s.p50, 4),
+        "mean": round(s.mean, 4),
+        "max": round(s.maximum, 4),
+    }
+
+
+def time_transitions(
+    model: SystemModel, plan: ScenarioPlan
+) -> tuple[list[float], list[float], list[float], int, int]:
+    """Per committed transition: (incremental, cold, warm-rebuild) ms."""
+    session = model.session()
+    warm_rebuild_cache = AnalysisCache()
+    incremental_ms: list[float] = []
+    cold_ms: list[float] = []
+    warm_ms: list[float] = []
+    committed = 0
+    rejected = 0
+    for event in plan.events:
+        current = session.tasksets.get(event.client_id)
+        proposed = event.proposed(current) if current is not None else None
+
+        started = time.perf_counter()
+        if event.kind is ScenarioKind.CLIENT_JOIN:
+            decision = session.admit(event.client_id, event.assigned_tasks())
+        elif event.kind is ScenarioKind.CLIENT_LEAVE:
+            decision = session.evict(event.client_id)
+        elif proposed is not None and len(proposed) > 0:
+            decision = session.retask(event.client_id, proposed)
+        else:
+            decision = session.evict(event.client_id)
+        elapsed_incremental = (time.perf_counter() - started) * 1000.0
+
+        if not decision.committed:
+            rejected += 1
+            continue
+        committed += 1
+        incremental_ms.append(elapsed_incremental)
+        after = session.tasksets
+
+        started = time.perf_counter()
+        cold = compose(
+            model.topology,
+            after,
+            deadline_margin=model.deadline_margin,
+            ctx=AnalysisContext.resolve(
+                None, AnalysisCache(), model.context.config
+            ),
+        )
+        cold_ms.append((time.perf_counter() - started) * 1000.0)
+        assert cold.schedulable, "cold rebuild disagrees with session"
+
+        started = time.perf_counter()
+        compose(
+            model.topology,
+            after,
+            deadline_margin=model.deadline_margin,
+            ctx=AnalysisContext.resolve(
+                None, warm_rebuild_cache, model.context.config
+            ),
+        )
+        warm_ms.append((time.perf_counter() - started) * 1000.0)
+    return incremental_ms, cold_ms, warm_ms, committed, rejected
+
+
+def check_transients(model: SystemModel, plan: ScenarioPlan) -> dict:
+    """Replay the plan analytically; summarize the transient windows."""
+    replayed = replay_plan(model.session(), plan, transients=True)
+    windows = [r.transient.window for r in replayed if r.transient]
+    analytic = sum(
+        1 for r in replayed if r.transient and r.transient.analytic
+    )
+    bad = [
+        r.index
+        for r in replayed
+        if r.applied and (r.transient is None or r.transient.window < 0)
+    ]
+    return {
+        "transitions": len(replayed),
+        "bounded": len(windows),
+        "analytic": analytic,
+        "window_max": max(windows, default=0),
+        "window_mean": round(statistics.fmean(windows), 1) if windows else 0,
+        "unbounded_committed": bad,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer events (CI); same model size and the same >=5x "
+        "gate — the path-local advantage is a property of the tree "
+        "depth, not of the event count",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    n_clients = 64
+    per_kind = 2 if args.smoke else 8
+    model = SystemModel.from_seed(
+        n_clients,
+        utilization=0.30,
+        seed=11,
+        cache=AnalysisCache(),
+    )
+    plan = ScenarioPlan.generate(
+        11,
+        100_000,
+        n_clients,
+        joins=per_kind,
+        leaves=per_kind,
+        rate_changes=per_kind,
+        mode_switches=per_kind,
+    )
+
+    incremental_ms, cold_ms, warm_ms, committed, rejected = time_transitions(
+        model, plan
+    )
+    if not incremental_ms:
+        print("FAIL: no transition committed — nothing to measure")
+        return 1
+    speedup = statistics.median(cold_ms) / statistics.median(incremental_ms)
+    transients = check_transients(model, plan)
+
+    print(
+        f"{len(plan)} transitions on {n_clients} clients: "
+        f"{committed} committed, {rejected} rejected"
+    )
+    print(
+        f"incremental (warm session): median "
+        f"{statistics.median(incremental_ms):.3f}ms | from-scratch cold: "
+        f"{statistics.median(cold_ms):.3f}ms | from-scratch warm: "
+        f"{statistics.median(warm_ms):.3f}ms"
+    )
+    print(f"incremental vs cold rebuild: {speedup:.1f}x")
+    print(
+        f"transients: {transients['bounded']} bounded "
+        f"({transients['analytic']} analytic), max window "
+        f"{transients['window_max']} cycles"
+    )
+
+    payload = {
+        "benchmark": "bench_scenarios",
+        "mode": "smoke" if args.smoke else "full",
+        "description": (
+            "Warm-cache incremental re-selection (AdmissionSession "
+            "admit/evict/retask) vs from-scratch composition for every "
+            "committed transition of a generated churn plan."
+        ),
+        "model": model.describe(),
+        "events": len(plan),
+        "committed": committed,
+        "rejected": rejected,
+        "incremental_ms": _stats(incremental_ms),
+        "from_scratch_cold_ms": _stats(cold_ms),
+        "from_scratch_warm_ms": _stats(warm_ms),
+        "median_speedup_vs_cold": round(speedup, 1),
+        "speedup_gate": SPEEDUP_GATE,
+        "transients": transients,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if speedup < SPEEDUP_GATE:
+        failures.append(
+            f"incremental speedup {speedup:.1f}x < {SPEEDUP_GATE:.0f}x gate"
+        )
+    if transients["unbounded_committed"]:
+        failures.append(
+            "committed transitions without a transient bound: "
+            f"{transients['unbounded_committed']}"
+        )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("OK: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -193,6 +193,11 @@ def main(argv: list[str] | None = None) -> int:
         f"p95 {stats.p95:.2f}ms, p99 {stats.p99:.2f}ms, "
         f"max {stats.maximum:.2f}ms"
     )
+    server_latency = server_metrics["latency_ms"]
+    print(
+        f"daemon-side analysis latency: p50 {server_latency['p50']:.3f}ms, "
+        f"p99 {server_latency['p99']:.3f}ms, max {server_latency['max']:.3f}ms"
+    )
     print(
         f"daemon: {errors} client errors, "
         f"{server_metrics['metrics']['service/errors']:.0f} server errors, "
@@ -218,6 +223,9 @@ def main(argv: list[str] | None = None) -> int:
             "p99": round(stats.p99, 3),
             "max": round(stats.maximum, 3),
         },
+        # The daemon's own view of the analysis time (excludes HTTP):
+        # the /metrics tail-latency block, as monitors would scrape it.
+        "server_latency_ms": server_latency,
         "verdict_mismatches": mismatches,
         "client_errors": errors,
         "server_metrics": server_metrics,

@@ -275,6 +275,44 @@ class AdmissionSession:
                 committed=True,
             )
 
+    def retask(
+        self, client_id: int, tasks: "TaskSet | PeriodicTask"
+    ) -> AdmissionDecision:
+        """Atomically *replace* one client's task set (a mode switch).
+
+        Unlike :meth:`admit` (which merges the submission into whatever
+        the client already runs), ``retask`` swaps the declared set
+        wholesale and re-resolves the client's path against the new
+        demand — the analysis half of a ``RATE_CHANGE`` /
+        ``MODE_SWITCH`` scenario event.  Commits only when the switched
+        system stays schedulable; on rejection the old mode's state is
+        kept untouched.
+        """
+        submission = self._normalize(client_id, tasks)
+        with self._lock:
+            tasksets = dict(self._tasksets)
+            tasksets[client_id] = submission
+            updated = update_client(
+                self._composition,
+                tasksets,
+                client_id,
+                deadline_margin=self.model.deadline_margin,
+                ctx=self._ctx,
+            )
+            self._decisions += 1
+            decision = self._decide(client_id, submission, updated)
+            if not decision.admitted:
+                return decision
+            self._tasksets = tasksets
+            self._composition = updated
+            return AdmissionDecision(
+                admitted=True,
+                client_id=client_id,
+                taskset_digest=decision.taskset_digest,
+                composition=updated,
+                committed=True,
+            )
+
     def evict(self, client_id: int) -> AdmissionDecision:
         """Drop every task of one client and re-resolve its path.
 

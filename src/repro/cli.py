@@ -19,6 +19,7 @@ Examples::
     python -m repro update-latency
     python -m repro trace --figure fig6 --trial 2 --export spans.jsonl
     python -m repro faults --trials 5 --workers 2
+    python -m repro churn --trials 3 --verify
     python -m repro serve --clients 16 --port 8787
 
 ``--seed S`` is accepted by every subcommand (the analytical ones
@@ -139,6 +140,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=60,
         help="cycles between rogue bursts (default: 60)",
+    )
+
+    churn = sub.add_parser(
+        "churn",
+        help="online-churn campaign: BlueScale path-local re-selection "
+        "vs static/dynamic AXI regulation under joins, rate changes, "
+        "mode switches and leaves",
+        parents=[common],
+    )
+    churn.add_argument("--clients", type=int, default=8)
+    churn.add_argument("--trials", type=int, default=3)
+    churn.add_argument("--horizon", type=int, default=6_000)
+    churn.add_argument(
+        "--joiners",
+        type=int,
+        default=2,
+        metavar="N",
+        help="clients that start idle and join mid-run (default: 2)",
+    )
+    churn.add_argument(
+        "--verify",
+        action="store_true",
+        help="exit 1 if any monitored deadline was missed inside a "
+        "reconfiguration transient window",
     )
 
     ablation = sub.add_parser(
@@ -363,6 +388,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(format_isolation(result))
         failed = result.total_bound_violations > 0
+    elif args.experiment == "churn":
+        from repro.experiments.churn import (
+            ChurnConfig,
+            format_churn,
+            run_churn,
+        )
+
+        kwargs = dict(
+            n_clients=args.clients,
+            trials=args.trials,
+            horizon=args.horizon,
+            joiners=args.joiners,
+        )
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = run_churn(
+            ChurnConfig(**kwargs), executor=executor, hooks=hooks
+        )
+        print(format_churn(result))
+        failed = args.verify and result.total_transient_violations > 0
     elif args.experiment == "ablation":
         from repro.experiments.ablation import run_ablation
         from repro.experiments.reporting import format_table

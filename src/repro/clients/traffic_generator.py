@@ -292,6 +292,72 @@ class TrafficGenerator:
             injected += 1
         return injected
 
+    # -- scenario hooks ---------------------------------------------------------
+    def scenario_join(self, cycle: int, tasks: TaskSet) -> None:
+        """Install additional tasks mid-run, first releases phased at ``cycle``.
+
+        The :class:`~repro.scenarios.driver.ScenarioDriver`'s
+        ``CLIENT_JOIN`` hook.  Existing tasks, queued transactions and
+        job statistics are untouched; the new tasks release strictly
+        periodically from the join cycle on.  The declared task set is
+        replaced copy-on-write — the caller's TaskSet object must not
+        observe the join (it may seed another simulation).
+        """
+        merged = TaskSet(list(self.taskset))
+        for task in tasks:
+            index = len(merged)
+            merged.add(task)
+            heapq.heappush(self._release_heap, (cycle, index, 0))
+        self.taskset = merged
+
+    def scenario_leave(self, cycle: int) -> None:
+        """Power the client down: no further releases, queued work withdrawn.
+
+        Transactions already inside the fabric complete normally (their
+        responses are still accounted), but queued-not-yet-injected ones
+        are withdrawn (counted as drops, conservation-wise) and the
+        client's unfinished jobs stop being monitored — a departed
+        client's deadlines have no observer.
+        """
+        del cycle  # the leave takes effect immediately
+        self._release_heap.clear()
+        # Unmonitor before withdrawing: withdrawal drives a job's
+        # outstanding count to zero, which would make it look finished
+        # (and judged as missed via its drops) instead of abandoned.
+        self._abandon_unfinished_jobs()
+        self._withdraw_queued()
+        self.taskset = TaskSet()
+
+    def scenario_retask(self, cycle: int, taskset: TaskSet) -> None:
+        """Replace the declared task set (rate change / mode switch).
+
+        The old mode's queued work is abandoned exactly like a leave —
+        a mode switch restarts the client's workload — then the new
+        set's releases start phased at ``cycle``.
+        """
+        self._release_heap.clear()
+        self._abandon_unfinished_jobs()
+        self._withdraw_queued()
+        self.taskset = TaskSet(list(taskset))
+        for index, _task in enumerate(self.taskset):
+            heapq.heappush(self._release_heap, (cycle, index, 0))
+
+    def _withdraw_queued(self) -> None:
+        """Drop every pending-but-uninjected transaction (conservation-safe)."""
+        for _key, request in self._pending:
+            job = self._job_of_request.pop(request.rid, None)
+            if job is not None:
+                job.dropped += 1
+                job.outstanding -= 1
+            self.dropped_requests += 1
+        self._pending.clear()
+
+    def _abandon_unfinished_jobs(self) -> None:
+        """Stop judging jobs the departing/switching workload abandons."""
+        for job in self.jobs:
+            if not job.finished:
+                job.monitored = False
+
     # -- completion ------------------------------------------------------------
     def on_response(self, request: MemoryRequest) -> None:
         """Account a completed transaction against its job."""

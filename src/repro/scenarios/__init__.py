@@ -1,0 +1,59 @@
+"""Online workload churn: deterministic scenario plans and their consumers.
+
+The subsystem mirrors :mod:`repro.faults`' plan/injector split across
+three layers:
+
+* :mod:`repro.scenarios.plan` — pure data: :class:`ScenarioPlan` /
+  :class:`ScenarioEvent` timelines (join / leave / rate change / mode
+  switch) plus the shared task-set transformations.
+* :mod:`repro.scenarios.driver` — the simulator consumer:
+  :class:`ScenarioDriver` applies events to live clients as an engine
+  tick stage (``SoCSimulation(scenario=...)``), optionally gated by an
+  admission callback.
+* :mod:`repro.scenarios.transient` / :mod:`repro.scenarios.replay` —
+  the analysis/service consumers: per-transition
+  :class:`TransientBound` windows, session replay, and HTTP replay
+  against a running ``repro serve``.
+"""
+
+from repro.scenarios.driver import AdmissionFn, ScenarioDriver, make_driver
+from repro.scenarios.plan import (
+    ScenarioEvent,
+    ScenarioKind,
+    ScenarioPlan,
+    proposed_tasksets,
+    rate_scaled,
+)
+from repro.scenarios.replay import (
+    ReplayedEvent,
+    replay_plan,
+    replay_plan_service,
+)
+from repro.scenarios.transient import (
+    TransientBound,
+    TransientReport,
+    TransientViolation,
+    changed_ports,
+    compute_transient_bound,
+    verify_transients,
+)
+
+__all__ = [
+    "AdmissionFn",
+    "ReplayedEvent",
+    "ScenarioDriver",
+    "ScenarioEvent",
+    "ScenarioKind",
+    "ScenarioPlan",
+    "TransientBound",
+    "TransientReport",
+    "TransientViolation",
+    "changed_ports",
+    "compute_transient_bound",
+    "make_driver",
+    "proposed_tasksets",
+    "rate_scaled",
+    "replay_plan",
+    "replay_plan_service",
+    "verify_transients",
+]

@@ -1,0 +1,188 @@
+"""Interpret a :class:`~repro.scenarios.plan.ScenarioPlan` against a run.
+
+The :class:`ScenarioDriver` is the scenario analogue of
+:class:`~repro.faults.injectors.FaultOrchestrator`: a tick component
+registered as an early engine stage that fires each event exactly once
+at its cycle, through three narrow client hooks
+(:meth:`~repro.clients.traffic_generator.TrafficGenerator.scenario_join`
+/ ``scenario_leave`` / ``scenario_retask``).
+
+Two contracts matter:
+
+* **Inertness** — a driver for the empty plan never touches anything:
+  its tick is a no-op, it is always quiescent and it declares no
+  activity, so attaching ``ScenarioPlan.none()`` is bit-for-bit
+  invisible on both engine paths.
+* **Quiescence** — the driver is always quiescent (events are
+  scheduled, not reactive) but declares the earliest pending event
+  cycle as activity, so the engine's leap can never jump over a
+  transition.
+
+An optional ``admission`` callback gates every event: the churn
+experiment uses it to run the event through an
+:class:`~repro.analysis.session.AdmissionSession` (and reprogram SE
+budgets) before the traffic changes; a ``False`` verdict vetoes the
+event — the client's traffic stays exactly as it was.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.scenarios.plan import ScenarioEvent, ScenarioKind, ScenarioPlan
+from repro.tasks.taskset import TaskSet
+
+#: gate called as ``admission(index, event, cycle, proposed)`` where
+#: ``proposed`` maps every client to its declared task set *after* the
+#: event; return False to veto (the simulator then skips the event).
+AdmissionFn = Callable[[int, ScenarioEvent, int, Mapping[int, TaskSet]], bool]
+
+_HOOKS = {
+    ScenarioKind.CLIENT_JOIN: "scenario_join",
+    ScenarioKind.CLIENT_LEAVE: "scenario_leave",
+    ScenarioKind.RATE_CHANGE: "scenario_retask",
+    ScenarioKind.MODE_SWITCH: "scenario_retask",
+}
+
+_COUNTER_OF = {
+    ScenarioKind.CLIENT_JOIN: "joins",
+    ScenarioKind.CLIENT_LEAVE: "leaves",
+    ScenarioKind.RATE_CHANGE: "rate_changes",
+    ScenarioKind.MODE_SWITCH: "mode_switches",
+}
+
+
+class ScenarioDriver:
+    """Applies plan events to the bound clients at their cycles."""
+
+    def __init__(
+        self, plan: ScenarioPlan, admission: AdmissionFn | None = None
+    ) -> None:
+        self.plan = plan
+        self.admission = admission
+        self._clients_by_id: dict[int, object] = {}
+        self._client_stage = None
+        #: declared task set per bound client, kept in lock-step with
+        #: the applied events — the admission gate sees the same
+        #: system-wide view the analysis session would.
+        self._tasksets: dict[int, TaskSet] = {}
+        self._actions: list[tuple[int, int]] = []
+        for index, event in enumerate(plan.events):
+            heapq.heappush(self._actions, (event.cycle, index))
+        # Outcome ledger, folded into TrialResult.scenario_counters.
+        self.events_applied = 0
+        self.events_rejected = 0
+        self.events_ignored = 0
+        self.joins = 0
+        self.leaves = 0
+        self.rate_changes = 0
+        self.mode_switches = 0
+
+    # -- wiring ------------------------------------------------------------
+    def bind(
+        self,
+        clients,  # noqa: ANN001
+        interconnect,  # noqa: ANN001
+        client_stage=None,  # noqa: ANN001
+    ) -> None:
+        """Attach the driver to a simulation's live components."""
+        self._clients_by_id = {c.client_id: c for c in clients}
+        self._client_stage = client_stage
+        self._tasksets = {
+            c.client_id: TaskSet(list(c.taskset)) for c in clients
+        }
+
+    @property
+    def current_tasksets(self) -> dict[int, TaskSet]:
+        """The declared workload after every event applied so far."""
+        return dict(self._tasksets)
+
+    # -- tick component ----------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        actions = self._actions
+        while actions and actions[0][0] <= cycle:
+            _, index = heapq.heappop(actions)
+            self._apply(index, self.plan.events[index], cycle)
+
+    def _apply(self, index: int, event: ScenarioEvent, cycle: int) -> None:
+        client = self._clients_by_id.get(event.client_id)
+        hook = getattr(client, _HOOKS[event.kind], None) if client else None
+        if hook is None:
+            # Unknown client, or a client type without scenario hooks:
+            # the event cannot take effect — record it, change nothing.
+            self.events_ignored += 1
+            return
+        current = self._tasksets.get(event.client_id, TaskSet())
+        proposed_client = event.proposed(current)
+        if self.admission is not None:
+            proposed = dict(self._tasksets)
+            proposed[event.client_id] = proposed_client
+            if not self.admission(index, event, cycle, proposed):
+                self.events_rejected += 1
+                return
+        if event.kind is ScenarioKind.CLIENT_JOIN:
+            hook(cycle, event.assigned_tasks())
+        elif event.kind is ScenarioKind.CLIENT_LEAVE:
+            hook(cycle)
+        else:
+            hook(cycle, proposed_client)
+        self._tasksets[event.client_id] = proposed_client
+        self.events_applied += 1
+        setattr(
+            self, _COUNTER_OF[event.kind], getattr(self, _COUNTER_OF[event.kind]) + 1
+        )
+        if self._client_stage is not None:
+            # The fast path caches per-client wake cycles; a transition
+            # changes the client's release schedule out-of-band.
+            self._client_stage.notify_external_activity(event.client_id)
+
+    # -- quiescence contract ----------------------------------------------
+    def is_quiescent(self) -> bool:
+        """Always true: events are scheduled work, declared below."""
+        return True
+
+    def next_activity_cycle(self, cycle: int) -> int | None:
+        """Earliest pending event — the leap must not jump over it.
+
+        A head at or before ``cycle`` returns ``cycle`` itself, which
+        makes the engine's leap target ``<= now`` and aborts the leap
+        (the event must run on this very cycle).
+        """
+        if self._actions:
+            head = self._actions[0][0]
+            return head if head > cycle else cycle
+        return None
+
+    def counters(self) -> dict[str, int]:
+        """Outcome ledger for :class:`~repro.soc.TrialResult`."""
+        return {
+            "events_applied": self.events_applied,
+            "events_rejected": self.events_rejected,
+            "events_ignored": self.events_ignored,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "rate_changes": self.rate_changes,
+            "mode_switches": self.mode_switches,
+        }
+
+
+def make_driver(
+    scenario: "ScenarioPlan | ScenarioDriver | None",
+) -> ScenarioDriver | None:
+    """Normalize the ``SoCSimulation(scenario=...)`` argument.
+
+    ``None`` stays ``None`` (no stage is registered at all); a plan gets
+    a fresh driver; a pre-built driver (carrying an admission gate) is
+    used as-is.
+    """
+    if scenario is None:
+        return None
+    if isinstance(scenario, ScenarioDriver):
+        return scenario
+    if isinstance(scenario, ScenarioPlan):
+        return ScenarioDriver(scenario)
+    raise ConfigurationError(
+        f"scenario must be a ScenarioPlan or ScenarioDriver, got {type(scenario)!r}"
+    )

@@ -115,3 +115,11 @@ class ServiceClient:
             "commit": commit,
         }
         return self._request("POST", "/admission", body)
+
+    def evict(self, client_id: int) -> dict:
+        """Drop one client's admitted tasks (``POST /evict``).
+
+        Always commits (removing demand can only loosen the hierarchy);
+        the decision payload carries the relaxed path interfaces.
+        """
+        return self._request("POST", "/evict", {"client_id": client_id})

@@ -13,6 +13,7 @@ GET       ``/healthz``   liveness probe
 GET       ``/model``     the loaded model's ``describe()`` summary
 GET       ``/metrics``   request counters, latency percentiles, cache stats
 POST      ``/admission`` probe (or ``commit``) one task-set submission
+POST      ``/evict``     drop one client's admitted tasks (always commits)
 POST      ``/reset``     roll the session back to the model baseline
 ========  =============  ==================================================
 
@@ -39,6 +40,7 @@ from repro.service.protocol import (
     RequestError,
     decision_payload,
     parse_admission_request,
+    parse_evict_request,
 )
 
 __all__ = ["AdmissionService", "ServiceHandle", "start_background"]
@@ -85,8 +87,17 @@ class AdmissionService:
     # -- route handlers ------------------------------------------------------
     def _metrics_payload(self) -> dict:
         stats = self.session.cache_stats
+        scalars = self.registry.summary_scalars()
         return {
-            "metrics": self.registry.summary_scalars(),
+            "metrics": scalars,
+            # Explicit tail-latency block so monitors don't have to
+            # know the registry's flattened-key naming scheme.
+            "latency_ms": {
+                "p50": scalars.get("service/latency_ms_p50", 0.0),
+                "p95": scalars.get("service/latency_ms_p95", 0.0),
+                "p99": scalars.get("service/latency_ms_p99", 0.0),
+                "max": scalars.get("service/latency_ms_max", 0.0),
+            },
             "cache": {
                 "selection_hits": stats.selection_hits,
                 "selection_misses": stats.selection_misses,
@@ -117,6 +128,21 @@ class AdmissionService:
             self._rejected.increment()
         return 200, decision_payload(decision)
 
+    async def _handle_evict(self, body: bytes) -> tuple[int, dict]:
+        try:
+            request = json.loads(body)
+        except ValueError as exc:
+            raise RequestError(f"body is not valid JSON: {exc}") from exc
+        client_id = parse_evict_request(request)
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        decision = await loop.run_in_executor(
+            self._pool, self.session.evict, client_id
+        )
+        self._latency.observe((time.perf_counter() - started) * 1000.0)
+        self._admitted.increment()  # an evict always commits
+        return 200, decision_payload(decision)
+
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> tuple[int, dict]:
@@ -136,6 +162,10 @@ class AdmissionService:
             if method != "POST":
                 return 405, {"error": "method not allowed"}
             return await self._handle_admission(body)
+        if path == "/evict":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}
+            return await self._handle_evict(body)
         if path == "/reset":
             if method != "POST":
                 return 405, {"error": "method not allowed"}

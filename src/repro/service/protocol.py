@@ -20,6 +20,15 @@ Admission request (``POST /admission``)::
 success, commits the new workload into the service's session.  The
 response carries ``admitted`` plus either the selected leaf ``(Π, Θ)``
 ``interface`` or a rejection ``witness``.
+
+Evict request (``POST /evict``)::
+
+    {"client_id": 3}
+
+Always commits — removing demand can only loosen the hierarchy — and
+answers with the same decision payload shape.  A scenario replay
+(:func:`repro.scenarios.replay.replay_plan_service`) drives churn
+through exactly these two endpoints.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ __all__ = [
     "decision_payload",
     "interface_payload",
     "parse_admission_request",
+    "parse_evict_request",
     "parse_tasks",
     "task_payload",
 ]
@@ -108,6 +118,16 @@ def parse_admission_request(body: Any) -> tuple[int, TaskSet, bool]:
     if not isinstance(commit, bool):
         raise RequestError(f"commit must be a boolean, got {commit!r}")
     return client_id, tasks, commit
+
+
+def parse_evict_request(body: Any) -> int:
+    """Validate a ``POST /evict`` body into its ``client_id``."""
+    if not isinstance(body, Mapping):
+        raise RequestError("request body must be a JSON object")
+    unknown = set(body) - {"client_id"}
+    if unknown:
+        raise RequestError(f"unknown fields {sorted(unknown)}")
+    return _require_int(body.get("client_id"), "client_id")
 
 
 def task_payload(task: PeriodicTask) -> dict:

@@ -166,6 +166,11 @@ def check_supported(sim) -> None:
     """Raise :class:`Ineligible` unless ``sim`` fits the SoA envelope."""
     _require(sim.tracer is None, "observability tracing enabled")
     _require(getattr(sim, "accounting", None) is None, "cycle accounting on")
+    # Workload churn rewrites the release schedule mid-run (joins,
+    # leaves, retasks) and may reprogram SE budgets through its
+    # admission gate — none of which the static SoA request schedule
+    # can express, so scenario-bearing trials take the scalar engine.
+    _require(getattr(sim, "scenario", None) is None, "scenario plan attached")
     if sim.faults is not None:
         # Rogue bursts are pure extra releases and compile into the
         # plan; every other kind perturbs arbitration/injection and

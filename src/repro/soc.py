@@ -32,6 +32,8 @@ from repro.clients.traffic_generator import TrafficGenerator
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.injectors import FaultOrchestrator, make_orchestrator
 from repro.faults.plan import FaultPlan
+from repro.scenarios.driver import ScenarioDriver, make_driver
+from repro.scenarios.plan import ScenarioPlan
 from repro.interconnects.base import Interconnect
 from repro.memory.controller import ArbitrationPolicy, MemoryController
 from repro.memory.dram import FixedLatencyDevice
@@ -66,6 +68,9 @@ class TrialResult:
     #: fault-injection ledger (empty when no orchestrator was attached);
     #: see FaultOrchestrator.counters()
     fault_counters: dict[str, int] = field(default_factory=dict)
+    #: workload-churn ledger (empty when no scenario driver was
+    #: attached); see ScenarioDriver.counters()
+    scenario_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def deadline_miss_ratio(self) -> float:
@@ -353,6 +358,7 @@ class SoCSimulation:
         accounting: CycleAccounting | None = None,
         observability: "bool | ObservabilityConfig | Tracer | None" = None,
         faults: "FaultPlan | FaultOrchestrator | None" = None,
+        scenario: "ScenarioPlan | ScenarioDriver | None" = None,
     ) -> None:
         if not clients:
             raise ConfigurationError("need at least one client")
@@ -390,6 +396,12 @@ class SoCSimulation:
         #: instrumented run is bit-for-bit identical to an
         #: uninstrumented one (differential tests assert it).
         self.faults = make_orchestrator(faults, tracer=self.tracer)
+        #: opt-in workload churn (None = off, zero overhead): a
+        #: ScenarioPlan (even an empty one) attaches a ScenarioDriver
+        #: as an extra tick stage between faults and clients — see
+        #: repro.scenarios.  An empty plan is bit-for-bit inert on both
+        #: engine paths (differential tests assert it).
+        self.scenario = make_driver(scenario)
         #: engine counters from the last run() (see TrialResult)
         self.cycles_executed = 0
         self.cycles_skipped = 0
@@ -504,6 +516,14 @@ class SoCSimulation:
             # First stage: a fault armed for cycle c perturbs that
             # cycle's releases, arbitration and service.
             engine.register(self.faults, name="faults")
+        if self.scenario is not None:
+            # Ahead of the clients: a transition at cycle c changes
+            # that cycle's releases (a join's first jobs, a switch's
+            # withdrawal) before the client stage runs it.
+            self.scenario.bind(
+                self.clients, self.interconnect, client_stage=client_stage
+            )
+            engine.register(self.scenario, name="scenario")
         engine.register(client_stage, name="clients")
         engine.register(
             _RequestPathStage(self.interconnect), name="request_path"
@@ -567,6 +587,9 @@ class SoCSimulation:
             cycles_skipped=self.cycles_skipped,
             trace_digest=response_stage.trace_digest,
             fault_counters=fault_counters,
+            scenario_counters=(
+                self.scenario.counters() if self.scenario is not None else {}
+            ),
         )
 
 

@@ -1,0 +1,167 @@
+"""Churn experiment: spec determinism, trial smoke, reducer, rendering."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.churn import (
+    CHURN_POLICIES,
+    ChurnConfig,
+    ChurnResult,
+    PolicyChurn,
+    build_churn_specs,
+    format_churn,
+    reduce_churn,
+    run_churn_trial,
+)
+from repro.runtime.executor import TrialOutcome
+from repro.runtime.metrics import MetricSet
+from repro.scenarios import ScenarioKind
+
+SMOKE = ChurnConfig(n_clients=8, trials=1, horizon=3_000, drain=1_500)
+
+
+@pytest.fixture(scope="module")
+def smoke_metrics():
+    (spec,) = build_churn_specs(SMOKE)
+    return run_churn_trial(spec)
+
+
+class TestConfigAndSpecs:
+    def test_specs_are_deterministic_and_picklable(self):
+        a = build_churn_specs(SMOKE)
+        b = build_churn_specs(SMOKE)
+        assert [s.seed for s in a] == [s.seed for s in b]
+        assert pickle.loads(pickle.dumps(a[0])).seed == a[0].seed
+        assert a[0].param("config") == SMOKE
+
+    def test_seed_changes_specs(self):
+        a = build_churn_specs(SMOKE)
+        b = build_churn_specs(
+            ChurnConfig(
+                n_clients=8, trials=1, horizon=3_000, drain=1_500, seed=1
+            )
+        )
+        assert a[0].seed != b[0].seed
+
+    def test_joiner_ids_are_the_top_clients(self):
+        assert SMOKE.joiner_ids == (6, 7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(joiners=0)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(n_clients=4, joiners=3)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(utilization_low=0.5, utilization_high=0.4)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(churner=7)  # a joiner, not initially active
+
+
+class TestTrial:
+    def test_all_policies_report_and_transients_hold(self, smoke_metrics):
+        for policy in CHURN_POLICIES:
+            assert f"{policy}/victim_miss" in smoke_metrics
+            assert f"{policy}/reconfig_work" in smoke_metrics
+            trace = smoke_metrics.tags[f"{policy}/trace"]
+            assert len(trace) == 64 and int(trace, 16) >= 0
+        assert smoke_metrics["BlueScale/transient_violations"] == 0.0
+        assert smoke_metrics["BlueScale/events_applied"] >= 1
+
+    def test_bluescale_work_is_path_local(self, smoke_metrics):
+        """Per applied event BlueScale reprograms O(log n) ports while
+        the dynamic-regulation baseline recomputes all n budgets."""
+        applied = smoke_metrics["BlueScale/events_applied"]
+        if applied:
+            bluescale = smoke_metrics["BlueScale/reconfig_work"] / applied
+            assert bluescale < SMOKE.n_clients
+        dyn_applied = smoke_metrics["AXI-dynamic/events_applied"]
+        if dyn_applied:
+            dynamic = smoke_metrics["AXI-dynamic/reconfig_work"] / dyn_applied
+            assert dynamic == SMOKE.n_clients
+        assert smoke_metrics["AXI-static/reconfig_work"] == 0.0
+
+    def test_trial_is_deterministic(self, smoke_metrics):
+        (spec,) = build_churn_specs(SMOKE)
+        again = run_churn_trial(spec)
+        assert again.scalars == smoke_metrics.scalars
+        assert again.tags == smoke_metrics.tags
+
+
+def _outcome(metrics, error=None):
+    (spec,) = build_churn_specs(SMOKE)
+    return TrialOutcome(spec=spec, metrics=metrics, seconds=0.0, error=error)
+
+
+class TestReduceAndRender:
+    def test_reduce_folds_and_digests(self, smoke_metrics):
+        result = reduce_churn(
+            SMOKE, [_outcome(smoke_metrics), _outcome(smoke_metrics)]
+        )
+        bluescale = result.metrics["BlueScale"]
+        assert len(bluescale.victim_miss) == 2
+        assert result.failed_trials == 0
+        assert len(result.campaign_digest) == 64
+        # same outcomes -> same campaign digest (the CI diff anchor)
+        again = reduce_churn(
+            SMOKE, [_outcome(smoke_metrics), _outcome(smoke_metrics)]
+        )
+        assert again.campaign_digest == result.campaign_digest
+
+    def test_digest_tracks_traces(self, smoke_metrics):
+        tweaked = MetricSet(
+            scalars=dict(smoke_metrics.scalars),
+            tags={**smoke_metrics.tags, "BlueScale/trace": "0" * 64},
+        )
+        a = reduce_churn(SMOKE, [_outcome(smoke_metrics)])
+        b = reduce_churn(SMOKE, [_outcome(tweaked)])
+        assert a.campaign_digest != b.campaign_digest
+
+    def test_failed_trials_counted_not_folded(self, smoke_metrics):
+        result = reduce_churn(
+            SMOKE,
+            [
+                _outcome(smoke_metrics),
+                _outcome(MetricSet(scalars={}), error="RuntimeError: boom"),
+            ],
+        )
+        assert result.failed_trials == 1
+        assert len(result.metrics["BlueScale"].victim_miss) == 1
+
+    def test_metric_set_and_format(self, smoke_metrics):
+        result = reduce_churn(SMOKE, [_outcome(smoke_metrics)])
+        folded = result.metric_set()
+        assert folded["transient_violations"] == 0.0
+        assert folded.tags["campaign_digest"] == result.campaign_digest
+        rendered = format_churn(result)
+        assert "campaign digest" in rendered
+        assert "transient-safe" in rendered
+        for policy in CHURN_POLICIES:
+            assert policy in rendered
+
+    def test_cli_verify_exit_code(self, smoke_metrics, monkeypatch):
+        """`repro churn --verify` exits 1 exactly when a monitored
+        deadline was missed inside a reconfiguration transient."""
+        import repro.experiments.churn as churn_mod
+        from repro.cli import main
+
+        clean = reduce_churn(SMOKE, [_outcome(smoke_metrics)])
+
+        def fake_run(config, executor=None, hooks=None):
+            return clean
+
+        monkeypatch.setattr(churn_mod, "run_churn", fake_run)
+        assert main(["churn", "--verify"]) == 0
+        clean.metrics["BlueScale"].transient_violations = 1
+        assert main(["churn", "--verify"]) == 1
+        assert main(["churn"]) == 0
+
+    def test_format_flags_violations(self):
+        metrics = {name: PolicyChurn(name) for name in CHURN_POLICIES}
+        metrics["BlueScale"].transient_violations = 2
+        result = ChurnResult(
+            config=SMOKE, metrics=metrics, campaign_digest="ab" * 32
+        )
+        assert result.total_transient_violations == 2
+        assert "FAIL" in format_churn(result)

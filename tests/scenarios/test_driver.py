@@ -1,0 +1,299 @@
+"""ScenarioDriver: inertness, per-kind effects, gating, fast≡slow."""
+
+import pytest
+
+from repro.clients.traffic_generator import TrafficGenerator
+from repro.core.interconnect import BlueScaleInterconnect
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ScenarioDriver,
+    ScenarioEvent,
+    ScenarioKind,
+    ScenarioPlan,
+    make_driver,
+)
+from repro.sim.batched import batched_supported
+from repro.soc import SoCSimulation
+from repro.tasks import PeriodicTask, TaskSet
+
+N = 4
+
+
+def clients(tasksets=None):
+    tasksets = tasksets or {}
+    return [
+        TrafficGenerator(
+            c,
+            tasksets.get(
+                c,
+                TaskSet(
+                    [
+                        PeriodicTask(
+                            period=100, wcet=2, name=f"t{c}", client_id=c
+                        )
+                    ]
+                ),
+            ),
+        )
+        for c in range(N)
+    ]
+
+
+def run_sim(scenario=None, fast_path=True, horizon=1_000, **kwargs):
+    sim = SoCSimulation(
+        kwargs.pop("clients", clients()),
+        BlueScaleInterconnect(N),
+        fast_path=fast_path,
+        scenario=scenario,
+    )
+    return sim, sim.run(horizon, drain=300)
+
+
+def join(cycle=300, client_id=0, period=50, wcet=1):
+    return ScenarioEvent(
+        kind=ScenarioKind.CLIENT_JOIN,
+        cycle=cycle,
+        client_id=client_id,
+        tasks=(PeriodicTask(period=period, wcet=wcet, name="joined"),),
+    )
+
+
+class TestInertness:
+    @pytest.mark.parametrize("fast_path", (True, False))
+    def test_empty_plan_bit_for_bit_inert(self, fast_path):
+        """ScenarioPlan.none() must not perturb the trace on either
+        engine path — the acceptance bar for attaching the subsystem."""
+        _, bare = run_sim(scenario=None, fast_path=fast_path)
+        _, with_plan = run_sim(
+            scenario=ScenarioPlan.none(), fast_path=fast_path
+        )
+        assert bare.trace_digest == with_plan.trace_digest
+        assert bare.requests_completed == with_plan.requests_completed
+        assert bare.job_outcomes == with_plan.job_outcomes
+
+    def test_empty_plan_still_reports_counters(self):
+        _, result = run_sim(scenario=ScenarioPlan.none())
+        assert result.scenario_counters["events_applied"] == 0
+        _, bare = run_sim(scenario=None)
+        assert bare.scenario_counters == {}
+
+    def test_scenario_sims_fall_back_to_scalar_backend(self):
+        """Even an empty plan makes the sim SoA-ineligible (the batched
+        finalizer would not produce the scenario ledger)."""
+        sim = SoCSimulation(
+            clients(),
+            BlueScaleInterconnect(N),
+            scenario=ScenarioPlan.none(),
+        )
+        assert not batched_supported(sim)
+        bare = SoCSimulation(clients(), BlueScaleInterconnect(N))
+        assert batched_supported(bare)
+
+
+class TestEventEffects:
+    def test_join_starts_idle_client(self):
+        idle = {3: TaskSet()}
+        plan = ScenarioPlan((join(cycle=300, client_id=3),))
+        _, result = run_sim(scenario=plan, clients=clients(idle))
+        assert result.scenario_counters["joins"] == 1
+        judged, missed = result.job_outcomes[3]
+        assert judged > 0
+        # releases only began at cycle 300 of 1000: about (1000-300)/50
+        assert judged <= 15
+
+    def test_leave_stops_releases_and_unmonitors(self):
+        plan = ScenarioPlan(
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.CLIENT_LEAVE, cycle=200, client_id=1
+                ),
+            )
+        )
+        _, faded = run_sim(scenario=plan)
+        _, stayed = run_sim(scenario=ScenarioPlan.none())
+        assert result_judged(faded, 1) < result_judged(stayed, 1)
+        assert faded.scenario_counters["leaves"] == 1
+
+    def test_rate_change_slows_releases(self):
+        plan = ScenarioPlan(
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.RATE_CHANGE,
+                    cycle=100,
+                    client_id=2,
+                    factor=4.0,
+                ),
+            )
+        )
+        _, slowed = run_sim(scenario=plan)
+        _, normal = run_sim(scenario=ScenarioPlan.none())
+        assert result_judged(slowed, 2) < result_judged(normal, 2)
+
+    def test_mode_switch_replaces_taskset(self):
+        plan = ScenarioPlan(
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.MODE_SWITCH,
+                    cycle=500,
+                    client_id=0,
+                    tasks=(PeriodicTask(period=25, wcet=1, name="turbo"),),
+                ),
+            )
+        )
+        sim, result = run_sim(scenario=plan)
+        assert result.scenario_counters["mode_switches"] == 1
+        assert [t.name for t in sim.scenario.current_tasksets[0]] == [
+            "turbo"
+        ]
+
+    def test_unknown_client_is_ignored(self):
+        """An event for a client with no generator is recorded as
+        ignored and perturbs nothing."""
+        plan = ScenarioPlan((join(cycle=300, client_id=N + 3),))
+        _, result = run_sim(scenario=plan)
+        assert result.scenario_counters["events_ignored"] == 1
+        assert result.scenario_counters["events_applied"] == 0
+        _, bare = run_sim(scenario=ScenarioPlan.none())
+        assert result.trace_digest == bare.trace_digest
+
+    def test_conservation_holds_through_churn(self):
+        plan = ScenarioPlan(
+            (
+                join(cycle=200, client_id=0),
+                ScenarioEvent(
+                    kind=ScenarioKind.CLIENT_LEAVE, cycle=600, client_id=2
+                ),
+            )
+        )
+        _, result = run_sim(scenario=plan)
+        assert (
+            result.requests_completed
+            + result.requests_dropped
+            + result.requests_in_flight
+            == result.requests_released
+        )
+
+
+def result_judged(result, client_id):
+    judged, _ = result.job_outcomes.get(client_id, (0, 0))
+    return judged
+
+
+class TestAdmissionGate:
+    def test_veto_leaves_traffic_untouched(self):
+        plan = ScenarioPlan((join(cycle=300, client_id=3),))
+        idle = {3: TaskSet()}
+        driver = ScenarioDriver(plan, admission=lambda *a: False)
+        _, result = run_sim(scenario=driver, clients=clients(idle))
+        assert result.scenario_counters["events_rejected"] == 1
+        assert result.scenario_counters["events_applied"] == 0
+        assert result_judged(result, 3) == 0
+
+    def test_gate_sees_proposed_system_view(self):
+        seen = {}
+
+        def gate(index, event, cycle, proposed):
+            seen["cycle"] = cycle
+            seen["proposed"] = {
+                c: len(ts) for c, ts in proposed.items()
+            }
+            return True
+
+        plan = ScenarioPlan((join(cycle=300, client_id=3),))
+        driver = ScenarioDriver(plan, admission=gate)
+        run_sim(scenario=driver, clients=clients({3: TaskSet()}))
+        assert seen["cycle"] == 300
+        assert seen["proposed"][3] == 1  # the joined task
+        assert seen["proposed"][0] == 1  # everyone else unchanged
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "events",
+        (
+            (join(cycle=137, client_id=3),),
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.CLIENT_LEAVE, cycle=219, client_id=1
+                ),
+            ),
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.RATE_CHANGE,
+                    cycle=301,
+                    client_id=2,
+                    factor=0.5,
+                ),
+            ),
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.MODE_SWITCH,
+                    cycle=411,
+                    client_id=0,
+                    tasks=(PeriodicTask(period=30, wcet=1, name="m"),),
+                ),
+            ),
+            (
+                join(cycle=150, client_id=3),
+                ScenarioEvent(
+                    kind=ScenarioKind.RATE_CHANGE,
+                    cycle=350,
+                    client_id=0,
+                    factor=2.0,
+                ),
+                ScenarioEvent(
+                    kind=ScenarioKind.CLIENT_LEAVE, cycle=550, client_id=3
+                ),
+            ),
+        ),
+        ids=("join", "leave", "rate", "mode", "mixed"),
+    )
+    def test_fast_equals_slow_under_every_kind(self, events):
+        plan = ScenarioPlan(events)
+        idle = {3: TaskSet()}
+        _, fast = run_sim(
+            scenario=plan, fast_path=True, clients=clients(idle)
+        )
+        _, slow = run_sim(
+            scenario=plan, fast_path=False, clients=clients(idle)
+        )
+        assert fast.trace_digest == slow.trace_digest
+        assert fast.scenario_counters == slow.scenario_counters
+        assert fast.job_outcomes == slow.job_outcomes
+
+    def test_leap_cannot_skip_an_event(self):
+        """A join on an otherwise-idle system: the leap engine must
+        still execute the event's exact cycle."""
+        idle = {c: TaskSet() for c in range(N)}
+        plan = ScenarioPlan((join(cycle=700, client_id=2, period=40),))
+        _, fast = run_sim(scenario=plan, fast_path=True, clients=clients(idle))
+        _, slow = run_sim(
+            scenario=plan, fast_path=False, clients=clients(idle)
+        )
+        assert fast.scenario_counters["joins"] == 1
+        assert fast.trace_digest == slow.trace_digest
+
+
+class TestMakeDriver:
+    def test_normalizes(self):
+        assert make_driver(None) is None
+        plan = ScenarioPlan.none()
+        assert isinstance(make_driver(plan), ScenarioDriver)
+        driver = ScenarioDriver(plan)
+        assert make_driver(driver) is driver
+
+    def test_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            make_driver("churn")
+
+    def test_counters_shape(self):
+        driver = ScenarioDriver(ScenarioPlan.none())
+        assert set(driver.counters()) == {
+            "events_applied",
+            "events_rejected",
+            "events_ignored",
+            "joins",
+            "leaves",
+            "rate_changes",
+            "mode_switches",
+        }

@@ -1,0 +1,198 @@
+"""ScenarioPlan/ScenarioEvent: validation, determinism, transforms."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ScenarioEvent,
+    ScenarioKind,
+    ScenarioPlan,
+    proposed_tasksets,
+    rate_scaled,
+)
+from repro.tasks import PeriodicTask, TaskSet
+
+
+def join_event(**overrides):
+    defaults = dict(
+        kind=ScenarioKind.CLIENT_JOIN,
+        cycle=100,
+        client_id=2,
+        tasks=(PeriodicTask(period=200, wcet=2, name="j"),),
+    )
+    defaults.update(overrides)
+    return ScenarioEvent(**defaults)
+
+
+class TestEventValidation:
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            join_event(cycle=-1)
+
+    def test_negative_client_rejected(self):
+        with pytest.raises(ConfigurationError):
+            join_event(client_id=-1)
+
+    @pytest.mark.parametrize(
+        "kind", (ScenarioKind.CLIENT_JOIN, ScenarioKind.MODE_SWITCH)
+    )
+    def test_payload_kinds_need_tasks(self, kind):
+        with pytest.raises(ConfigurationError):
+            ScenarioEvent(kind=kind, cycle=0, client_id=0, tasks=())
+
+    @pytest.mark.parametrize(
+        "kind", (ScenarioKind.CLIENT_LEAVE, ScenarioKind.RATE_CHANGE)
+    )
+    def test_non_payload_kinds_refuse_tasks(self, kind):
+        with pytest.raises(ConfigurationError):
+            ScenarioEvent(
+                kind=kind,
+                cycle=0,
+                client_id=0,
+                tasks=(PeriodicTask(period=100, wcet=1, name="x"),),
+            )
+
+    def test_rate_change_needs_positive_factor(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioEvent(
+                kind=ScenarioKind.RATE_CHANGE,
+                cycle=0,
+                client_id=0,
+                factor=0.0,
+            )
+
+    def test_factor_refused_outside_rate_change(self):
+        with pytest.raises(ConfigurationError):
+            join_event(factor=2.0)
+
+
+class TestRateScaled:
+    def test_periods_scaled_wcets_kept(self):
+        ts = TaskSet(
+            [
+                PeriodicTask(period=100, wcet=4, name="a", client_id=1),
+                PeriodicTask(period=301, wcet=2, name="b", client_id=1),
+            ]
+        )
+        scaled = rate_scaled(ts, 2.0)
+        by_name = {t.name: t for t in scaled}
+        assert by_name["a"].period == 200 and by_name["a"].wcet == 4
+        assert by_name["b"].period == 602 and by_name["b"].wcet == 2
+        assert by_name["a"].client_id == 1
+
+    def test_period_clamped_at_wcet(self):
+        ts = TaskSet([PeriodicTask(period=10, wcet=8, name="a")])
+        scaled = rate_scaled(ts, 0.1)
+        assert next(iter(scaled)).period == 8
+
+    def test_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            rate_scaled(TaskSet(), 0)
+
+
+class TestProposed:
+    def test_join_merges_and_stamps_client(self):
+        current = TaskSet([PeriodicTask(period=100, wcet=1, name="old")])
+        after = join_event(client_id=5).proposed(current)
+        assert len(after) == 2
+        joined = next(t for t in after if t.name == "j")
+        assert joined.client_id == 5
+
+    def test_leave_empties(self):
+        event = ScenarioEvent(
+            kind=ScenarioKind.CLIENT_LEAVE, cycle=0, client_id=1
+        )
+        assert len(event.proposed(TaskSet([PeriodicTask(100, 1)]))) == 0
+
+    def test_mode_switch_replaces(self):
+        event = ScenarioEvent(
+            kind=ScenarioKind.MODE_SWITCH,
+            cycle=0,
+            client_id=3,
+            tasks=(PeriodicTask(period=50, wcet=1, name="new"),),
+        )
+        after = event.proposed(TaskSet([PeriodicTask(100, 1, name="old")]))
+        assert [t.name for t in after] == ["new"]
+
+    def test_proposed_tasksets_is_pure(self):
+        current = {0: TaskSet([PeriodicTask(100, 1, name="a")])}
+        event = ScenarioEvent(
+            kind=ScenarioKind.CLIENT_LEAVE, cycle=0, client_id=0
+        )
+        after = proposed_tasksets(current, event)
+        assert len(after[0]) == 0
+        assert len(current[0]) == 1  # untouched
+
+    def test_leave_keeps_entry(self):
+        after = proposed_tasksets(
+            {},
+            ScenarioEvent(
+                kind=ScenarioKind.CLIENT_LEAVE, cycle=0, client_id=7
+            ),
+        )
+        assert 7 in after and len(after[7]) == 0
+
+
+class TestPlan:
+    def test_events_sorted_by_cycle(self):
+        plan = ScenarioPlan(
+            (
+                join_event(cycle=500),
+                ScenarioEvent(
+                    kind=ScenarioKind.CLIENT_LEAVE, cycle=100, client_id=0
+                ),
+            )
+        )
+        assert [e.cycle for e in plan] == [100, 500]
+
+    def test_none_is_empty(self):
+        assert ScenarioPlan.none().empty
+        assert len(ScenarioPlan.none()) == 0
+
+    def test_of_kind_and_clients(self):
+        plan = ScenarioPlan(
+            (
+                join_event(client_id=2),
+                ScenarioEvent(
+                    kind=ScenarioKind.CLIENT_LEAVE, cycle=200, client_id=4
+                ),
+            )
+        )
+        assert len(plan.of_kind(ScenarioKind.CLIENT_JOIN)) == 1
+        assert plan.clients() == frozenset({2, 4})
+
+    def test_plan_pickles(self):
+        plan = ScenarioPlan((join_event(),))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        a = ScenarioPlan.generate(3, 10_000, 8, joins=2, leaves=2)
+        b = ScenarioPlan.generate(3, 10_000, 8, joins=2, leaves=2)
+        assert a == b
+
+    def test_seed_changes_plan(self):
+        a = ScenarioPlan.generate(3, 10_000, 8)
+        b = ScenarioPlan.generate(4, 10_000, 8)
+        assert a != b
+
+    def test_counts_and_window(self):
+        plan = ScenarioPlan.generate(
+            1, 8_000, 16, joins=2, leaves=3, rate_changes=1, mode_switches=2
+        )
+        assert len(plan.of_kind(ScenarioKind.CLIENT_JOIN)) == 2
+        assert len(plan.of_kind(ScenarioKind.CLIENT_LEAVE)) == 3
+        assert len(plan.of_kind(ScenarioKind.RATE_CHANGE)) == 1
+        assert len(plan.of_kind(ScenarioKind.MODE_SWITCH)) == 2
+        for event in plan:
+            assert 1_000 <= event.cycle < 6_400
+            assert 0 <= event.client_id < 16
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioPlan.generate(1, 0, 4)
+        with pytest.raises(ConfigurationError):
+            ScenarioPlan.generate(1, 100, 0)

@@ -1,0 +1,160 @@
+"""replay_plan against a live AdmissionSession and a real daemon."""
+
+import pytest
+
+from repro.analysis import SystemModel
+from repro.scenarios import (
+    ScenarioEvent,
+    ScenarioKind,
+    ScenarioPlan,
+    proposed_tasksets,
+    rate_scaled,
+    replay_plan,
+    replay_plan_service,
+)
+from repro.service import ServiceClient, start_background
+from repro.tasks import PeriodicTask, TaskSet
+
+SMALL = PeriodicTask(period=1000, wcet=1, name="small")
+HEAVY = PeriodicTask(period=64, wcet=60, name="heavy")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SystemModel.from_seed(16, utilization=0.3, seed=7)
+
+
+def churn_plan(model):
+    return ScenarioPlan(
+        (
+            ScenarioEvent(
+                kind=ScenarioKind.CLIENT_JOIN,
+                cycle=100,
+                client_id=3,
+                tasks=(SMALL,),
+            ),
+            ScenarioEvent(
+                kind=ScenarioKind.RATE_CHANGE,
+                cycle=200,
+                client_id=2,
+                factor=2.0,
+            ),
+            ScenarioEvent(
+                kind=ScenarioKind.MODE_SWITCH,
+                cycle=300,
+                client_id=0,
+                tasks=tuple(rate_scaled(model.client_tasksets[0], 1.5)),
+            ),
+            ScenarioEvent(
+                kind=ScenarioKind.CLIENT_LEAVE, cycle=400, client_id=1
+            ),
+        )
+    )
+
+
+class TestReplayPlan:
+    def test_all_events_commit_and_carry_transients(self, model):
+        session = model.session()
+        replayed = replay_plan(session, churn_plan(model))
+        assert [r.applied for r in replayed] == [True] * 4
+        for record in replayed:
+            assert record.transient is not None
+            assert record.transient.cycle == record.event.cycle
+            assert record.transient.reprogrammed_ports > 0
+            assert record.transient.kind is record.event.kind
+
+    def test_session_state_matches_pure_fold(self, model):
+        session = model.session()
+        plan = churn_plan(model)
+        replay_plan(session, plan, transients=False)
+        expected = dict(model.client_tasksets)
+        for event in plan.events:
+            expected = proposed_tasksets(expected, event)
+        for client, taskset in expected.items():
+            got = session.tasksets.get(client, TaskSet())
+            assert sorted(t.name for t in got) == sorted(
+                t.name for t in taskset
+            )
+
+    def test_transients_flag_off_skips_bounds(self, model):
+        replayed = replay_plan(
+            model.session(), churn_plan(model), transients=False
+        )
+        assert all(r.transient is None for r in replayed)
+
+    def test_rejected_event_leaves_session_untouched(self, model):
+        session = model.session()
+        plan = ScenarioPlan(
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.CLIENT_JOIN,
+                    cycle=50,
+                    client_id=3,
+                    tasks=(HEAVY,),
+                ),
+            )
+        )
+        (record,) = replay_plan(session, plan)
+        assert not record.applied
+        assert record.transient is None
+        assert record.decision.witness is not None
+        assert session.composition is model.baseline
+
+    def test_rate_change_on_empty_client_degenerates_to_evict(self, model):
+        session = model.session()
+        session.evict(5)
+        plan = ScenarioPlan(
+            (
+                ScenarioEvent(
+                    kind=ScenarioKind.RATE_CHANGE,
+                    cycle=10,
+                    client_id=5,
+                    factor=2.0,
+                ),
+            )
+        )
+        (record,) = replay_plan(session, plan)
+        assert record.applied
+        assert 5 not in session.tasksets
+
+
+class TestReplayPlanService:
+    def test_plan_replays_over_http(self, model):
+        handle = start_background(model)
+        try:
+            with ServiceClient(handle.host, handle.port) as client:
+                records = replay_plan_service(
+                    client,
+                    churn_plan(model),
+                    initial_tasksets=dict(model.client_tasksets),
+                )
+        finally:
+            handle.stop()
+            handle.service.session.reset()
+        assert [r["applied"] for r in records] == [True] * 4
+        assert [r["kind"] for r in records] == [
+            "client-join",
+            "rate-change",
+            "mode-switch",
+            "client-leave",
+        ]
+        # retask-like events go over the wire as evict + admit
+        assert len(records[1]["responses"]) == 2
+        assert len(records[3]["responses"]) == 1
+
+    def test_wire_and_inprocess_replays_agree(self, model):
+        plan = churn_plan(model)
+        local = replay_plan(model.session(), plan, transients=False)
+        handle = start_background(model)
+        try:
+            with ServiceClient(handle.host, handle.port) as client:
+                remote = replay_plan_service(
+                    client,
+                    plan,
+                    initial_tasksets=dict(model.client_tasksets),
+                )
+        finally:
+            handle.stop()
+            handle.service.session.reset()
+        for mine, theirs in zip(local, remote):
+            assert mine.applied == theirs["applied"]

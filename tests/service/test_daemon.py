@@ -84,6 +84,39 @@ class TestEndpoints:
         assert metrics["service/latency_ms_p50"] >= 0
         assert payload["cache"]["hit_rate"] > 0
 
+    def test_evict_drops_client_and_commits(self, service, model):
+        handle, client = service
+        response = client.evict(3)
+        assert response["committed"] is True
+        assert response["admitted"] is True
+        session = handle.service.session
+        assert 3 not in session.tasksets
+        # re-admission of the original workload is accepted again
+        readmit = client.admission(
+            3, list(model.client_tasksets[3]), commit=True
+        )
+        assert readmit["committed"] is True
+
+    def test_evict_requires_valid_client(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as err:
+            client.evict(99)
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/evict", {})
+        assert err.value.status == 400
+
+    def test_metrics_exposes_tail_latency_block(self, service):
+        _, client = service
+        client.admission(3, SMALL)
+        client.evict(5)
+        payload = client.metrics()
+        block = payload["latency_ms"]
+        assert set(block) == {"p50", "p95", "p99", "max"}
+        assert block["max"] >= block["p99"] >= block["p50"] >= 0.0
+        # evicts are timed through the same histogram as admissions
+        assert payload["metrics"]["service/latency_ms_count"] >= 2
+
     def test_verdicts_match_inprocess_session(self, service, model):
         _, client = service
         session = model.session()
