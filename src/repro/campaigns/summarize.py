@@ -1,0 +1,171 @@
+"""Campaign summarizer: per-family markdown reports + JSONL series.
+
+:func:`summarize_campaign` renders a completed campaign directory (or
+golden baseline) into two artifacts:
+
+* ``report.md`` — the human report: manifest digests, one markdown
+  table per family (cells as rows, the scalars every cell of the
+  family shares as columns), folded observability counters
+  (:func:`repro.observability.fold_summary_scalars` over the
+  ``…/obs/…`` scalars), failures, and total wall-clock when timings
+  are present;
+* ``series.jsonl`` — the machine series: one JSON line per cell with
+  its coordinates, scalars and wall-clock, ready for ad-hoc plotting
+  or cross-campaign trend tooling.
+
+This generalizes the per-experiment formatters in
+:mod:`repro.experiments.reporting` — the tables there render one
+result object; here, whole sweeps of cells.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.campaigns.executor import CellRecord
+from repro.campaigns.gate import CampaignArtifacts, load_artifacts
+from repro.campaigns.spec import canonical_json
+from repro.experiments.reporting import format_markdown_table
+from repro.observability import fold_summary_scalars
+
+REPORT_FILE = "report.md"
+SERIES_FILE = "series.jsonl"
+
+
+def _families_in_order(records: list[CellRecord]) -> list[str]:
+    seen: list[str] = []
+    for record in records:
+        if record.family not in seen:
+            seen.append(record.family)
+    return seen
+
+
+def _shared_scalar_keys(records: list[CellRecord]) -> list[str]:
+    """Scalar names every (non-failed) record of the family carries."""
+    keys: set[str] | None = None
+    for record in records:
+        if record.failed:
+            continue
+        names = set(record.scalar_dict)
+        keys = names if keys is None else keys & names
+    return sorted(keys or ())
+
+
+def _family_table(family: str, records: list[CellRecord]) -> str:
+    columns = [
+        key
+        for key in _shared_scalar_keys(records)
+        if "/obs/" not in key and key != "cell/trials"
+    ]
+    headers = ["cell", *columns, "status"]
+    rows: list[list[object]] = []
+    for record in records:
+        coords = "/".join(
+            f"{name}={value}" for name, value in record.coords
+        ) or "-"
+        scalars = record.scalar_dict
+        rows.append(
+            [
+                coords,
+                *[scalars.get(key, float("nan")) for key in columns],
+                "FAILED" if record.failed else "ok",
+            ]
+        )
+    return format_markdown_table(headers, rows, title=f"{family}")
+
+
+def _cell_seconds(timings: list[dict[str, Any]]) -> dict[str, float]:
+    seconds: dict[str, float] = {}
+    for entry in timings:
+        try:
+            seconds[entry["cell_id"]] = float(entry["seconds"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return seconds
+
+
+def render_report(artifacts: CampaignArtifacts) -> str:
+    """The full ``report.md`` body for one campaign's artifacts."""
+    manifest = artifacts.manifest
+    lines = [
+        f"# Campaign report — {manifest.get('name', 'unnamed')}",
+        "",
+        f"- cells: {manifest.get('cells', len(artifacts.records))} "
+        f"({manifest.get('failed', 0)} failed)",
+        f"- spec digest: `{manifest.get('spec_digest', '-')}`",
+        f"- grid digest: `{manifest.get('grid_digest', '-')}`",
+        f"- cells digest: `{manifest.get('cells_digest', '-')}`",
+    ]
+    total_seconds = artifacts.wall_clock_seconds()
+    if total_seconds is not None:
+        lines.append(f"- total cell wall-clock: {total_seconds:.2f} s")
+    by_family: dict[str, list[CellRecord]] = {}
+    for record in artifacts.records:
+        by_family.setdefault(record.family, []).append(record)
+    for family in _families_in_order(artifacts.records):
+        lines.append("")
+        lines.append(_family_table(family, by_family[family]))
+    obs = fold_summary_scalars(
+        record.scalar_dict for record in artifacts.records
+    )
+    if obs:
+        lines.append("")
+        lines.append(
+            format_markdown_table(
+                ["observability metric", "folded value"],
+                sorted(obs.items()),
+                title="Observability (folded across cells)",
+            )
+        )
+    failures = [record for record in artifacts.records if record.failed]
+    if failures:
+        lines.append("")
+        lines.append("## Failures")
+        lines.append("")
+        for record in failures:
+            lines.append(f"- `{record.cell_id}`: {record.error}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_series(artifacts: CampaignArtifacts) -> str:
+    """One JSON line per cell: identity, scalars, wall-clock."""
+    seconds = _cell_seconds(artifacts.timings)
+    lines = []
+    for record in artifacts.records:
+        entry: dict[str, Any] = {
+            "cell_id": record.cell_id,
+            "family": record.family,
+            "coords": dict(record.coords),
+            "scalars": record.scalar_dict,
+            "error": record.error,
+        }
+        if record.cell_id in seconds:
+            entry["seconds"] = seconds[record.cell_id]
+        lines.append(canonical_json(entry))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def summarize_campaign(
+    source: str | Path, out_dir: str | Path | None = None
+) -> tuple[Path, Path]:
+    """Render ``report.md`` + ``series.jsonl`` for a campaign.
+
+    ``source`` is a results directory or a golden baseline file;
+    ``out_dir`` defaults to the source directory (or the baseline
+    file's parent).  Returns the two written paths.
+    """
+    source = Path(source)
+    artifacts = load_artifacts(source)
+    directory = Path(
+        out_dir
+        if out_dir is not None
+        else (source if source.is_dir() else source.parent)
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    report_path = directory / REPORT_FILE
+    series_path = directory / SERIES_FILE
+    report_path.write_text(render_report(artifacts), encoding="utf-8")
+    series_path.write_text(render_series(artifacts), encoding="utf-8")
+    return report_path, series_path

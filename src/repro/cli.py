@@ -21,6 +21,10 @@ Examples::
     python -m repro faults --trials 5 --workers 2
     python -m repro churn --trials 3 --verify
     python -m repro serve --clients 16 --port 8787
+    python -m repro campaign run campaigns/ci.json --out results/ci
+    python -m repro campaign report results/ci
+    python -m repro campaign diff tests/fixtures/golden_campaign.json \\
+        results/ci
 
 ``--seed S`` is accepted by every subcommand (the analytical ones
 ignore it) and pins the base seed of simulation-backed experiments.
@@ -208,11 +212,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign = sub.add_parser(
         "campaign",
-        help="run the standard campaign and archive results",
+        help="declarative campaigns: run a sweep spec with resumable "
+        "checkpointing, render reports, diff against a golden baseline",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="execute (or resume) a campaign spec into a results "
+        "directory; exits 1 if any cell failed",
         parents=[common],
     )
-    campaign.add_argument("--results-dir", default="results")
-    campaign.add_argument("--label", default=None)
+    campaign_run.add_argument(
+        "spec",
+        metavar="SPEC",
+        help="campaign spec file (.json; .toml where tomllib exists)",
+    )
+    campaign_run.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="results directory (default: results/campaigns/<name>)",
+    )
+    campaign_run.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard any checkpoint in the results directory and "
+        "start clean (default: finished cells are skipped)",
+    )
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="render report.md + series.jsonl for a completed campaign "
+        "directory or a golden baseline file",
+    )
+    campaign_report.add_argument(
+        "source",
+        metavar="PATH",
+        help="campaign results directory or golden baseline JSON",
+    )
+    campaign_report.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="where to write the report (default: next to the source)",
+    )
+    campaign_diff = campaign_sub.add_parser(
+        "diff",
+        help="regression-gate a campaign against a baseline: exits 1 "
+        "on any violation of the spec's tolerance rules",
+    )
+    campaign_diff.add_argument(
+        "baseline",
+        metavar="BASELINE",
+        help="golden baseline file or campaign results directory",
+    )
+    campaign_diff.add_argument(
+        "current",
+        metavar="CURRENT",
+        help="campaign results directory (or baseline file) to check",
+    )
+    campaign_archive = campaign_sub.add_parser(
+        "archive",
+        help="legacy ad-hoc batch: run the standard experiment list "
+        "and archive results + manifest",
+        parents=[common],
+    )
+    campaign_archive.add_argument("--results-dir", default="results")
+    campaign_archive.add_argument("--label", default=None)
 
     serve = sub.add_parser(
         "serve",
@@ -313,8 +379,104 @@ def _configure_backends(
         set_default_sim_backend(sim_backend)
 
 
+def _campaign_main(args: argparse.Namespace) -> int:
+    """The ``repro campaign <run|report|diff|archive>`` group."""
+    if args.campaign_command == "report":
+        from repro.campaigns import summarize_campaign
+
+        report_path, series_path = summarize_campaign(
+            args.source, out_dir=args.out
+        )
+        print(f"report written to {report_path}")
+        print(f"series written to {series_path}")
+        return 0
+    if args.campaign_command == "diff":
+        from repro.campaigns import (
+            diff_campaigns,
+            format_gate_report,
+            load_artifacts,
+        )
+
+        baseline = load_artifacts(args.baseline)
+        current = load_artifacts(args.current)
+        violations = diff_campaigns(baseline, current)
+        print(format_gate_report(violations, str(args.baseline)))
+        return 1 if violations else 0
+
+    # `run` and the legacy `archive` execute simulations: configure the
+    # process-wide backends first, exactly like the experiment
+    # subcommands, and replicate them into any worker pool.
+    from functools import partial
+
+    from repro.runtime import ProgressPrinter
+
+    worker_init = None
+    if args.analysis_backend is not None or args.sim_backend is not None:
+        _configure_backends(args.analysis_backend, args.sim_backend)
+        worker_init = partial(
+            _configure_backends, args.analysis_backend, args.sim_backend
+        )
+    hooks = ProgressPrinter() if args.progress else None
+
+    if args.campaign_command == "archive":
+        from repro.experiments.campaign import default_specs
+        from repro.experiments.campaign import run_campaign as run_archive
+        from repro.runtime import make_executor
+
+        executor = make_executor(args.workers, worker_init)
+        record = run_archive(
+            default_specs(quick=True, executor=executor),
+            args.results_dir,
+            label=args.label,
+            workers=executor.workers,
+        )
+        print(f"campaign '{record.label}' archived to {record.directory}")
+        for name, seconds in record.seconds.items():
+            print(f"  {name}: {seconds:.1f}s (workers={record.workers})")
+        if args.output:
+            from repro.experiments.persistence import save_json
+
+            path = save_json(record.metrics, args.output, label="campaign")
+            print(f"\nresult saved to {path}")
+        return 0
+
+    assert args.campaign_command == "run", args.campaign_command
+    from repro.campaigns import load_campaign_spec, run_campaign
+
+    spec = load_campaign_spec(args.spec)
+    out_dir = (
+        args.out
+        if args.out is not None
+        else f"results/campaigns/{spec.name}"
+    )
+    run = run_campaign(
+        spec,
+        out_dir,
+        workers=args.workers,
+        resume=not args.no_resume,
+        hooks=hooks,
+        worker_init=worker_init,
+    )
+    print(
+        f"campaign '{spec.name}': {len(run.records)} cell(s) "
+        f"({run.resumed_cells} resumed, {run.executed_cells} executed, "
+        f"{len(run.failed_cells)} failed) -> {run.directory}"
+    )
+    print(f"cells digest: {run.manifest['cells_digest']}")
+    for record in run.failed_cells:
+        print(f"  FAILED {record.cell_id}: {record.error}")
+    if args.output:
+        from repro.experiments.persistence import save_json
+
+        path = save_json(run.manifest, args.output, label=spec.name)
+        print(f"\nmanifest saved to {path}")
+    return 1 if run.failed_cells else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "campaign":
+        return _campaign_main(args)
     # Imports are deferred so `--help` stays instant.
     from repro.runtime import ProgressPrinter, make_executor
 
@@ -593,19 +755,6 @@ def main(argv: Sequence[str] | None = None) -> int:
             "trace_digest": traced.trace_digest,
             "latency": timeline.latency,
         }
-    elif args.experiment == "campaign":
-        from repro.experiments.campaign import default_specs, run_campaign
-
-        record = run_campaign(
-            default_specs(quick=True, executor=executor),
-            args.results_dir,
-            label=args.label,
-            workers=executor.workers,
-        )
-        result = record.metrics
-        print(f"campaign '{record.label}' archived to {record.directory}")
-        for name, seconds in record.seconds.items():
-            print(f"  {name}: {seconds:.1f}s (workers={record.workers})")
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.experiment)
 

@@ -13,16 +13,25 @@ Experiments emit their comparison metrics through the shared
 glue.  The manifest records each experiment's wall-clock and the
 executor width it ran under, so archived campaigns track the
 serial-vs-parallel speedup across snapshots.
+
+This is the *ad-hoc* archive layer, kept for programmatic one-off
+batches; the declarative, resumable, CI-gated successor is
+:mod:`repro.campaigns` (spec files, sharded checkpointed execution,
+golden-baseline diffing).  The delta arithmetic is shared —
+:class:`MetricDelta` here *is* :class:`repro.campaigns.gate.MetricDelta`,
+so both layers report missing/NaN/zero-baseline metrics explicitly.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.campaigns.gate import MetricDelta, metric_deltas
 from repro.errors import ConfigurationError
 from repro.experiments.persistence import save_json
 from repro.runtime import Executor, MetricSet, extract_metric_set
@@ -161,22 +170,6 @@ def load_manifest(directory: str | Path) -> dict[str, Any]:
         return json.load(handle)
 
 
-@dataclass(frozen=True)
-class MetricDelta:
-    """One metric's change between two campaigns."""
-
-    experiment: str
-    metric: str
-    before: float
-    after: float
-
-    @property
-    def relative_change(self) -> float:
-        if self.before == 0:
-            return 0.0 if self.after == 0 else float("inf")
-        return (self.after - self.before) / abs(self.before)
-
-
 def compare_campaigns(
     before_dir: str | Path,
     after_dir: str | Path,
@@ -184,41 +177,56 @@ def compare_campaigns(
 ) -> list[MetricDelta]:
     """Metrics whose relative change exceeds ``threshold``.
 
-    Only metrics present in both manifests are compared; additions and
-    removals are structural changes the caller sees in the manifests.
+    Every edge case yields an *explicit* delta rather than a silent
+    skip or a crash (the shared :class:`repro.campaigns.gate.MetricDelta`
+    semantics): a metric — or a whole experiment — present on only one
+    side reports with ``before``/``after`` of ``None`` and a NaN
+    relative change (which always exceeds any threshold); a NaN value
+    on one side reports likewise; a zero baseline never divides (the
+    change is ``±inf``, reported).  Only a metric that is genuinely
+    within the band — including two NaNs, which moved nothing — stays
+    out of the list.
     """
     if threshold < 0:
         raise ConfigurationError("threshold must be non-negative")
     before = load_manifest(before_dir)["metrics"]
     after = load_manifest(after_dir)["metrics"]
     deltas: list[MetricDelta] = []
-    for experiment in sorted(set(before) & set(after)):
-        before_metrics = before[experiment]
-        after_metrics = after[experiment]
-        for metric in sorted(set(before_metrics) & set(after_metrics)):
-            delta = MetricDelta(
-                experiment=experiment,
-                metric=metric,
-                before=before_metrics[metric],
-                after=after_metrics[metric],
+    for experiment in sorted(set(before) | set(after)):
+        before_metrics = before.get(experiment, {})
+        after_metrics = after.get(experiment, {})
+        deltas.extend(
+            delta
+            for delta in metric_deltas(
+                before_metrics, after_metrics, experiment=experiment
             )
-            if abs(delta.relative_change) > threshold:
-                deltas.append(delta)
+            if delta.exceeds(threshold)
+        )
     return deltas
 
 
 def format_deltas(deltas: list[MetricDelta]) -> str:
+    from repro.campaigns.gate import format_metric
     from repro.experiments.reporting import format_table
 
     if not deltas:
         return "no metric moved beyond the threshold"
+
+    def change(delta: MetricDelta) -> str:
+        value = delta.relative_change
+        if math.isnan(value):
+            return delta.status if delta.status != "changed" else "nan"
+        if math.isinf(value):
+            return "+inf" if value > 0 else "-inf"
+        return f"{value:+.1%}"
+
     rows = [
         [
             d.experiment,
             d.metric,
-            f"{d.before:.4g}",
-            f"{d.after:.4g}",
-            f"{d.relative_change:+.1%}",
+            format_metric(d.before),
+            format_metric(d.after),
+            change(d),
         ]
         for d in deltas
     ]

@@ -37,6 +37,32 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a GitHub-flavored markdown table.
+
+    The campaign summarizer's sibling of :func:`format_table`: same
+    cell formatting (:func:`_fmt`), pipe-delimited so reports render in
+    any markdown viewer.  Pipes inside cell values are escaped.
+    """
+
+    def cell(value: object) -> str:
+        return _fmt(value).replace("|", "\\|")
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(cell(h) for h in headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(cell(value) for value in row) + " |")
+    return "\n".join(lines)
+
+
 def format_series(
     x_label: str,
     x_values: Sequence[object],

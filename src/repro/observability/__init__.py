@@ -34,6 +34,7 @@ from repro.observability.metrics import (
     Counter,
     Histogram,
     MetricsRegistry,
+    fold_summary_scalars,
     merge_registry_snapshots,
 )
 from repro.observability.spans import (
@@ -68,6 +69,7 @@ __all__ = [
     "TraceRecorder",
     "Tracer",
     "build_timeline",
+    "fold_summary_scalars",
     "format_timeline",
     "load_spans_jsonl",
     "make_tracer",

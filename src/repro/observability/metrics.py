@@ -151,6 +151,43 @@ class MetricsRegistry:
         return scalars
 
 
+def fold_summary_scalars(
+    scalar_maps: Iterable[Mapping[str, float]],
+    marker: str = "/obs/",
+) -> dict[str, float]:
+    """Fold many records' flattened observability scalars into one view.
+
+    The inverse-direction companion of :meth:`MetricsRegistry.summary_scalars`:
+    once per-trial registries have been flattened to plain floats (and
+    aggregated into campaign cell records), the raw samples are gone —
+    this folds the flattened keys across records by what each key
+    *means*: ``…_count`` and bare counter keys **sum**, ``…_max``
+    takes the **max**, and ``…_mean``/``…_p50``/``…_p95``/``…_p99``
+    average (unweighted across records — an approximation, flagged by
+    the key name staying a mean-of-means).  Only keys containing
+    ``marker`` participate, so experiment scalars pass through untouched.
+    """
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    maxima: dict[str, float] = {}
+    averaged = ("_mean", "_p50", "_p95", "_p99")
+    for scalars in scalar_maps:
+        for name, value in scalars.items():
+            if marker not in name:
+                continue
+            if name.endswith("_max"):
+                maxima[name] = max(maxima.get(name, float(value)), float(value))
+            elif name.endswith(averaged):
+                sums[name] = sums.get(name, 0.0) + float(value)
+                counts[name] = counts.get(name, 0) + 1
+            else:
+                sums[name] = sums.get(name, 0.0) + float(value)
+    folded: dict[str, float] = dict(maxima)
+    for name, total in sums.items():
+        folded[name] = total / counts[name] if name in counts else total
+    return dict(sorted(folded.items()))
+
+
 def merge_registry_snapshots(
     snapshots: Iterable[Mapping[str, object]],
 ) -> MetricsRegistry:

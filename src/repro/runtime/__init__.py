@@ -38,7 +38,12 @@ from repro.runtime.metrics import (
     extract_metric_set,
     failure_metric_set,
 )
-from repro.runtime.seeding import derive_seeds, seed_stream, spawn_rng
+from repro.runtime.seeding import (
+    derive_seed,
+    derive_seeds,
+    seed_stream,
+    spawn_rng,
+)
 from repro.runtime.spec import TrialSpec
 
 __all__ = [
@@ -51,6 +56,7 @@ __all__ = [
     "SerialExecutor",
     "TrialOutcome",
     "TrialSpec",
+    "derive_seed",
     "derive_seeds",
     "extract_metric_set",
     "failure_metric_set",

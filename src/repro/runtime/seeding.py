@@ -41,3 +41,15 @@ def derive_seeds(seed: int | str, n: int) -> list[int]:
 def spawn_rng(parent: random.Random) -> random.Random:
     """A child RNG split off ``parent``'s stream (one draw consumed)."""
     return random.Random(parent.randrange(2**SEED_BITS))
+
+
+def derive_seed(base: int | str, label: str) -> int:
+    """One integer seed for the substream named ``label`` under ``base``.
+
+    The campaign layer derives every grid cell's seed this way
+    (``derive_seed(campaign_seed, cell_id)``), and each cell's trial
+    seeds then come from :func:`derive_seeds` on a cell-local stream —
+    so two distinct cells can never share a trial seed stream, no
+    matter how the grid is sliced, sharded or resumed.
+    """
+    return seed_stream(f"{base}/{label}").randrange(2**SEED_BITS)

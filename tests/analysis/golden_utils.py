@@ -1,7 +1,7 @@
 """Shared builder/snapshot helpers for the golden interface fixtures.
 
 Used by both the regression test (``test_golden_interfaces.py``) and
-the regeneration script (``scripts/regen_golden_interfaces.py``) so the
+the regeneration script (``scripts/regen_golden.py interfaces``) so the
 two can never drift apart on what a canonical system or snapshot is.
 """
 

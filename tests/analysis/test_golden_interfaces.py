@@ -6,7 +6,7 @@ canonical topologies (16/32/64 clients), as JSON under
 bounds, tie-breaking, candidate sampling, either backend — shows up
 here as a concrete interface diff rather than a downstream experiment
 drift.  Regenerate intentionally with
-``scripts/regen_golden_interfaces.py``.
+``scripts/regen_golden.py interfaces``.
 """
 
 import json

@@ -1,0 +1,43 @@
+"""Shared campaign-test scaffolding: a tiny real spec and a cheap one.
+
+``tiny_raw``/``tiny_spec`` is a *real* fig6 sweep (2 designs × 2
+utilizations at a very short horizon) small enough to execute in a few
+hundred milliseconds — the resume, CLI and gate-round-trip tests run
+it for real, because the byte-identity guarantees under test only mean
+something against actual simulation output.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.campaigns import parse_campaign_spec
+
+TINY_RAW = {
+    "name": "tiny",
+    "seed": 7,
+    "sweeps": [
+        {
+            "family": "fig6",
+            "design": ["AXI-IC^RT", "BlueScale"],
+            "n": 5,
+            "utilization": [0.4, 0.7],
+            "trials": 1,
+            "horizon": 400,
+            "drain": 200,
+        }
+    ],
+    "gate": {"wall_clock_tolerance": 25.0},
+}
+
+
+@pytest.fixture
+def tiny_raw():
+    return copy.deepcopy(TINY_RAW)
+
+
+@pytest.fixture
+def tiny_spec(tiny_raw):
+    return parse_campaign_spec(tiny_raw)

@@ -1,0 +1,204 @@
+"""Resumable execution: kill mid-run, restart, byte-identical output.
+
+The headline guarantee under test: a campaign killed after k of n
+cells and resumed — at *any* worker count — finishes with
+``cells.jsonl`` and ``manifest.json`` byte-identical to an
+uninterrupted serial run.  Wall-clock lives in ``timings.jsonl``,
+which is exempt (machines differ; manifests must not).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import expand_campaign, load_campaign_dir, run_campaign
+from repro.campaigns.executor import (
+    CELLS_FILE,
+    MANIFEST_FILE,
+    TIMINGS_FILE,
+)
+from repro.errors import ConfigurationError
+from repro.runtime import ExecutionHooks
+
+
+class _Kill(Exception):
+    """Stands in for SIGKILL: aborts the run after k collected cells."""
+
+
+class _KillAfter(ExecutionHooks):
+    def __init__(self, cells: int) -> None:
+        self.cells = cells
+        self.seen = 0
+
+    def on_trial_done(self, outcome, done, total) -> None:
+        self.seen += 1
+        if self.seen >= self.cells:
+            raise _Kill(f"killed after {self.seen} cells")
+
+
+def artifact_bytes(directory) -> dict[str, bytes]:
+    return {
+        name: (directory / name).read_bytes()
+        for name in (CELLS_FILE, MANIFEST_FILE)
+    }
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One uninterrupted serial run of the tiny spec (module-cached)."""
+    import copy
+
+    from repro.campaigns import parse_campaign_spec
+
+    from tests.campaigns.conftest import TINY_RAW
+
+    spec = parse_campaign_spec(copy.deepcopy(TINY_RAW))
+    directory = tmp_path_factory.mktemp("reference")
+    run = run_campaign(spec, directory, workers=1)
+    assert not run.failed_cells
+    return spec, directory
+
+
+class TestResumeByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("kill_after", [1, 3])
+    def test_killed_then_resumed_matches_uninterrupted(
+        self, reference, tmp_path, workers, kill_after
+    ):
+        spec, reference_dir = reference
+        with pytest.raises(_Kill):
+            run_campaign(
+                spec, tmp_path, workers=1, hooks=_KillAfter(kill_after)
+            )
+        # the kill left a partial checkpoint and no manifest
+        assert not (tmp_path / MANIFEST_FILE).exists()
+        checkpointed = (
+            (tmp_path / CELLS_FILE).read_text().strip().splitlines()
+        )
+        assert len(checkpointed) == kill_after
+
+        run = run_campaign(spec, tmp_path, workers=workers)
+        assert run.resumed_cells == kill_after
+        assert run.executed_cells == len(run.records) - kill_after
+        assert artifact_bytes(tmp_path) == artifact_bytes(reference_dir)
+
+    def test_torn_final_line_discarded_on_resume(
+        self, reference, tmp_path
+    ):
+        spec, reference_dir = reference
+        with pytest.raises(_Kill):
+            run_campaign(spec, tmp_path, workers=1, hooks=_KillAfter(2))
+        with open(tmp_path / CELLS_FILE, "a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "fig6/s0/desi')  # hard-kill torn
+        run = run_campaign(spec, tmp_path, workers=1)
+        assert run.resumed_cells == 2
+        assert artifact_bytes(tmp_path) == artifact_bytes(reference_dir)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_serial(self, reference, tmp_path, workers):
+        spec, reference_dir = reference
+        run_campaign(spec, tmp_path, workers=workers)
+        assert artifact_bytes(tmp_path) == artifact_bytes(reference_dir)
+
+    def test_completed_run_resumes_to_noop(self, reference, tmp_path):
+        spec, reference_dir = reference
+        run_campaign(spec, tmp_path, workers=1)
+        before = artifact_bytes(tmp_path)
+        run = run_campaign(spec, tmp_path, workers=1)
+        assert run.executed_cells == 0
+        assert run.resumed_cells == len(run.records)
+        assert artifact_bytes(tmp_path) == before
+
+
+class TestCheckpointGuards:
+    def test_checkpoint_for_different_spec_refused(
+        self, reference, tmp_path, tiny_raw
+    ):
+        spec, _ = reference
+        with pytest.raises(_Kill):
+            run_campaign(spec, tmp_path, workers=1, hooks=_KillAfter(1))
+        from repro.campaigns import parse_campaign_spec
+
+        tiny_raw["seed"] = 8  # different campaign, same directory
+        other = parse_campaign_spec(tiny_raw)
+        with pytest.raises(ConfigurationError, match="different"):
+            run_campaign(other, tmp_path, workers=1)
+
+    def test_resume_false_discards_checkpoint(
+        self, reference, tmp_path, tiny_raw
+    ):
+        spec, reference_dir = reference
+        with pytest.raises(_Kill):
+            run_campaign(spec, tmp_path, workers=1, hooks=_KillAfter(1))
+        from repro.campaigns import parse_campaign_spec
+
+        tiny_raw["seed"] = 8
+        other = parse_campaign_spec(tiny_raw)
+        run = run_campaign(other, tmp_path, workers=1, resume=False)
+        assert run.resumed_cells == 0
+        assert run.executed_cells == len(run.records)
+        # and the other spec's artifacts differ from the reference ones
+        assert artifact_bytes(tmp_path) != artifact_bytes(reference_dir)
+
+    def test_failed_cells_recorded_and_retried(self, tmp_path):
+        """A cell whose trials fail is a recorded failure, not a crash,
+        and a resume re-executes it instead of trusting the record."""
+        from repro.campaigns import parse_campaign_spec
+
+        raw = {
+            "name": "bad",
+            "seed": 1,
+            "sweeps": [
+                {
+                    "family": "fig6",
+                    "design": ["NoSuchDesign"],
+                    "trials": 1,
+                    "horizon": 300,
+                }
+            ],
+        }
+        spec = parse_campaign_spec(raw)
+        run = run_campaign(spec, tmp_path, workers=1)
+        assert len(run.failed_cells) == 1
+        assert "NoSuchDesign" in (run.failed_cells[0].error or "")
+        assert run.manifest["failed"] == 1
+        again = run_campaign(spec, tmp_path, workers=1)
+        assert again.resumed_cells == 0  # errored records never resume
+        assert again.executed_cells == 1
+
+
+class TestArtifacts:
+    def test_timings_outside_the_digest(self, reference, tmp_path):
+        """Tampering with timings.jsonl changes nothing the manifest
+        certifies — wall-clock is explicitly machine-dependent."""
+        spec, reference_dir = reference
+        run_campaign(spec, tmp_path, workers=1)
+        (tmp_path / TIMINGS_FILE).write_text(
+            '{"cell_id":"x","seconds":999.0,"workers":1}\n',
+            encoding="utf-8",
+        )
+        assert artifact_bytes(tmp_path) == artifact_bytes(reference_dir)
+        manifest, records, timings = load_campaign_dir(tmp_path)
+        assert timings[0]["seconds"] == 999.0
+        assert manifest["cells"] == len(records)
+
+    def test_cells_jsonl_is_canonical_grid_order(self, reference):
+        spec, directory = reference
+        cells = expand_campaign(spec)
+        lines = (
+            (directory / CELLS_FILE).read_text().strip().splitlines()
+        )
+        assert [json.loads(line)["cell_id"] for line in lines] == [
+            cell.cell_id for cell in cells
+        ]
+        for line in lines:
+            payload = json.loads(line)
+            assert line == json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            )
+
+    def test_load_incomplete_dir_refused(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no completed"):
+            load_campaign_dir(tmp_path)

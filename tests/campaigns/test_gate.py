@@ -1,0 +1,285 @@
+"""The regression gate: structure, tags, tolerance rules, wall-clock.
+
+These tests build :class:`CellRecord` artifacts directly (no
+simulation) — the gate is pure comparison logic, and every edge the
+legacy comparer mishandled (missing metrics, NaN, zero baselines) must
+surface as an explicit violation, never a silent pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.campaigns import (
+    CampaignArtifacts,
+    GateConfig,
+    diff_campaigns,
+    format_gate_report,
+    golden_payload,
+    load_artifacts,
+)
+from repro.campaigns.executor import CellRecord
+from repro.campaigns.spec import ToleranceRule, canonical_json
+
+
+def record(cell_id="fig6/s0/design=A", scalars=(("a/miss", 0.5),),
+           tags=(("a/trace", "abc"),), error=None, index=0):
+    return CellRecord(
+        cell_id=cell_id,
+        index=index,
+        family="fig6",
+        seed=1,
+        coords=(("design", "A"),),
+        settings=(("trials", 1),),
+        scalars=tuple(scalars),
+        tags=tuple(tags),
+        error=error,
+    )
+
+
+def artifacts(records, gate=None, timings=()):
+    manifest = {"name": "t", "cells": len(records), "failed": 0}
+    if gate is not None:
+        manifest["gate"] = gate.as_dict()
+    return CampaignArtifacts(
+        manifest=manifest, records=list(records), timings=list(timings)
+    )
+
+
+def kinds(violations):
+    return [violation.kind for violation in violations]
+
+
+class TestStructure:
+    def test_identical_runs_pass(self):
+        assert diff_campaigns(artifacts([record()]),
+                              artifacts([record()])) == []
+
+    def test_missing_cell_is_structure_violation(self):
+        violations = diff_campaigns(artifacts([record()]), artifacts([]))
+        assert kinds(violations) == ["structure"]
+        assert "missing from run" in violations[0].detail
+
+    def test_extra_cell_is_structure_violation(self):
+        violations = diff_campaigns(artifacts([]), artifacts([record()]))
+        assert kinds(violations) == ["structure"]
+        assert "bless" in violations[0].detail
+
+    def test_error_status_change_is_failure(self):
+        broken = record(error="SimulationError: boom")
+        violations = diff_campaigns(
+            artifacts([record()]), artifacts([broken])
+        )
+        assert kinds(violations) == ["failure"]
+        # a failed cell short-circuits: no metric noise on top
+        assert len(violations) == 1
+
+
+class TestTags:
+    def test_tag_flip_always_exact(self):
+        changed = record(tags=(("a/trace", "DIFFERENT"),))
+        violations = diff_campaigns(
+            artifacts([record()]),
+            artifacts([changed]),
+            gate=GateConfig(
+                rules=(ToleranceRule("*", "relative", 1e9),)
+            ),
+        )
+        assert kinds(violations) == ["tag"]
+
+
+class TestMetricRules:
+    def test_exact_by_default(self):
+        moved = record(scalars=(("a/miss", 0.5000001),))
+        violations = diff_campaigns(
+            artifacts([record()]), artifacts([moved])
+        )
+        assert kinds(violations) == ["metric"]
+        assert "exact" in violations[0].detail
+
+    def test_relative_band(self):
+        gate = GateConfig(
+            rules=(ToleranceRule("*/miss", "relative", 0.10),)
+        )
+        within = record(scalars=(("a/miss", 0.54),))
+        beyond = record(scalars=(("a/miss", 0.60),))
+        assert diff_campaigns(
+            artifacts([record()]), artifacts([within]), gate=gate
+        ) == []
+        violations = diff_campaigns(
+            artifacts([record()]), artifacts([beyond]), gate=gate
+        )
+        assert kinds(violations) == ["metric"]
+
+    def test_absolute_band(self):
+        gate = GateConfig(
+            rules=(ToleranceRule("*/miss", "absolute", 0.2),)
+        )
+        within = record(scalars=(("a/miss", 0.69),))
+        beyond = record(scalars=(("a/miss", 0.71),))
+        assert diff_campaigns(
+            artifacts([record()]), artifacts([within]), gate=gate
+        ) == []
+        assert kinds(
+            diff_campaigns(
+                artifacts([record()]), artifacts([beyond]), gate=gate
+            )
+        ) == ["metric"]
+
+    def test_ignore_rule(self):
+        gate = GateConfig(rules=(ToleranceRule("*/miss", "ignore"),))
+        moved = record(scalars=(("a/miss", 99.0),))
+        assert diff_campaigns(
+            artifacts([record()]), artifacts([moved]), gate=gate
+        ) == []
+
+    def test_first_matching_rule_wins(self):
+        gate = GateConfig(
+            rules=(
+                ToleranceRule("a/*", "ignore"),
+                ToleranceRule("*/miss", "exact"),
+            )
+        )
+        moved = record(scalars=(("a/miss", 99.0),))
+        assert diff_campaigns(
+            artifacts([record()]), artifacts([moved]), gate=gate
+        ) == []
+
+    def test_missing_metric_is_violation_even_under_relative(self):
+        gate = GateConfig(rules=(ToleranceRule("*", "relative", 1e9),))
+        gone = record(scalars=())
+        violations = diff_campaigns(
+            artifacts([record()]), artifacts([gone]), gate=gate
+        )
+        assert kinds(violations) == ["metric"]
+        assert "removed" in violations[0].detail
+
+    def test_nan_is_violation_under_every_kind(self):
+        nan_record = record(scalars=(("a/miss", math.nan),))
+        for rule in (
+            ToleranceRule("*", "exact"),
+            ToleranceRule("*", "relative", 1e9),
+            ToleranceRule("*", "absolute", 1e9),
+        ):
+            violations = diff_campaigns(
+                artifacts([record()]),
+                artifacts([nan_record]),
+                gate=GateConfig(rules=(rule,)),
+            )
+            assert kinds(violations) == ["metric"], rule.kind
+
+    def test_two_nans_are_equal(self):
+        nan_record = record(scalars=(("a/miss", math.nan),))
+        assert diff_campaigns(
+            artifacts([nan_record]), artifacts([nan_record])
+        ) == []
+
+    def test_zero_baseline_never_raises(self):
+        zero = record(scalars=(("a/miss", 0.0),))
+        moved = record(scalars=(("a/miss", 0.3),))
+        gate = GateConfig(rules=(ToleranceRule("*", "relative", 1e9),))
+        violations = diff_campaigns(
+            artifacts([zero]), artifacts([moved]), gate=gate
+        )
+        assert kinds(violations) == ["metric"]
+
+
+class TestGateSource:
+    def test_gate_read_from_current_manifest(self):
+        gate = GateConfig(rules=(ToleranceRule("*/miss", "ignore"),))
+        moved = record(scalars=(("a/miss", 9.0),))
+        assert diff_campaigns(
+            artifacts([record()]), artifacts([moved], gate=gate)
+        ) == []
+
+    def test_explicit_gate_overrides_manifest(self):
+        sealed = GateConfig(rules=(ToleranceRule("*/miss", "ignore"),))
+        moved = record(scalars=(("a/miss", 9.0),))
+        violations = diff_campaigns(
+            artifacts([record()]),
+            artifacts([moved], gate=sealed),
+            gate=GateConfig(),  # strict: everything exact
+        )
+        assert kinds(violations) == ["metric"]
+
+
+class TestWallClock:
+    def timed(self, seconds):
+        return artifacts(
+            [record()],
+            timings=[{"cell_id": "fig6/s0/design=A", "seconds": seconds,
+                      "workers": 1}],
+        )
+
+    def test_slowdown_beyond_band_fails(self):
+        gate = GateConfig(wall_clock_tolerance=0.5)
+        violations = diff_campaigns(
+            self.timed(1.0), self.timed(2.0), gate=gate
+        )
+        assert kinds(violations) == ["wall_clock"]
+
+    def test_speedup_never_fails(self):
+        gate = GateConfig(wall_clock_tolerance=0.5)
+        assert diff_campaigns(
+            self.timed(2.0), self.timed(0.1), gate=gate
+        ) == []
+
+    def test_no_timings_no_check(self):
+        gate = GateConfig(wall_clock_tolerance=0.0)
+        assert diff_campaigns(
+            artifacts([record()]), self.timed(100.0), gate=gate
+        ) == []
+        assert diff_campaigns(
+            self.timed(100.0), artifacts([record()]), gate=gate
+        ) == []
+
+    def test_resumed_timings_last_line_wins(self):
+        run = artifacts(
+            [record()],
+            timings=[
+                {"cell_id": "fig6/s0/design=A", "seconds": 50.0,
+                 "workers": 1},
+                {"cell_id": "fig6/s0/design=A", "seconds": 1.0,
+                 "workers": 1},
+            ],
+        )
+        assert run.wall_clock_seconds() == 1.0
+
+
+class TestGoldenRoundTrip:
+    def test_payload_round_trips_through_load(self, tmp_path):
+        source = artifacts(
+            [record()], timings=[{"cell_id": "x", "seconds": 1.0}]
+        )
+        payload = golden_payload(source, comment="test baseline")
+        assert "timings" not in payload  # machine-dependent, dropped
+        path = tmp_path / "golden.json"
+        path.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+        loaded = load_artifacts(path)
+        assert loaded.records == source.records
+        assert diff_campaigns(loaded, source) == []
+
+    def test_injected_regression_detected(self, tmp_path):
+        source = artifacts([record()])
+        path = tmp_path / "golden.json"
+        path.write_text(
+            canonical_json(golden_payload(source, comment="c")) + "\n",
+            encoding="utf-8",
+        )
+        worse = dataclasses.replace(
+            source.records[0], scalars=(("a/miss", 0.9),)
+        )
+        violations = diff_campaigns(
+            load_artifacts(path), artifacts([worse])
+        )
+        assert kinds(violations) == ["metric"]
+
+
+class TestReportFormat:
+    def test_pass_and_fail_strings(self):
+        assert "gate PASS" in format_gate_report([], "golden.json")
+        violations = diff_campaigns(artifacts([record()]), artifacts([]))
+        report = format_gate_report(violations, "golden.json")
+        assert "gate FAIL: 1 regression(s)" in report
+        assert "[structure]" in report

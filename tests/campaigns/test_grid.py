@@ -1,0 +1,232 @@
+"""Property tests for grid expansion (hypothesis).
+
+The campaign machinery's whole byte-identity story rests on three
+expansion properties; each is pinned here on randomized specs:
+
+* deterministic order — the cell list is a pure function of the
+  normalized spec, with exact cartesian cell counts;
+* key-order invariance — shuffling every mapping in the spec *file*
+  changes neither the spec digest, the expanded grid, nor its digest;
+* disjoint seed streams — no two cells share a cell seed, and the
+  actual per-trial seed streams the families derive from those cell
+  seeds never overlap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns import (
+    expand_campaign,
+    grid_digest,
+    parse_campaign_spec,
+)
+from repro.campaigns.families import cell_trial_specs
+from repro.campaigns.spec import AXIS_ORDER
+
+DESIGNS = ("AXI-IC^RT", "BlueTree", "BlueScale", "GSMTree-TDM")
+
+# Axis value pools, deliberately *unvalidated* values allowed: expansion
+# is pure — family adapters validate at run time, not expansion time.
+AXIS_POOLS = {
+    "design": st.lists(
+        st.sampled_from(DESIGNS), min_size=1, max_size=3, unique=True
+    ),
+    "n": st.lists(
+        st.sampled_from((4, 5, 8, 16, 64)),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    "utilization": st.lists(
+        st.sampled_from((0.2, 0.4, 0.5, 0.7, 0.9)),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    "sim_backend": st.lists(
+        st.sampled_from(("scalar", "batched")),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ),
+}
+
+
+@st.composite
+def sweep_blocks(draw):
+    axes = draw(
+        st.lists(
+            st.sampled_from(sorted(AXIS_POOLS)),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    block = {"family": "fig6"}
+    for axis in axes:
+        block[axis] = draw(AXIS_POOLS[axis])
+    block["trials"] = draw(st.integers(min_value=1, max_value=3))
+    block["horizon"] = draw(st.sampled_from((300, 400, 500)))
+    return block
+
+
+@st.composite
+def campaign_raws(draw):
+    return {
+        "name": draw(st.sampled_from(("alpha", "beta"))),
+        "seed": draw(st.integers(min_value=0, max_value=2**32)),
+        "sweeps": draw(
+            st.lists(sweep_blocks(), min_size=1, max_size=3)
+        ),
+    }
+
+
+def shuffle_mapping(mapping, rng):
+    """The same mapping with every dict's key order randomized."""
+    items = list(mapping.items())
+    rng.shuffle(items)
+    shuffled = {}
+    for key, value in items:
+        if isinstance(value, dict):
+            value = shuffle_mapping(value, rng)
+        elif isinstance(value, list):
+            value = [
+                shuffle_mapping(entry, rng)
+                if isinstance(entry, dict)
+                else entry
+                for entry in value
+            ]
+        shuffled[key] = value
+    return shuffled
+
+
+class TestExpansionProperties:
+    @given(raw=campaign_raws())
+    @settings(max_examples=50, deadline=None)
+    def test_exact_cartesian_cell_counts(self, raw):
+        spec = parse_campaign_spec(raw)
+        cells = expand_campaign(spec)
+        expected = 0
+        for sweep in raw["sweeps"]:
+            count = 1
+            for key, value in sweep.items():
+                if isinstance(value, list):
+                    count *= len(value)
+            expected += count
+        assert len(cells) == expected == spec.cell_count
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+
+    @given(raw=campaign_raws())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_order_and_axis_nesting(self, raw):
+        spec = parse_campaign_spec(raw)
+        first = expand_campaign(spec)
+        second = expand_campaign(spec)
+        assert first == second
+        # within each sweep the coordinates walk the cartesian product
+        # in AXIS_ORDER with the spec's value order per axis
+        for sweep_index, sweep in enumerate(spec.sweeps):
+            mine = [c for c in first if c.sweep == sweep_index]
+            names = [name for name, _ in sweep.axes]
+            assert names == [a for a in AXIS_ORDER if a in names]
+            expected = [
+                tuple(zip(names, point))
+                for point in itertools.product(
+                    *[values for _, values in sweep.axes]
+                )
+            ]
+            assert [c.coords for c in mine] == expected
+
+    @given(raw=campaign_raws(), shuffle_seed=st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_key_order_shuffle_invariance(self, raw, shuffle_seed):
+        shuffled = shuffle_mapping(raw, random.Random(shuffle_seed))
+        spec = parse_campaign_spec(raw)
+        spec_shuffled = parse_campaign_spec(shuffled)
+        assert spec == spec_shuffled
+        assert spec.digest() == spec_shuffled.digest()
+        assert grid_digest(expand_campaign(spec)) == grid_digest(
+            expand_campaign(spec_shuffled)
+        )
+
+    @given(raw=campaign_raws())
+    @settings(max_examples=50, deadline=None)
+    def test_cell_seeds_unique_per_workload(self, raw):
+        """Seeds are unique per *workload*: cells differing only in an
+        engine-backend axis share a seed (they must replay identical
+        trials for the gate's differential tag check); all other cells
+        get distinct seeds."""
+        from repro.campaigns.grid import ENGINE_AXES
+
+        cells = expand_campaign(parse_campaign_spec(raw))
+        assert len({cell.cell_id for cell in cells}) == len(cells)
+        by_workload = {}
+        for cell in cells:
+            workload = (
+                cell.family,
+                cell.sweep,
+                tuple(
+                    (axis, value)
+                    for axis, value in cell.coords
+                    if axis not in ENGINE_AXES
+                ),
+            )
+            by_workload.setdefault(workload, set()).add(cell.seed)
+        # one seed per workload, all workload seeds distinct
+        assert all(len(seeds) == 1 for seeds in by_workload.values())
+        all_seeds = {seeds.pop() for seeds in by_workload.values()}
+        assert len(all_seeds) == len(by_workload)
+
+
+class TestSeedStreamDisjointness:
+    def test_per_cell_trial_seed_streams_never_overlap(self, tiny_spec):
+        """The *actual* trial seeds the family adapters derive (not
+        just the cell seeds) are pairwise disjoint across cells."""
+        cells = expand_campaign(tiny_spec)
+        streams = [
+            {spec.seed for spec in cell_trial_specs(cell)}
+            for cell in cells
+        ]
+        for a, b in itertools.combinations(range(len(streams)), 2):
+            assert not streams[a] & streams[b], (a, b)
+        assert all(streams)
+
+    def test_engine_sibling_cells_share_trial_streams(self):
+        """Cells that differ only in ``sim_backend`` run the *same*
+        trials — that equality is what makes a backend sweep a
+        differential test rather than two unrelated experiments."""
+        cells = expand_campaign(
+            parse_campaign_spec(
+                {
+                    "name": "diff",
+                    "seed": 5,
+                    "sweeps": [
+                        {
+                            "family": "fig6",
+                            "design": ["BlueScale"],
+                            "n": 5,
+                            "sim_backend": ["scalar", "batched"],
+                            "trials": 2,
+                            "horizon": 300,
+                        }
+                    ],
+                }
+            )
+        )
+        assert len(cells) == 2 and cells[0].seed == cells[1].seed
+        assert cell_trial_specs(cells[0]) == cell_trial_specs(cells[1])
+
+    def test_grid_reslicing_keeps_cell_seeds(self, tiny_raw):
+        """Dropping a sibling axis value must not move the surviving
+        cells' seeds — seeds key off the cell id, not list position."""
+        full = expand_campaign(parse_campaign_spec(tiny_raw))
+        tiny_raw["sweeps"][0]["utilization"] = [0.7]
+        sliced = expand_campaign(parse_campaign_spec(tiny_raw))
+        full_seeds = {cell.cell_id: cell.seed for cell in full}
+        for cell in sliced:
+            assert cell.seed == full_seeds[cell.cell_id]

@@ -1,0 +1,139 @@
+"""Summarizer: markdown report + JSONL series from campaign artifacts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaigns import golden_payload, summarize_campaign
+from repro.campaigns.executor import CellRecord
+from repro.campaigns.gate import CampaignArtifacts
+from repro.campaigns.spec import canonical_json
+from repro.campaigns.summarize import render_report, render_series
+
+
+def record(cell_id, index, scalars, error=None, family="fig6",
+           coords=(("design", "A"),)):
+    return CellRecord(
+        cell_id=cell_id,
+        index=index,
+        family=family,
+        seed=1,
+        coords=tuple(coords),
+        settings=(("trials", 2),),
+        scalars=tuple(scalars),
+        tags=(("trace", "t"),),
+        error=error,
+    )
+
+
+def two_family_artifacts():
+    records = [
+        record(
+            "fig6/s0/design=A",
+            0,
+            (
+                ("A/miss", 0.25),
+                ("A/obs/inject_count", 10.0),
+                ("A/obs/latency_p95", 6.0),
+                ("cell/trials", 2.0),
+            ),
+        ),
+        record(
+            "fig6/s0/design=B",
+            1,
+            (
+                ("B/miss", 0.5),
+                ("A/obs/inject_count", 4.0),
+                ("A/obs/latency_p95", 2.0),
+                ("cell/trials", 2.0),
+            ),
+            coords=(("design", "B"),),
+        ),
+        record(
+            "churn/s1/scenario=2",
+            2,
+            (),
+            family="churn",
+            coords=(("scenario", 2),),
+            error="SimulationError: boom",
+        ),
+    ]
+    manifest = {
+        "name": "demo",
+        "cells": 3,
+        "failed": 1,
+        "spec_digest": "aaa",
+        "grid_digest": "bbb",
+        "cells_digest": "ccc",
+    }
+    timings = [
+        {"cell_id": "fig6/s0/design=A", "seconds": 1.5, "workers": 1},
+        {"cell_id": "fig6/s0/design=B", "seconds": 0.5, "workers": 1},
+    ]
+    return CampaignArtifacts(manifest, records, timings)
+
+
+class TestRenderReport:
+    def test_header_tables_failures_and_wall_clock(self):
+        report = render_report(two_family_artifacts())
+        assert "# Campaign report — demo" in report
+        assert "cells: 3 (1 failed)" in report
+        assert "`aaa`" in report and "`ccc`" in report
+        assert "total cell wall-clock: 2.00 s" in report
+        # one table per family, in first-seen order
+        assert report.index("### fig6") < report.index("### churn")
+        assert "design=A" in report and "design=B" in report
+        assert "FAILED" in report and "ok" in report
+        assert "## Failures" in report
+        assert "SimulationError: boom" in report
+
+    def test_obs_scalars_folded_not_tabulated(self):
+        report = render_report(two_family_artifacts())
+        # counters sum, percentiles average, and obs columns stay out
+        # of the per-family tables
+        assert "Observability (folded across cells)" in report
+        assert "| 14.000 |" in report  # 10 + 4 inject_count
+        assert "| 4.000 |" in report  # mean(6, 2) latency_p95
+        fig6_table = report.split("### fig6")[1].split("###")[0]
+        assert "obs" not in fig6_table
+
+    def test_no_timings_no_wall_clock_line(self):
+        artifacts = two_family_artifacts()
+        artifacts.timings = []
+        assert "wall-clock" not in render_report(artifacts)
+
+
+class TestRenderSeries:
+    def test_one_canonical_line_per_cell(self):
+        series = render_series(two_family_artifacts())
+        lines = series.strip().splitlines()
+        assert len(lines) == 3
+        first = json.loads(lines[0])
+        assert first["cell_id"] == "fig6/s0/design=A"
+        assert first["coords"] == {"design": "A"}
+        assert first["seconds"] == 1.5
+        assert first["error"] is None
+        failed = json.loads(lines[2])
+        assert failed["error"] == "SimulationError: boom"
+        assert "seconds" not in failed
+        for line in lines:
+            assert line == canonical_json(json.loads(line))
+
+
+class TestSummarizeCampaign:
+    def test_from_golden_file(self, tmp_path):
+        payload = golden_payload(two_family_artifacts(), comment="c")
+        golden = tmp_path / "golden.json"
+        golden.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+        report_path, series_path = summarize_campaign(golden)
+        assert report_path.parent == tmp_path
+        assert "# Campaign report — demo" in report_path.read_text()
+        assert len(series_path.read_text().strip().splitlines()) == 3
+
+    def test_out_dir_override(self, tmp_path):
+        payload = golden_payload(two_family_artifacts(), comment="c")
+        golden = tmp_path / "golden.json"
+        golden.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+        out = tmp_path / "elsewhere"
+        report_path, series_path = summarize_campaign(golden, out_dir=out)
+        assert report_path.parent == out and series_path.parent == out

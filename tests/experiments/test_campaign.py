@@ -1,5 +1,7 @@
 """Tests for the campaign runner and regression comparison."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -88,9 +90,9 @@ class TestCompareCampaigns:
         assert deltas[0].relative_change == pytest.approx(-0.5)
         assert deltas[0].before == 2.0 and deltas[0].after == 1.0
 
-    def test_missing_metric_not_compared(self, tmp_path):
-        """Metrics present in only one manifest are structural changes,
-        not deltas — only the shared metric is compared."""
+    def test_missing_metric_reported_explicitly(self, tmp_path):
+        """Metrics present in only one manifest report as explicit
+        added/removed deltas — never silently skipped."""
         run_campaign(
             [toy_spec(value=1.0, extra_metrics=(("only_before", 5.0),))],
             tmp_path,
@@ -104,9 +106,15 @@ class TestCompareCampaigns:
         deltas = compare_campaigns(
             tmp_path / "before", tmp_path / "after", threshold=0.10
         )
-        assert [d.metric for d in deltas] == ["value"]
+        by_metric = {d.metric: d for d in deltas}
+        assert set(by_metric) == {"value", "only_before", "only_after"}
+        assert by_metric["only_before"].status == "removed"
+        assert by_metric["only_before"].after is None
+        assert by_metric["only_after"].status == "added"
+        assert by_metric["only_after"].before is None
+        assert math.isnan(by_metric["only_before"].relative_change)
 
-    def test_missing_experiment_not_compared(self, tmp_path):
+    def test_missing_experiment_reported_explicitly(self, tmp_path):
         run_campaign([toy_spec(name="shared"), toy_spec(name="gone")],
                      tmp_path, label="before")
         run_campaign(
@@ -115,7 +123,48 @@ class TestCompareCampaigns:
             label="after",
         )
         deltas = compare_campaigns(tmp_path / "before", tmp_path / "after")
-        assert {d.experiment for d in deltas} == {"shared"}
+        by_experiment = {d.experiment: d for d in deltas}
+        assert set(by_experiment) == {"shared", "gone", "new"}
+        assert by_experiment["gone"].status == "removed"
+        assert by_experiment["new"].status == "added"
+
+    def test_nan_values_reported_not_skipped(self, tmp_path):
+        """A NaN on one side always exceeds any threshold; two NaNs
+        count as unmoved."""
+        nan = float("nan")
+        run_campaign(
+            [toy_spec(value=1.0, extra_metrics=(("both_nan", nan),))],
+            tmp_path,
+            label="before",
+        )
+        run_campaign(
+            [toy_spec(value=nan, extra_metrics=(("both_nan", nan),))],
+            tmp_path,
+            label="after",
+        )
+        deltas = compare_campaigns(
+            tmp_path / "before", tmp_path / "after", threshold=1e9
+        )
+        assert [d.metric for d in deltas] == ["value"]
+        assert math.isnan(deltas[0].relative_change)
+        assert deltas[0].exceeds(1e9)
+        both = MetricDelta("e", "both_nan", before=nan, after=nan)
+        assert both.relative_change == 0.0 and both.equal
+
+    def test_zero_baseline_never_raises(self, tmp_path):
+        """A zero-to-nonzero move is an infinite change, reported at
+        any threshold; formatting survives inf and None."""
+        run_campaign([toy_spec(value=0.0)], tmp_path, label="before")
+        run_campaign([toy_spec(value=2.0)], tmp_path, label="after")
+        deltas = compare_campaigns(
+            tmp_path / "before", tmp_path / "after", threshold=1e9
+        )
+        assert len(deltas) == 1
+        assert deltas[0].relative_change == float("inf")
+        text = format_deltas(
+            deltas + [MetricDelta("e", "m", before=None, after=1.0)]
+        )
+        assert "+inf" in text and "added" in text
 
     def test_small_change_below_threshold_ignored(self, tmp_path):
         before, after = self.run_pair(tmp_path, 1.0, 1.05)

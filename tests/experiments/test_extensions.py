@@ -328,7 +328,8 @@ class TestCli:
         campaign_module.default_specs = tiny_specs
         try:
             assert main(
-                ["campaign", "--results-dir", str(tmp_path), "--label", "t"]
+                ["campaign", "archive",
+                 "--results-dir", str(tmp_path), "--label", "t"]
             ) == 0
         finally:
             campaign_module.default_specs = original

@@ -18,7 +18,7 @@ check, so the two fixtures can never drift apart silently.
 Regenerate (together with the scalar fixture) after a deliberate
 behavioural change::
 
-    PYTHONPATH=src python scripts/regen_golden_traces.py
+    PYTHONPATH=src python scripts/regen_golden.py traces
 """
 
 from __future__ import annotations
@@ -51,7 +51,7 @@ GOLDEN_BATCHED_PATH = (
 REGEN_HINT = (
     "golden batched-campaign mismatch — if the behaviour change is "
     "intentional, regenerate with: "
-    "PYTHONPATH=src python scripts/regen_golden_traces.py"
+    "PYTHONPATH=src python scripts/regen_golden.py traces"
 )
 
 

@@ -10,7 +10,7 @@ fast path that alters even one completion shows up as a digest flip.
 When a *deliberate* behavioural change invalidates the fixtures,
 regenerate them with::
 
-    PYTHONPATH=src python scripts/regen_golden_traces.py
+    PYTHONPATH=src python scripts/regen_golden.py traces
 
 and review the diff alongside the change that caused it.
 """
@@ -32,7 +32,7 @@ GOLDEN_PATH = (
 
 REGEN_HINT = (
     "golden trace mismatch — if the behaviour change is intentional, "
-    "regenerate with: PYTHONPATH=src python scripts/regen_golden_traces.py"
+    "regenerate with: PYTHONPATH=src python scripts/regen_golden.py traces"
 )
 
 

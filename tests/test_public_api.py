@@ -17,6 +17,7 @@ class TestTopLevelExports:
 
     def test_subpackage_all_exports_resolve(self):
         import repro.analysis
+        import repro.campaigns
         import repro.clients
         import repro.core
         import repro.experiments
@@ -32,6 +33,7 @@ class TestTopLevelExports:
 
         for module in (
             repro.analysis,
+            repro.campaigns,
             repro.clients,
             repro.core,
             repro.experiments,
